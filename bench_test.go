@@ -1,0 +1,316 @@
+package midas
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/federation"
+	"repro/internal/moo"
+	"repro/internal/stats"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Each benchmark
+// logs its rendered table once (go test -bench . -v shows them); the
+// `midasctl` command prints the same tables standalone.
+
+var logOnce sync.Map
+
+func logTableOnce(b *testing.B, key string, t *experiments.Table) {
+	b.Helper()
+	if _, done := logOnce.LoadOrStore(key, true); !done {
+		b.Log("\n" + t.Render())
+	}
+}
+
+// BenchmarkTable1Pricing regenerates the instance-pricing catalog
+// (paper Table 1).
+func BenchmarkTable1Pricing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1Pricing()
+		if len(t.Rows) != 11 {
+			b.Fatalf("table 1 rows = %d", len(t.Rows))
+		}
+		logTableOnce(b, "t1", t)
+	}
+}
+
+// BenchmarkTable2R2Growth recomputes R² versus window size on the
+// paper's published dataset (paper Table 2).
+func BenchmarkTable2R2Growth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table2R2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTableOnce(b, "t2", t)
+	}
+}
+
+// benchMRE runs one Tables-3/4 campaign per iteration.
+func benchMRE(b *testing.B, sf float64, key, title string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMRE(sf, experiments.MREOptions{
+			Reps: 3, HistorySize: 60, TestQueries: 30, Seed: int64(i) * 31,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTableOnce(b, key, experiments.MRETable(res, title))
+	}
+}
+
+// BenchmarkTable3MRE100MiB regenerates the MRE comparison at the
+// paper's 100 MiB scale (paper Table 3).
+func BenchmarkTable3MRE100MiB(b *testing.B) {
+	benchMRE(b, 0.1, "t3", "Table 3: Comparison of mean relative error with 100MiB TPC-H dataset.")
+}
+
+// BenchmarkTable4MRE1GiB regenerates the MRE comparison at the paper's
+// 1 GiB scale (paper Table 4).
+func BenchmarkTable4MRE1GiB(b *testing.B) {
+	benchMRE(b, 1, "t4", "Table 4: Comparison of mean relative error with 1GiB TPC-H dataset.")
+}
+
+// BenchmarkFig3MOQPApproaches contrasts GA-based MOQP with repeated
+// Weighted Sum Model optimization (paper Figure 3).
+func BenchmarkFig3MOQPApproaches(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t, err := experiments.RunFig3(experiments.Fig3Options{PolicyChanges: 5, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTableOnce(b, "f3", t)
+	}
+}
+
+// BenchmarkExample31PlanSpace measures estimation throughput over a
+// large space of equivalent QEPs (paper Example 3.1).
+func BenchmarkExample31PlanSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t, err := experiments.RunExample31(experiments.Example31Options{Plans: 500, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTableOnce(b, "e31", t)
+	}
+}
+
+// BenchmarkAblationWindowGrowth: grow-by-one vs doubling windows.
+func BenchmarkAblationWindowGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationWindowGrowth(experiments.AblationOptions{Reps: 1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTableOnce(b, "ab-growth", t)
+	}
+}
+
+// BenchmarkAblationR2Threshold: sweep of R²require.
+func BenchmarkAblationR2Threshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationR2Threshold(experiments.AblationOptions{Reps: 1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTableOnce(b, "ab-r2", t)
+	}
+}
+
+// BenchmarkAblationRecency: most-recent window vs uniform sampling.
+func BenchmarkAblationRecency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationRecency(experiments.AblationOptions{Reps: 1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTableOnce(b, "ab-rec", t)
+	}
+}
+
+// BenchmarkAblationComposite: monolithic vs operator-level DREAM.
+func BenchmarkAblationComposite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationComposite(experiments.AblationOptions{Reps: 1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTableOnce(b, "ab-comp", t)
+	}
+}
+
+// BenchmarkAblationOptimizer: NSGA-II vs exhaustive Pareto enumeration.
+func BenchmarkAblationOptimizer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationOptimizer(experiments.AblationOptions{Reps: 1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTableOnce(b, "ab-opt", t)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the core components.
+
+// BenchmarkDREAMEstimate measures one Algorithm 1 call over a realistic
+// federated history.
+func BenchmarkDREAMEstimate(b *testing.B) {
+	h, err := core.NewHistory(federation.FeatureDim, federation.Metrics...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	for i := 0; i < 120; i++ {
+		x := []float64{rng.Uniform(50, 150), rng.Uniform(5, 15), float64(rng.Intn(4) + 1), float64(rng.Intn(4) + 1), float64(rng.Intn(2))}
+		costs := []float64{10 + 0.1*x[0] + rng.Normal(0, 2), 0.01 + 0.001*x[0]}
+		if err := h.Append(core.Observation{X: x, Costs: costs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	est, err := core.NewEstimator(core.Config{MMax: 21})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{100, 10, 2, 2, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateCostValue(h, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNSGAIIZdt1 measures the optimizer on the standard ZDT1
+// benchmark problem.
+func BenchmarkNSGAIIZdt1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := moo.NSGAII(zdt1Bench{dim: 8}, moo.NSGAIIConfig{
+			PopSize: 40, Generations: 20, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type zdt1Bench struct{ dim int }
+
+func (z zdt1Bench) Bounds() (lo, hi []float64) {
+	lo = make([]float64, z.dim)
+	hi = make([]float64, z.dim)
+	for i := range hi {
+		hi[i] = 1
+	}
+	return lo, hi
+}
+
+func (z zdt1Bench) Evaluate(x []float64) []float64 {
+	f1 := x[0]
+	g := 1.0
+	for _, v := range x[1:] {
+		g += 9 * v / float64(z.dim-1)
+	}
+	h := 1 - math.Sqrt(f1/g)
+	return []float64{f1, g * h}
+}
+
+// BenchmarkTPCHGenerate measures the data generator at SF 0.01.
+func BenchmarkTPCHGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := tpch.Generate(0.01, tpch.GenOptions{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFederatedQ12Execution measures one full relational execution
+// of Q12 across the federation at SF 0.005.
+func BenchmarkFederatedQ12Execution(b *testing.B) {
+	fed, err := federation.DefaultTopology(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := tpch.Generate(0.005, tpch.GenOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := federation.NewFullExecutor(fed, db)
+	plan := federation.Plan{Query: tpch.QueryQ12, JoinAtLeft: true, NodesLeft: 2, NodesRight: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Execute(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ1Engine measures the single-table pricing-summary plan over
+// generated data at SF 0.005.
+func BenchmarkQ1Engine(b *testing.B) {
+	db, err := tpch.Generate(0.005, tpch.GenOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := engine.ToRelationQ1(db)
+	plan := engine.BuildQ1Plan(tpch.DefaultQ1Params())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := engine.Run(plan, map[string]*engine.Relation{"lineitem": rel}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaledExecution measures the statistics-replay executor used
+// by the paper-scale experiments.
+func BenchmarkScaledExecution(b *testing.B) {
+	fed, err := federation.DefaultTopology(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal, err := federation.Calibrate(fed, 0.004, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := federation.NewScaledExecutor(fed, cal, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := federation.Plan{Query: tpch.QueryQ12, JoinAtLeft: true, NodesLeft: 2, NodesRight: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Execute(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalRound measures one full workload evaluation round
+// (seed + test + scoring) for a single model at small size.
+func BenchmarkEvalRound(b *testing.B) {
+	h, err := workload.NewHarness(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	models, err := workload.PaperModels(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dreamOnly := models[len(models)-1:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Run(workload.EvalConfig{
+			Query: tpch.QueryQ12, SF: 0.1, HistorySize: 30, TestQueries: 10, Seed: int64(i),
+		}, dreamOnly); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

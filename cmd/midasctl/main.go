@@ -1,0 +1,245 @@
+// Command midasctl drives the MIDAS/DREAM reproduction from the shell:
+// it regenerates the paper's tables and figures, runs ablations, and
+// demonstrates one end-to-end scheduling round.
+//
+// Usage:
+//
+//	midasctl [flags] <command>
+//
+// Commands:
+//
+//	pricing     print Table 1 (instance pricing)
+//	table2      print Table 2 (R² vs window size, exact-match check)
+//	table3      print Table 3 (MRE at 100 MiB)
+//	table4      print Table 4 (MRE at 1 GiB)
+//	fig3        print the Figure 3 comparison (GA vs WSM MOQP)
+//	example31   print the Example 3.1 estimation-throughput study
+//	ablations   print the four design-choice ablations
+//	run-query   run one full pipeline round (enumerate→estimate→
+//	            optimize→select→execute) and print the decision
+//	gen         print generator statistics for a scale factor
+//	all         everything above, in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/federation"
+	"repro/internal/ires"
+	"repro/internal/tpch"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 42, "base random seed")
+		reps  = flag.Int("reps", 5, "repetitions for the MRE campaigns")
+		hist  = flag.Int("history", 60, "history size for the MRE campaigns")
+		tests = flag.Int("tests", 30, "test queries for the MRE campaigns")
+		sf    = flag.Float64("sf", 0.01, "scale factor for gen/run-query")
+		query = flag.Int("query", 12, "TPC-H query for run-query (12, 13, 14, 17)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: midasctl [flags] <pricing|table2|table3|table4|fig3|example31|ablations|run-query|gen|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiments.MREOptions{Reps: *reps, HistorySize: *hist, TestQueries: *tests, Seed: *seed}
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "pricing":
+		err = printPricing()
+	case "table2":
+		err = printTable2()
+	case "table3":
+		err = printTable3(opts)
+	case "table4":
+		err = printTable4(opts)
+	case "fig3":
+		err = printFig3(*seed)
+	case "example31":
+		err = printExample31(*seed)
+	case "ablations":
+		err = printAblations(*seed)
+	case "run-query":
+		err = runQuery(*seed, *sf, tpch.QueryID(*query))
+	case "gen":
+		err = printGen(*sf, *seed)
+	case "all":
+		err = runAll(opts, *seed, *sf)
+	default:
+		fmt.Fprintf(os.Stderr, "midasctl: unknown command %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "midasctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func printPricing() error {
+	fmt.Println(experiments.Table1Pricing().Render())
+	return nil
+}
+
+func printTable2() error {
+	t, err := experiments.Table2R2()
+	if err != nil {
+		return err
+	}
+	fmt.Println(t.Render())
+	return nil
+}
+
+func printTable3(opts experiments.MREOptions) error {
+	_, t, err := experiments.Table3MRE(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(t.Render())
+	return nil
+}
+
+func printTable4(opts experiments.MREOptions) error {
+	_, t, err := experiments.Table4MRE(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(t.Render())
+	return nil
+}
+
+func printFig3(seed int64) error {
+	_, t, err := experiments.RunFig3(experiments.Fig3Options{PolicyChanges: 5, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println(t.Render())
+	return nil
+}
+
+func printExample31(seed int64) error {
+	_, t, err := experiments.RunExample31(experiments.Example31Options{Plans: 2000, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println(t.Render())
+	return nil
+}
+
+func printAblations(seed int64) error {
+	opts := experiments.AblationOptions{Reps: 3, Seed: seed}
+	for _, run := range []func(experiments.AblationOptions) (*experiments.Table, error){
+		experiments.AblationWindowGrowth,
+		experiments.AblationR2Threshold,
+		experiments.AblationRecency,
+		experiments.AblationComposite,
+		experiments.AblationOptimizer,
+	} {
+		t, err := run(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Render())
+	}
+	return nil
+}
+
+func runQuery(seed int64, sf float64, q tpch.QueryID) error {
+	fmt.Printf("Running %v end to end at SF %v (full relational execution)\n\n", q, sf)
+	fed, err := federation.DefaultTopology(seed)
+	if err != nil {
+		return err
+	}
+	db, err := tpch.Generate(sf, tpch.GenOptions{Seed: seed})
+	if err != nil {
+		return err
+	}
+	exec := federation.NewFullExecutor(fed, db)
+	model, err := ires.NewDREAMModel(core.Config{MMax: 3 * (federation.FeatureDim + 2)})
+	if err != nil {
+		return err
+	}
+	sched, err := ires.NewScheduler(fed, exec, model, []int{1, 2, 4}, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("bootstrapping history with 12 random plan executions...")
+	if err := sched.Bootstrap(q, 12); err != nil {
+		return err
+	}
+	dec, err := sched.Submit(q, ires.Policy{Weights: []float64{1, 1}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan space: %d QEPs, Pareto set: %d\n", dec.PlanSpace, dec.ParetoSize)
+	fmt.Printf("chosen plan: %v\n", dec.Plan)
+	fmt.Printf("estimated:   %.2f s, $%.5f\n", dec.Estimated[0], dec.Estimated[1])
+	fmt.Printf("measured:    %.2f s, $%.5f\n", dec.Outcome.TimeS, dec.Outcome.MoneyUSD)
+	if dec.Outcome.Result != nil {
+		fmt.Printf("\nresult (%d rows):\n", len(dec.Outcome.Result.Rows))
+		for i, row := range dec.Outcome.Result.Rows {
+			if i == 10 {
+				fmt.Println("  ...")
+				break
+			}
+			fmt.Printf("  %v\n", row)
+		}
+	}
+	return nil
+}
+
+func printGen(sf float64, seed int64) error {
+	db, err := tpch.Generate(sf, tpch.GenOptions{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("TPC-H population at SF %v (seed %d):\n", sf, seed)
+	for _, table := range []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"} {
+		rows, err := db.TableRows(table)
+		if err != nil {
+			return err
+		}
+		bytes, err := db.TableBytes(table)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-9s %9d rows  %10.1f KiB\n", table, rows, bytes/1024)
+	}
+	fmt.Printf("  total     %21.1f MiB\n", db.TotalBytes()/1024/1024)
+	return nil
+}
+
+func runAll(opts experiments.MREOptions, seed int64, sf float64) error {
+	if err := printPricing(); err != nil {
+		return err
+	}
+	if err := printTable2(); err != nil {
+		return err
+	}
+	if err := printTable3(opts); err != nil {
+		return err
+	}
+	if err := printTable4(opts); err != nil {
+		return err
+	}
+	if err := printFig3(seed); err != nil {
+		return err
+	}
+	if err := printExample31(seed); err != nil {
+		return err
+	}
+	if err := printAblations(seed); err != nil {
+		return err
+	}
+	return runQuery(seed, sf, tpch.QueryQ12)
+}

@@ -1,0 +1,67 @@
+// Estimation study: a miniature of the paper's Tables 3 and 4.
+//
+// For each TPC-H query the paper studies (Q12, Q13, Q14, Q17), this
+// example evaluates the five Modelling configurations — the Best-ML
+// baseline over observation windows N, 2N, 3N and unbounded, and
+// DREAM — on identical drifting federated workloads, and prints the
+// Mean Relative Error of their execution-time estimates (eq. 15).
+//
+// The full-strength campaign (more repetitions, both scales) runs via
+// `midasctl table3` / `midasctl table4` or the root benchmarks.
+//
+// Run with: go run ./examples/estimation_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	midas "repro"
+)
+
+func main() {
+	const seed = 5
+	fmt.Println("Mini Table 3: MRE of execution-time estimates, 100 MiB federation")
+	fmt.Println()
+	fmt.Printf("%-6s", "Query")
+	names := []string{"BMLN", "BML2N", "BML3N", "BML", "DREAM"}
+	for _, n := range names {
+		fmt.Printf("%8s", n)
+	}
+	fmt.Println()
+
+	for _, q := range midas.AllQueries {
+		h, err := midas.NewEvalHarness(seed + int64(q))
+		if err != nil {
+			log.Fatal(err)
+		}
+		models, err := midas.PaperModels(seed + int64(q))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := h.Run(midas.EvalConfig{
+			Query:       q,
+			SF:          0.1, // ≈100 MiB
+			HistorySize: 60,
+			TestQueries: 30,
+			Seed:        seed + int64(q),
+		}, models)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d", int(q))
+		best := ""
+		bestV := -1.0
+		for _, n := range names {
+			v := res.Scores[n].TimeMRE
+			if best == "" || v < bestV {
+				best, bestV = n, v
+			}
+			fmt.Printf("%8.3f", v)
+		}
+		fmt.Printf("   best: %s\n", best)
+	}
+	fmt.Println()
+	fmt.Println("Lower is better. Expected shape (paper Tables 3/4): DREAM lowest or")
+	fmt.Println("near-lowest on every query; unbounded-history BML degraded by drift.")
+}

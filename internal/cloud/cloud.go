@@ -1,0 +1,252 @@
+// Package cloud models the federation substrate the paper's system runs
+// on: cloud service providers with heterogeneous instance catalogs and
+// pay-as-you-go pricing (paper Table 1), per-site clusters of virtual
+// machines, a wide-area transfer model between sites, and time-varying
+// load processes that create the variance DREAM is designed to absorb.
+//
+// The paper ran on a private cloud; this package is the documented
+// substitution (see DESIGN.md): it reproduces the *variance classes*
+// the paper attributes to federations — heterogeneous hardware,
+// drifting load, wide-range communication and divergent pricing —
+// in a deterministic, seedable simulator.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// ErrUnknownInstance is returned when an instance type is not in a
+// provider's catalog.
+var ErrUnknownInstance = errors.New("cloud: unknown instance type")
+
+// InstanceType describes one purchasable VM shape.
+type InstanceType struct {
+	Name         string
+	VCPU         int
+	MemoryGiB    float64
+	StorageGiB   float64 // 0 means remote-only storage (EBS-style)
+	PricePerHour float64 // USD
+}
+
+// Provider is a cloud service provider with an instance catalog.
+type Provider struct {
+	Name      string
+	Instances []InstanceType
+	// EgressPerGiB is the price of data leaving the provider (USD/GiB).
+	EgressPerGiB float64
+}
+
+// Instance looks up an instance type by name.
+func (p *Provider) Instance(name string) (InstanceType, error) {
+	for _, it := range p.Instances {
+		if it.Name == name {
+			return it, nil
+		}
+	}
+	return InstanceType{}, fmt.Errorf("%w: %q at provider %q", ErrUnknownInstance, name, p.Name)
+}
+
+// Amazon returns the Amazon catalog of the paper's Table 1 (a1 family,
+// EBS-only storage).
+func Amazon() *Provider {
+	return &Provider{
+		Name:         "Amazon",
+		EgressPerGiB: 0.09,
+		Instances: []InstanceType{
+			{Name: "a1.medium", VCPU: 1, MemoryGiB: 2, StorageGiB: 0, PricePerHour: 0.0049},
+			{Name: "a1.large", VCPU: 2, MemoryGiB: 4, StorageGiB: 0, PricePerHour: 0.0098},
+			{Name: "a1.xlarge", VCPU: 4, MemoryGiB: 8, StorageGiB: 0, PricePerHour: 0.0197},
+			{Name: "a1.2xlarge", VCPU: 8, MemoryGiB: 16, StorageGiB: 0, PricePerHour: 0.0394},
+			{Name: "a1.4xlarge", VCPU: 16, MemoryGiB: 32, StorageGiB: 0, PricePerHour: 0.0788},
+		},
+	}
+}
+
+// Microsoft returns the Microsoft catalog of the paper's Table 1
+// (B family, bundled storage).
+func Microsoft() *Provider {
+	return &Provider{
+		Name:         "Microsoft",
+		EgressPerGiB: 0.087,
+		Instances: []InstanceType{
+			{Name: "B1S", VCPU: 1, MemoryGiB: 1, StorageGiB: 2, PricePerHour: 0.011},
+			{Name: "B1MS", VCPU: 1, MemoryGiB: 2, StorageGiB: 4, PricePerHour: 0.021},
+			{Name: "B2S", VCPU: 2, MemoryGiB: 4, StorageGiB: 8, PricePerHour: 0.042},
+			{Name: "B2MS", VCPU: 2, MemoryGiB: 8, StorageGiB: 16, PricePerHour: 0.084},
+			{Name: "B4MS", VCPU: 4, MemoryGiB: 16, StorageGiB: 32, PricePerHour: 0.166},
+			{Name: "B8MS", VCPU: 8, MemoryGiB: 32, StorageGiB: 64, PricePerHour: 0.333},
+		},
+	}
+}
+
+// Google returns a representative third catalog so examples can span
+// the three providers named in the paper's architecture figure.
+func Google() *Provider {
+	return &Provider{
+		Name:         "Google",
+		EgressPerGiB: 0.08,
+		Instances: []InstanceType{
+			{Name: "e2-small", VCPU: 2, MemoryGiB: 2, StorageGiB: 0, PricePerHour: 0.0134},
+			{Name: "e2-medium", VCPU: 2, MemoryGiB: 4, StorageGiB: 0, PricePerHour: 0.0268},
+			{Name: "e2-standard-4", VCPU: 4, MemoryGiB: 16, StorageGiB: 0, PricePerHour: 0.1073},
+			{Name: "e2-standard-8", VCPU: 8, MemoryGiB: 32, StorageGiB: 0, PricePerHour: 0.2146},
+		},
+	}
+}
+
+// Cluster is a homogeneous group of VMs rented at one provider.
+type Cluster struct {
+	Provider *Provider
+	Type     InstanceType
+	Nodes    int
+}
+
+// NewCluster validates and builds a cluster.
+func NewCluster(p *Provider, instanceName string, nodes int) (*Cluster, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("cloud: cluster needs at least one node, got %d", nodes)
+	}
+	it, err := p.Instance(instanceName)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{Provider: p, Type: it, Nodes: nodes}, nil
+}
+
+// TotalVCPU returns the aggregate vCPU count.
+func (c *Cluster) TotalVCPU() int { return c.Nodes * c.Type.VCPU }
+
+// TotalMemoryGiB returns the aggregate memory.
+func (c *Cluster) TotalMemoryGiB() float64 { return float64(c.Nodes) * c.Type.MemoryGiB }
+
+// PricePerHour returns the aggregate rental price.
+func (c *Cluster) PricePerHour() float64 { return float64(c.Nodes) * c.Type.PricePerHour }
+
+// Cost returns the pay-as-you-go monetary cost of occupying the whole
+// cluster for the given number of seconds. Billing is per-second, the
+// granularity all three providers converged on.
+func (c *Cluster) Cost(seconds float64) float64 {
+	if seconds < 0 {
+		return 0
+	}
+	return c.PricePerHour() * seconds / 3600
+}
+
+// Link models a wide-area connection between two sites.
+type Link struct {
+	// BandwidthMiBps is the sustained throughput in MiB/s.
+	BandwidthMiBps float64
+	// LatencyS is the one-way setup latency in seconds.
+	LatencyS float64
+}
+
+// TransferTime returns the seconds needed to ship the given number of
+// bytes across the link.
+func (l Link) TransferTime(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return l.LatencyS + bytes/(l.BandwidthMiBps*1024*1024)
+}
+
+// TransferCost returns the egress charge for shipping bytes out of the
+// source provider.
+func TransferCost(from *Provider, bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return from.EgressPerGiB * bytes / (1024 * 1024 * 1024)
+}
+
+// LoadProcess is a time-varying multiplicative load factor for one
+// site. It combines a random walk (tenant churn), occasional persistent
+// jump shocks (VM migrations, noisy-neighbour arrivals), a diurnal wave
+// (office-hours load) and white noise — the "load evolution" and
+// "variability of environment" of the paper's Section 1. Values are
+// clamped to [MinFactor, MaxFactor].
+type LoadProcess struct {
+	// Walk step standard deviation per tick; default 0.12.
+	WalkStd float64
+	// JumpProb is the per-tick probability of a persistent level shift;
+	// default 0.06.
+	JumpProb float64
+	// JumpStd is the standard deviation of a jump; default 0.40.
+	JumpStd float64
+	// DiurnalAmplitude of the sinusoidal component; default 0.2.
+	DiurnalAmplitude float64
+	// DiurnalPeriod in ticks; default 120.
+	DiurnalPeriod float64
+	// NoiseStd of the per-observation white noise; default 0.05.
+	NoiseStd float64
+	// MinFactor/MaxFactor clamp the factor; defaults 0.4 and 3.0.
+	MinFactor, MaxFactor float64
+
+	rng  *stats.RNG
+	walk float64
+	tick int
+}
+
+// NewLoadProcess returns a load process with the given seed; zero
+// fields take the documented defaults. The defaults make the drift the
+// *dominant* variance source (walk + diurnal swing well above the white
+// noise), matching the paper's premise that long-gone observations are
+// expired information rather than extra signal.
+func NewLoadProcess(seed int64) *LoadProcess {
+	return &LoadProcess{
+		WalkStd:          0.12,
+		JumpProb:         0.06,
+		JumpStd:          0.40,
+		DiurnalAmplitude: 0.2,
+		DiurnalPeriod:    120,
+		NoiseStd:         0.05,
+		MinFactor:        0.4,
+		MaxFactor:        3.0,
+		rng:              stats.NewRNG(seed),
+	}
+}
+
+// Tick advances simulated time one step and returns the current load
+// factor (1.0 = nominal).
+func (lp *LoadProcess) Tick() float64 {
+	lp.tick++
+	lp.walk += lp.rng.Normal(0, lp.WalkStd)
+	if lp.JumpProb > 0 && lp.rng.Bernoulli(lp.JumpProb) {
+		lp.walk += lp.rng.Normal(0, lp.JumpStd)
+	}
+	// Keep the walk itself loosely bounded so factors cannot drift
+	// beyond recovery over long experiments.
+	if lp.walk > 1 {
+		lp.walk = 1
+	}
+	if lp.walk < -0.6 {
+		lp.walk = -0.6
+	}
+	diurnal := lp.DiurnalAmplitude * math.Sin(2*math.Pi*float64(lp.tick)/lp.DiurnalPeriod)
+	noise := lp.rng.Normal(0, lp.NoiseStd)
+	f := 1 + lp.walk + diurnal + noise
+	if f < lp.MinFactor {
+		f = lp.MinFactor
+	}
+	if f > lp.MaxFactor {
+		f = lp.MaxFactor
+	}
+	return f
+}
+
+// Current returns the load factor without advancing time (diurnal and
+// walk state as of the last Tick, without fresh noise).
+func (lp *LoadProcess) Current() float64 {
+	diurnal := lp.DiurnalAmplitude * math.Sin(2*math.Pi*float64(lp.tick)/lp.DiurnalPeriod)
+	f := 1 + lp.walk + diurnal
+	if f < lp.MinFactor {
+		f = lp.MinFactor
+	}
+	if f > lp.MaxFactor {
+		f = lp.MaxFactor
+	}
+	return f
+}

@@ -1,0 +1,325 @@
+// Package core implements DREAM — the Dynamic Regression Algorithm that
+// is the paper's primary contribution (Section 3, Algorithm 1).
+//
+// DREAM estimates the multi-metric cost vector of a query execution
+// plan with Multiple Linear Regression fitted over a *dynamic* window
+// of the most recent historical observations. The window starts at the
+// statistically minimal size m = L+2 and grows one observation at a
+// time until the coefficient of determination R² of every per-metric
+// model reaches a user-required threshold (R²require, 0.8 in the
+// paper) or the window hits Mmax. Keeping the window small both cuts
+// the cost of estimating the (potentially tens of thousands of)
+// equivalent plans in a cloud federation (paper Example 3.1) and keeps
+// expired observations — stale under cloud load drift — out of the
+// model.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/regression"
+	"repro/internal/stats"
+)
+
+// DefaultRequiredR2 is the paper's recommended fit-quality threshold:
+// "R² should be greater than 0.8 to provide a sufficient quality of
+// service level."
+const DefaultRequiredR2 = 0.8
+
+// ErrNoMetrics is returned when a history is built with no cost metrics.
+var ErrNoMetrics = errors.New("core: history needs at least one metric")
+
+// ErrInsufficientHistory is returned when fewer than L+2 observations
+// exist, below which no MLR model is defined.
+var ErrInsufficientHistory = errors.New("core: insufficient history")
+
+// ErrMetricCount is returned when an observation's cost vector does not
+// match the history's metric set.
+var ErrMetricCount = errors.New("core: observation metric count mismatch")
+
+// Observation is one completed execution: the feature vector that was
+// known before running (data sizes, node counts, …) and the cost vector
+// that was measured afterwards, one entry per metric.
+type Observation struct {
+	X     []float64
+	Costs []float64
+}
+
+// History is an append-only, time-ordered log of observations for one
+// operator or query template. Index 0 is the oldest observation.
+type History struct {
+	metrics []string
+	dim     int
+	obs     []Observation
+}
+
+// NewHistory creates a history for the given feature dimension and
+// named cost metrics (e.g. "time_s", "money_usd").
+func NewHistory(dim int, metrics ...string) (*History, error) {
+	if len(metrics) == 0 {
+		return nil, ErrNoMetrics
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("core: non-positive feature dimension %d", dim)
+	}
+	ms := make([]string, len(metrics))
+	copy(ms, metrics)
+	return &History{metrics: ms, dim: dim}, nil
+}
+
+// Metrics returns the metric names in cost-vector order.
+func (h *History) Metrics() []string {
+	out := make([]string, len(h.metrics))
+	copy(out, h.metrics)
+	return out
+}
+
+// Dim returns the feature dimension L.
+func (h *History) Dim() int { return h.dim }
+
+// Len returns the number of observations.
+func (h *History) Len() int { return len(h.obs) }
+
+// Append records a completed execution.
+func (h *History) Append(o Observation) error {
+	if len(o.X) != h.dim {
+		return fmt.Errorf("core: observation has %d features, history wants %d", len(o.X), h.dim)
+	}
+	if len(o.Costs) != len(h.metrics) {
+		return fmt.Errorf("%w: got %d costs, want %d", ErrMetricCount, len(o.Costs), len(h.metrics))
+	}
+	x := make([]float64, len(o.X))
+	copy(x, o.X)
+	c := make([]float64, len(o.Costs))
+	copy(c, o.Costs)
+	h.obs = append(h.obs, Observation{X: x, Costs: c})
+	return nil
+}
+
+// At returns the i-th observation, oldest first.
+func (h *History) At(i int) Observation { return h.obs[i] }
+
+// metricSamples materializes the m selected observations as regression
+// samples for metric index n.
+func metricSamples(obs []Observation, n int) []regression.Sample {
+	out := make([]regression.Sample, len(obs))
+	for i, o := range obs {
+		out[i] = regression.Sample{X: o.X, C: o.Costs[n]}
+	}
+	return out
+}
+
+// GrowthPolicy selects how the window expands when fit quality is
+// insufficient. The paper's Algorithm 1 uses GrowByOne; Doubling is an
+// ablation that trades window tightness for fewer refits.
+type GrowthPolicy int
+
+const (
+	// GrowByOne increments m by 1 per iteration (paper, Algorithm 1
+	// line 11: "m = m + 1").
+	GrowByOne GrowthPolicy = iota
+	// Doubling doubles the window per iteration (clamped to Mmax).
+	Doubling
+)
+
+// WindowPolicy selects which observations enter a window of size m.
+type WindowPolicy int
+
+const (
+	// MostRecent takes the m newest observations (DREAM's choice: the
+	// new training set "has the updated value and avoids using the
+	// expired information").
+	MostRecent WindowPolicy = iota
+	// UniformSample draws m observations uniformly from the whole
+	// history — the recency ablation.
+	UniformSample
+)
+
+// Config parameterizes a DREAM estimator.
+type Config struct {
+	// RequiredR2 is the per-metric fit threshold; a single global value
+	// applied to all metrics. Defaults to DefaultRequiredR2.
+	RequiredR2 float64
+	// MMax caps the window size (Algorithm 1's Mmax). Zero means "the
+	// whole available history".
+	MMax int
+	// Growth selects the window growth schedule.
+	Growth GrowthPolicy
+	// Window selects which observations form a window of size m.
+	Window WindowPolicy
+	// Seed drives UniformSample; ignored for MostRecent.
+	Seed int64
+}
+
+// Estimator runs Algorithm 1 against a History.
+type Estimator struct {
+	cfg Config
+	rng *stats.RNG
+}
+
+// NewEstimator validates the configuration and returns an estimator.
+func NewEstimator(cfg Config) (*Estimator, error) {
+	if cfg.RequiredR2 == 0 {
+		cfg.RequiredR2 = DefaultRequiredR2
+	}
+	if cfg.RequiredR2 < 0 || cfg.RequiredR2 > 1 {
+		return nil, fmt.Errorf("core: RequiredR2 %v outside [0,1]", cfg.RequiredR2)
+	}
+	if cfg.MMax < 0 {
+		return nil, fmt.Errorf("core: negative MMax %d", cfg.MMax)
+	}
+	return &Estimator{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}, nil
+}
+
+// MetricEstimate is the per-metric output of Algorithm 1.
+type MetricEstimate struct {
+	Metric string
+	Value  float64 // ĉₙ(p): the predicted cost
+	R2     float64 // fit quality of the model that produced Value
+	// StdErr is the OLS standard error of a new observation at the
+	// plan's features; 0 when the window had no residual degrees of
+	// freedom (treat as unknown width, not certainty).
+	StdErr float64
+	Model  *regression.Model
+}
+
+// Estimate is the result of one EstimateCostValue call.
+type Estimate struct {
+	Metrics []MetricEstimate
+	// WindowSize is the final m: the size of the "new training set"
+	// DREAM hands to Modelling (paper Figure 2).
+	WindowSize int
+	// Converged reports whether every metric reached RequiredR2 before
+	// the window was exhausted.
+	Converged bool
+	// Refits counts model fits performed across all metrics — the
+	// computational-cost signal for the Example 3.1 experiment.
+	Refits int
+}
+
+// Values returns the predicted cost vector in metric order.
+func (e *Estimate) Values() []float64 {
+	out := make([]float64, len(e.Metrics))
+	for i, m := range e.Metrics {
+		out[i] = m.Value
+	}
+	return out
+}
+
+// EstimateCostValue implements Algorithm 1: predict the cost vector of
+// a plan with feature vector x from the smallest window of history that
+// explains the observed variance well enough.
+func (e *Estimator) EstimateCostValue(h *History, x []float64) (*Estimate, error) {
+	if len(x) != h.Dim() {
+		return nil, fmt.Errorf("core: plan has %d features, history has %d", len(x), h.Dim())
+	}
+	l := h.Dim()
+	minM := regression.MinObservations(l)
+	if h.Len() < minM {
+		return nil, fmt.Errorf("%w: have %d observations, need %d", ErrInsufficientHistory, h.Len(), minM)
+	}
+	mmax := e.cfg.MMax
+	if mmax == 0 || mmax > h.Len() {
+		mmax = h.Len()
+	}
+	if mmax < minM {
+		mmax = minM
+	}
+
+	nMetrics := len(h.metrics)
+	est := &Estimate{Metrics: make([]MetricEstimate, nMetrics)}
+	models := make([]*regression.Model, nMetrics)
+	r2s := make([]float64, nMetrics)
+	for i := range r2s {
+		r2s[i] = -1 // "R²n ← ∅" (Algorithm 1 line 3): no model yet
+	}
+
+	m := minM
+	for {
+		window := e.window(h, m)
+		allGood := true
+		for n := 0; n < nMetrics; n++ {
+			model, err := regression.Fit(metricSamples(window, n), regression.FitOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("core: metric %q window %d: %w", h.metrics[n], m, err)
+			}
+			est.Refits++
+			models[n] = model
+			r2s[n] = model.R2
+			if model.R2 < e.cfg.RequiredR2 {
+				allGood = false
+			}
+		}
+		if allGood {
+			est.Converged = true
+			break
+		}
+		if m >= mmax {
+			break
+		}
+		m = e.grow(m, mmax)
+	}
+
+	est.WindowSize = m
+	for n := 0; n < nMetrics; n++ {
+		v, se, err := models[n].PredictWithInterval(x)
+		if err != nil {
+			return nil, err
+		}
+		est.Metrics[n] = MetricEstimate{
+			Metric: h.metrics[n],
+			Value:  v,
+			R2:     r2s[n],
+			StdErr: se,
+			Model:  models[n],
+		}
+	}
+	return est, nil
+}
+
+// TrainingWindow returns the reduced training set DREAM would hand to a
+// downstream Modelling module (paper Figure 2): the most recent m
+// observations where m is the converged window size for plan features
+// x. It is exposed so external learners can be trained on DREAM-sized
+// windows.
+func (e *Estimator) TrainingWindow(h *History, x []float64) ([]Observation, error) {
+	est, err := e.EstimateCostValue(h, x)
+	if err != nil {
+		return nil, err
+	}
+	window := e.window(h, est.WindowSize)
+	out := make([]Observation, len(window))
+	copy(out, window)
+	return out, nil
+}
+
+func (e *Estimator) grow(m, mmax int) int {
+	switch e.cfg.Growth {
+	case Doubling:
+		m *= 2
+	default:
+		m++
+	}
+	if m > mmax {
+		m = mmax
+	}
+	return m
+}
+
+func (e *Estimator) window(h *History, m int) []Observation {
+	if m > h.Len() {
+		m = h.Len()
+	}
+	switch e.cfg.Window {
+	case UniformSample:
+		idx := e.rng.Perm(h.Len())[:m]
+		out := make([]Observation, m)
+		for i, j := range idx {
+			out[i] = h.obs[j]
+		}
+		return out
+	default:
+		return h.obs[h.Len()-m:]
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// History persistence: MIDAS accumulates execution history across
+// scheduler restarts, so the log must round-trip through storage. The
+// format is a single versioned JSON document — small enough at
+// realistic history sizes (DREAM itself only ever reads a near-N
+// window) and diff-friendly for operations.
+
+// persistVersion is bumped on incompatible format changes.
+const persistVersion = 1
+
+// ErrBadSnapshot is returned when a snapshot fails validation.
+var ErrBadSnapshot = errors.New("core: invalid history snapshot")
+
+type historySnapshot struct {
+	Version      int           `json:"version"`
+	Dim          int           `json:"dim"`
+	Metrics      []string      `json:"metrics"`
+	Observations []obsSnapshot `json:"observations"`
+}
+
+type obsSnapshot struct {
+	X     []float64 `json:"x"`
+	Costs []float64 `json:"costs"`
+}
+
+// Save writes the history as versioned JSON.
+func (h *History) Save(w io.Writer) error {
+	snap := historySnapshot{
+		Version:      persistVersion,
+		Dim:          h.dim,
+		Metrics:      h.Metrics(),
+		Observations: make([]obsSnapshot, h.Len()),
+	}
+	for i := range h.obs {
+		snap.Observations[i] = obsSnapshot{X: h.obs[i].X, Costs: h.obs[i].Costs}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("core: saving history: %w", err)
+	}
+	return nil
+}
+
+// LoadHistory reads a history previously written by Save, validating
+// every observation against the declared dimensions.
+func LoadHistory(r io.Reader) (*History, error) {
+	var snap historySnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: loading history: %w", err)
+	}
+	if snap.Version != persistVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadSnapshot, snap.Version, persistVersion)
+	}
+	h, err := NewHistory(snap.Dim, snap.Metrics...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	for i, o := range snap.Observations {
+		if err := h.Append(Observation{X: o.X, Costs: o.Costs}); err != nil {
+			return nil, fmt.Errorf("%w: observation %d: %v", ErrBadSnapshot, i, err)
+		}
+	}
+	return h, nil
+}

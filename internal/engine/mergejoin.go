@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MergeJoin is the sort-merge alternative to HashJoin: both inputs are
+// sorted on their key columns and merged, grouping duplicate keys. It
+// produces exactly the same rows as HashJoin (up to row order) but a
+// different execution-cost signature — two extra blocking sort stages
+// and no build-side hash table — which is what a cost-based physical
+// optimizer trades on. Keys must be int64 or string, and both sides
+// must use the same key type.
+type MergeJoin struct {
+	Left, Right       Node
+	LeftKey, RightKey string
+	Type              JoinType
+}
+
+// Execute implements Node.
+func (j *MergeJoin) Execute(ctx *Context) (*Relation, error) {
+	left, err := j.Left.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := j.Right.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	lk, err := left.Schema.Index(j.LeftKey)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := right.Schema.Index(j.RightKey)
+	if err != nil {
+		return nil, err
+	}
+
+	lrows, err := sortedByKey(left.Rows, lk)
+	if err != nil {
+		return nil, fmt.Errorf("engine: merge join left input: %w", err)
+	}
+	rrows, err := sortedByKey(right.Rows, rk)
+	if err != nil {
+		return nil, fmt.Errorf("engine: merge join right input: %w", err)
+	}
+
+	outSchema := joinSchema(left.Schema, right.Schema)
+	out := &Relation{Schema: outSchema}
+	nullRight := make(Row, len(right.Schema))
+
+	li, ri := 0, 0
+	for li < len(lrows) {
+		// Advance the right side to the left key.
+		for ri < len(rrows) {
+			c, err := compareKeys(rrows[ri][rk], lrows[li][lk])
+			if err != nil {
+				return nil, err
+			}
+			if c >= 0 {
+				break
+			}
+			ri++
+		}
+		matchStart := ri
+		matched := false
+		for ri < len(rrows) {
+			c, err := compareKeys(rrows[ri][rk], lrows[li][lk])
+			if err != nil {
+				return nil, err
+			}
+			if c != 0 {
+				break
+			}
+			matched = true
+			out.Rows = append(out.Rows, concatRows(lrows[li], rrows[ri]))
+			ri++
+		}
+		if !matched && j.Type == LeftOuter {
+			out.Rows = append(out.Rows, concatRows(lrows[li], nullRight))
+		}
+		// The next left row may share this key: rewind the right cursor
+		// to the start of the matching group.
+		if li+1 < len(lrows) {
+			c, err := compareKeys(lrows[li+1][lk], lrows[li][lk])
+			if err != nil {
+				return nil, err
+			}
+			if c == 0 {
+				ri = matchStart
+			}
+		}
+		li++
+	}
+
+	// Cost signature: the two sorts are stage barriers on top of the
+	// merge itself.
+	ctx.Stats.RowsProcessed += len(left.Rows) + len(right.Rows) + len(out.Rows)
+	ctx.Stats.ShuffleBytes += left.ApproxBytes() + right.ApproxBytes()
+	ctx.Stats.Stages += 3 // sort left, sort right, merge
+	return out, nil
+}
+
+// joinSchema builds the concatenated output schema, disambiguating
+// duplicate right-side names with an "r_" prefix (same rule as HashJoin).
+func joinSchema(left, right Schema) Schema {
+	out := make(Schema, 0, len(left)+len(right))
+	out = append(out, left...)
+	seen := make(map[string]bool, len(left))
+	for _, c := range left {
+		seen[c] = true
+	}
+	for _, c := range right {
+		if seen[c] {
+			c = "r_" + c
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// sortedByKey returns rows sorted by the key column without mutating
+// the input slice.
+func sortedByKey(rows []Row, key int) ([]Row, error) {
+	if len(rows) == 0 {
+		return rows, nil
+	}
+	// Validate the key type once.
+	switch rows[0][key].(type) {
+	case int64, string:
+	default:
+		return nil, fmt.Errorf("engine: unsortable join key type %T", rows[0][key])
+	}
+	out := make([]Row, len(rows))
+	copy(out, rows)
+	var sortErr error
+	sort.SliceStable(out, func(a, b int) bool {
+		c, err := compareKeys(out[a][key], out[b][key])
+		if err != nil && sortErr == nil {
+			sortErr = err
+		}
+		return c < 0
+	})
+	return out, sortErr
+}
+
+// compareKeys orders two join keys of identical dynamic type.
+func compareKeys(a, b any) (int, error) {
+	switch av := a.(type) {
+	case int64:
+		bv, ok := b.(int64)
+		if !ok {
+			return 0, fmt.Errorf("engine: mixed join key types %T and %T", a, b)
+		}
+		switch {
+		case av < bv:
+			return -1, nil
+		case av > bv:
+			return 1, nil
+		}
+		return 0, nil
+	case string:
+		bv, ok := b.(string)
+		if !ok {
+			return 0, fmt.Errorf("engine: mixed join key types %T and %T", a, b)
+		}
+		switch {
+		case av < bv:
+			return -1, nil
+		case av > bv:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("engine: unsupported join key type %T", a)
+}
+
+// PickJoin is a minimal cost-based physical chooser: hash join when the
+// build (right) side fits comfortably relative to the probe side, merge
+// join when both sides are large and of similar size (where the hash
+// table would dominate memory). The thresholds mirror the classic
+// optimizer rule of thumb; tests pin the behaviour rather than the
+// constants.
+func PickJoin(left, right Node, leftKey, rightKey string, leftRows, rightRows int, typ JoinType) Node {
+	const ratioForHash = 4 // probe ≥ 4× build → hash join is clearly right
+	if rightRows*ratioForHash <= leftRows || rightRows < 10_000 {
+		return &HashJoin{Left: left, Right: right, LeftKey: leftKey, RightKey: rightKey, Type: typ}
+	}
+	return &MergeJoin{Left: left, Right: right, LeftKey: leftKey, RightKey: rightKey, Type: typ}
+}

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// runBothJoins executes a hash join and a merge join over the same
+// inputs and returns their row sets canonicalized for comparison.
+func runBothJoins(t *testing.T, tables map[string]*Relation, lk, rk string, typ JoinType) (hash, merge []string) {
+	t.Helper()
+	canon := func(rel *Relation) []string {
+		out := make([]string, len(rel.Rows))
+		for i, row := range rel.Rows {
+			out[i] = fmt.Sprintf("%v", row)
+		}
+		sort.Strings(out)
+		return out
+	}
+	hj := &HashJoin{Left: &Scan{Table: "l"}, Right: &Scan{Table: "r"}, LeftKey: lk, RightKey: rk, Type: typ}
+	mj := &MergeJoin{Left: &Scan{Table: "l"}, Right: &Scan{Table: "r"}, LeftKey: lk, RightKey: rk, Type: typ}
+	hrel, _, err := Run(hj, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrel, _, err := Run(mj, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canon(hrel), canon(mrel)
+}
+
+func TestMergeJoinMatchesHashJoinInner(t *testing.T) {
+	h, m := runBothJoins(t, joinFixtures(), "k", "k", Inner)
+	if len(h) != len(m) {
+		t.Fatalf("row counts differ: hash %d, merge %d", len(h), len(m))
+	}
+	for i := range h {
+		if h[i] != m[i] {
+			t.Fatalf("row %d differs:\n hash  %s\n merge %s", i, h[i], m[i])
+		}
+	}
+}
+
+func TestMergeJoinMatchesHashJoinLeftOuter(t *testing.T) {
+	h, m := runBothJoins(t, joinFixtures(), "k", "k", LeftOuter)
+	if len(h) != len(m) {
+		t.Fatalf("row counts differ: hash %d, merge %d", len(h), len(m))
+	}
+	for i := range h {
+		if h[i] != m[i] {
+			t.Fatalf("row %d differs:\n hash  %s\n merge %s", i, h[i], m[i])
+		}
+	}
+}
+
+func TestMergeJoinStringKeys(t *testing.T) {
+	tables := map[string]*Relation{
+		"l": {Schema: Schema{"k", "v"}, Rows: []Row{{"b", int64(1)}, {"a", int64(2)}, {"c", int64(3)}}},
+		"r": {Schema: Schema{"k", "w"}, Rows: []Row{{"a", 1.5}, {"b", 2.5}, {"b", 3.5}}},
+	}
+	h, m := runBothJoins(t, tables, "k", "k", Inner)
+	if len(h) != 3 || len(m) != 3 {
+		t.Fatalf("expected 3 rows, got hash %d merge %d", len(h), len(m))
+	}
+	for i := range h {
+		if h[i] != m[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestMergeJoinDuplicateKeysBothSides(t *testing.T) {
+	// 2 left × 3 right rows with key 1 → 6 output rows.
+	tables := map[string]*Relation{
+		"l": {Schema: Schema{"k", "v"}, Rows: []Row{{int64(1), "x"}, {int64(1), "y"}, {int64(2), "z"}}},
+		"r": {Schema: Schema{"k", "w"}, Rows: []Row{{int64(1), 1.0}, {int64(1), 2.0}, {int64(1), 3.0}}},
+	}
+	h, m := runBothJoins(t, tables, "k", "k", Inner)
+	if len(m) != 6 {
+		t.Fatalf("merge join produced %d rows, want 6", len(m))
+	}
+	for i := range h {
+		if h[i] != m[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestMergeJoinStageAccounting(t *testing.T) {
+	tables := joinFixtures()
+	mj := &MergeJoin{Left: &Scan{Table: "l"}, Right: &Scan{Table: "r"}, LeftKey: "k", RightKey: "k"}
+	_, st, err := Run(mj, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stages != 3 {
+		t.Errorf("merge join stages = %d, want 3 (sort+sort+merge)", st.Stages)
+	}
+}
+
+func TestMergeJoinErrors(t *testing.T) {
+	tables := joinFixtures()
+	mj := &MergeJoin{Left: &Scan{Table: "l"}, Right: &Scan{Table: "r"}, LeftKey: "nope", RightKey: "k"}
+	if _, _, err := Run(mj, tables); err == nil {
+		t.Error("bad key accepted")
+	}
+	// Unsortable key type (float64).
+	bad := map[string]*Relation{
+		"l": {Schema: Schema{"k"}, Rows: []Row{{1.5}}},
+		"r": {Schema: Schema{"k"}, Rows: []Row{{2.5}}},
+	}
+	mj2 := &MergeJoin{Left: &Scan{Table: "l"}, Right: &Scan{Table: "r"}, LeftKey: "k", RightKey: "k"}
+	if _, _, err := Run(mj2, bad); err == nil {
+		t.Error("float64 join key accepted")
+	}
+}
+
+func TestCompareKeysMixedTypes(t *testing.T) {
+	if _, err := compareKeys(int64(1), "a"); err == nil {
+		t.Error("mixed int/string keys accepted")
+	}
+	if _, err := compareKeys("a", int64(1)); err == nil {
+		t.Error("mixed string/int keys accepted")
+	}
+	if _, err := compareKeys(1.5, 1.5); err == nil {
+		t.Error("float keys accepted")
+	}
+}
+
+func TestPickJoin(t *testing.T) {
+	l, r := &Scan{Table: "l"}, &Scan{Table: "r"}
+	// Small build side → hash join.
+	if _, ok := PickJoin(l, r, "k", "k", 1_000_000, 500, Inner).(*HashJoin); !ok {
+		t.Error("small build side should pick hash join")
+	}
+	// Similar large sides → merge join.
+	if _, ok := PickJoin(l, r, "k", "k", 100_000, 90_000, Inner).(*MergeJoin); !ok {
+		t.Error("similar large sides should pick merge join")
+	}
+	// Probe ≫ build → hash join even when build is large.
+	if _, ok := PickJoin(l, r, "k", "k", 1_000_000, 50_000, Inner).(*HashJoin); !ok {
+		t.Error("probe ≫ build should pick hash join")
+	}
+}
+
+// Property: merge join equals hash join on random int-keyed inputs.
+func TestPropertyMergeEqualsHash(t *testing.T) {
+	rng := stats.NewRNG(5)
+	f := func(nL, nR uint8, outer bool) bool {
+		lRows := make([]Row, int(nL%30))
+		for i := range lRows {
+			lRows[i] = Row{int64(rng.Intn(8)), int64(i)}
+		}
+		rRows := make([]Row, int(nR%30))
+		for i := range rRows {
+			rRows[i] = Row{int64(rng.Intn(8)), float64(i)}
+		}
+		tables := map[string]*Relation{
+			"l": {Schema: Schema{"k", "v"}, Rows: lRows},
+			"r": {Schema: Schema{"k", "w"}, Rows: rRows},
+		}
+		typ := Inner
+		if outer {
+			typ = LeftOuter
+		}
+		hj := &HashJoin{Left: &Scan{Table: "l"}, Right: &Scan{Table: "r"}, LeftKey: "k", RightKey: "k", Type: typ}
+		mj := &MergeJoin{Left: &Scan{Table: "l"}, Right: &Scan{Table: "r"}, LeftKey: "k", RightKey: "k", Type: typ}
+		hrel, _, err := Run(hj, tables)
+		if err != nil {
+			return false
+		}
+		mrel, _, err := Run(mj, tables)
+		if err != nil {
+			return false
+		}
+		return len(hrel.Rows) == len(mrel.Rows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package engine
+
+import "math"
+
+// Profile is the simulated-cost personality of a database engine: how
+// operator statistics translate into wall-clock seconds on a cluster of
+// a given size under a given load factor.
+type Profile struct {
+	Name string
+	// StartupS is the fixed cost of launching any query (job
+	// submission, container spin-up for Hive; connection + planning
+	// for PostgreSQL).
+	StartupS float64
+	// PerStageS is the barrier cost per blocking operator (MapReduce
+	// job scheduling); ~0 for pipelined engines.
+	PerStageS float64
+	// SecPerRow is the per-row processing cost on a single node.
+	SecPerRow float64
+	// ShuffleMiBps is the intra-cluster shuffle bandwidth; joins and
+	// aggregates move ShuffleBytes through it. Zero disables the term.
+	ShuffleMiBps float64
+	// ParallelExponent is the scaling exponent: work divides by
+	// nodes^ParallelExponent (1 = perfect scaling, 0 = none).
+	ParallelExponent float64
+	// MaxUsefulNodes caps the parallelism (1 for single-node engines).
+	MaxUsefulNodes int
+}
+
+// Hive returns the batch-engine profile: expensive startup and stage
+// barriers, near-linear scan scaling across the cluster.
+func Hive() Profile {
+	return Profile{
+		Name:             "hive",
+		StartupS:         9,
+		PerStageS:        5,
+		SecPerRow:        2.5e-6,
+		ShuffleMiBps:     180,
+		ParallelExponent: 0.85,
+		MaxUsefulNodes:   64,
+	}
+}
+
+// Spark returns the in-memory cluster-engine profile (the third engine
+// of the paper's Figure 1): lighter job startup than Hive (no MapReduce
+// job scheduling, but still JVM/driver spin-up), cheap stage barriers
+// thanks to in-memory shuffles, near-linear scaling.
+func Spark() Profile {
+	return Profile{
+		Name:             "spark",
+		StartupS:         3.5,
+		PerStageS:        0.8,
+		SecPerRow:        2.0e-6,
+		ShuffleMiBps:     400,
+		ParallelExponent: 0.9,
+		MaxUsefulNodes:   64,
+	}
+}
+
+// Postgres returns the row-store profile: instant startup, efficient
+// single-node execution, no horizontal scaling.
+func Postgres() Profile {
+	return Profile{
+		Name:             "postgres",
+		StartupS:         0.08,
+		PerStageS:        0.01,
+		SecPerRow:        1.6e-6,
+		ShuffleMiBps:     0,
+		ParallelExponent: 0,
+		MaxUsefulNodes:   1,
+	}
+}
+
+// SimulateSeconds converts operator statistics into simulated seconds
+// for a cluster of the given node count under the given multiplicative
+// load factor (1 = nominal). It is deterministic; stochastic noise is
+// the federation layer's responsibility.
+func (p Profile) SimulateSeconds(st Stats, nodes int, load float64) float64 {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if nodes > p.MaxUsefulNodes && p.MaxUsefulNodes > 0 {
+		nodes = p.MaxUsefulNodes
+	}
+	if load <= 0 {
+		load = 1
+	}
+	speedup := math.Pow(float64(nodes), p.ParallelExponent)
+	rows := float64(st.RowsScanned + st.RowsProcessed)
+	t := p.StartupS + float64(st.Stages)*p.PerStageS
+	t += rows * p.SecPerRow / speedup
+	if p.ShuffleMiBps > 0 && st.ShuffleBytes > 0 {
+		t += st.ShuffleBytes / (p.ShuffleMiBps * 1024 * 1024)
+	}
+	// Load multiplies the whole job: on a busy cluster, scheduling,
+	// scanning and shuffling all queue behind co-tenants.
+	return t * load
+}

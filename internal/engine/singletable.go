@@ -1,0 +1,143 @@
+package engine
+
+import "repro/internal/tpch"
+
+// Engine plans for the single-table TPC-H queries (Q1, Q6). These do
+// not cross sites — the federation layer handles the paper's two-table
+// studies — but they exercise the scan/filter/aggregate pipeline on its
+// own and serve as engine-level workloads for profiling.
+
+// BuildQ1Plan returns the Pricing Summary Report plan over the
+// registered "lineitem" table.
+func BuildQ1Plan(p tpch.Q1Params) Node {
+	cutoff := int64(tpch.MakeDate(1998, 12, 1).AddDays(-p.DeltaDays))
+	qty := func(row Row, idx map[string]int) (float64, error) {
+		return colFloat(row, idx, "l_quantity")
+	}
+	base := func(row Row, idx map[string]int) (float64, error) {
+		return colFloat(row, idx, "l_extendedprice")
+	}
+	discPrice := func(row Row, idx map[string]int) (float64, error) {
+		price, err := colFloat(row, idx, "l_extendedprice")
+		if err != nil {
+			return 0, err
+		}
+		disc, err := colFloat(row, idx, "l_discount")
+		if err != nil {
+			return 0, err
+		}
+		return price * (1 - disc), nil
+	}
+	charge := func(row Row, idx map[string]int) (float64, error) {
+		dp, err := discPrice(row, idx)
+		if err != nil {
+			return 0, err
+		}
+		tax, err := colFloat(row, idx, "l_tax")
+		if err != nil {
+			return 0, err
+		}
+		return dp * (1 + tax), nil
+	}
+	disc := func(row Row, idx map[string]int) (float64, error) {
+		return colFloat(row, idx, "l_discount")
+	}
+	return &Sort{
+		In: &Aggregate{
+			In: &Filter{
+				In: &Scan{Table: "lineitem"},
+				Pred: func(row Row, idx map[string]int) (bool, error) {
+					ship, err := colInt(row, idx, "l_shipdate")
+					if err != nil {
+						return false, err
+					}
+					return ship <= cutoff, nil
+				},
+			},
+			GroupBy: []string{"l_returnflag", "l_linestatus"},
+			Aggs: []AggSpec{
+				{As: "sum_qty", Kind: Sum, Val: qty},
+				{As: "sum_base_price", Kind: Sum, Val: base},
+				{As: "sum_disc_price", Kind: Sum, Val: discPrice},
+				{As: "sum_charge", Kind: Sum, Val: charge},
+				{As: "avg_qty", Kind: Avg, Val: qty},
+				{As: "avg_price", Kind: Avg, Val: base},
+				{As: "avg_disc", Kind: Avg, Val: disc},
+				{As: "count_order", Kind: Count},
+			},
+		},
+		Less: func(a, b Row, idx map[string]int) bool {
+			af, bf := a[idx["l_returnflag"]].(string), b[idx["l_returnflag"]].(string)
+			if af != bf {
+				return af < bf
+			}
+			return a[idx["l_linestatus"]].(string) < b[idx["l_linestatus"]].(string)
+		},
+	}
+}
+
+// BuildQ6Plan returns the Forecasting Revenue Change plan over the
+// registered "lineitem" table; the result is a single revenue value.
+func BuildQ6Plan(p tpch.Q6Params) Node {
+	start, end := int64(p.StartDate), int64(p.StartDate.AddYears(1))
+	lo, hi := p.Discount-0.01, p.Discount+0.01
+	const eps = 1e-9
+	return &Aggregate{
+		In: &Filter{
+			In: &Scan{Table: "lineitem"},
+			Pred: func(row Row, idx map[string]int) (bool, error) {
+				ship, err := colInt(row, idx, "l_shipdate")
+				if err != nil {
+					return false, err
+				}
+				if ship < start || ship >= end {
+					return false, nil
+				}
+				disc, err := colFloat(row, idx, "l_discount")
+				if err != nil {
+					return false, err
+				}
+				if disc < lo-eps || disc > hi+eps {
+					return false, nil
+				}
+				qty, err := colFloat(row, idx, "l_quantity")
+				if err != nil {
+					return false, err
+				}
+				return qty < p.Quantity, nil
+			},
+		},
+		Aggs: []AggSpec{{
+			As: "revenue", Kind: Sum,
+			Val: func(row Row, idx map[string]int) (float64, error) {
+				price, err := colFloat(row, idx, "l_extendedprice")
+				if err != nil {
+					return 0, err
+				}
+				disc, err := colFloat(row, idx, "l_discount")
+				if err != nil {
+					return 0, err
+				}
+				return price * disc, nil
+			},
+		}},
+	}
+}
+
+// ToRelationQ1 converts lineitem with the extra columns Q1 needs
+// (returnflag, linestatus, tax) that the two-table plans omit.
+func ToRelationQ1(db *tpch.Database) *Relation {
+	rel := &Relation{Name: "lineitem", Schema: Schema{
+		"l_quantity", "l_extendedprice", "l_discount", "l_tax",
+		"l_returnflag", "l_linestatus", "l_shipdate",
+	}}
+	rel.Rows = make([]Row, len(db.Lineitems))
+	for i := range db.Lineitems {
+		l := &db.Lineitems[i]
+		rel.Rows[i] = Row{
+			l.Quantity, l.ExtendedPrice, l.Discount, l.Tax,
+			string(l.ReturnFlag), string(l.LineStatus), int64(l.ShipDate),
+		}
+	}
+	return rel
+}

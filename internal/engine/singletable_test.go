@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tpch"
+)
+
+func TestQ1PlanMatchesReference(t *testing.T) {
+	db := genDB(t)
+	rel, st, err := Run(BuildQ1Plan(tpch.DefaultQ1Params()),
+		map[string]*Relation{"lineitem": ToRelationQ1(db)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tpch.Q1(db, tpch.DefaultQ1Params())
+	if len(rel.Rows) != len(want) {
+		t.Fatalf("engine Q1 has %d groups, reference has %d", len(rel.Rows), len(want))
+	}
+	idx := map[string]int{}
+	for i, c := range rel.Schema {
+		idx[c] = i
+	}
+	for i, w := range want {
+		row := rel.Rows[i]
+		if row[idx["l_returnflag"]].(string) != string(w.ReturnFlag) ||
+			row[idx["l_linestatus"]].(string) != string(w.LineStatus) {
+			t.Fatalf("group %d keys: engine (%v,%v), reference (%c,%c)",
+				i, row[idx["l_returnflag"]], row[idx["l_linestatus"]], w.ReturnFlag, w.LineStatus)
+		}
+		checks := []struct {
+			col  string
+			want float64
+		}{
+			{"sum_qty", w.SumQty},
+			{"sum_base_price", w.SumBase},
+			{"sum_disc_price", w.SumDisc},
+			{"sum_charge", w.SumCharge},
+			{"avg_qty", w.AvgQty},
+			{"avg_price", w.AvgPrice},
+			{"avg_disc", w.AvgDisc},
+		}
+		for _, c := range checks {
+			got := row[idx[c.col]].(float64)
+			if math.Abs(got-c.want) > 1e-6*(1+math.Abs(c.want)) {
+				t.Errorf("group %d %s: engine %v, reference %v", i, c.col, got, c.want)
+			}
+		}
+		if row[idx["count_order"]].(int64) != w.Count {
+			t.Errorf("group %d count: engine %v, reference %v", i, row[idx["count_order"]], w.Count)
+		}
+	}
+	if st.Stages == 0 {
+		t.Error("Q1 accounted no stages")
+	}
+}
+
+func TestQ6PlanMatchesReference(t *testing.T) {
+	db := genDB(t)
+	rel, _, err := Run(BuildQ6Plan(tpch.DefaultQ6Params()),
+		map[string]*Relation{"lineitem": ToRelationQ1(db)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 1 {
+		t.Fatalf("Q6 returned %d rows, want 1", len(rel.Rows))
+	}
+	got := rel.Rows[0][0].(float64)
+	want := tpch.Q6(db, tpch.DefaultQ6Params())
+	if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+		t.Errorf("engine Q6 = %v, reference = %v", got, want)
+	}
+	if want <= 0 {
+		t.Error("Q6 reference revenue is zero — generated data never hits the filter band")
+	}
+}
+
+func TestQ1GroupCount(t *testing.T) {
+	// The returnflag/linestatus combinations are constrained by the
+	// generator: R/A only before mid-1995 (status F), N after. Expect
+	// the classic 4 groups (A|F, N|F, N|O, R|F).
+	db := genDB(t)
+	rows := tpch.Q1(db, tpch.DefaultQ1Params())
+	if len(rows) != 4 {
+		t.Errorf("Q1 produced %d groups, want 4", len(rows))
+	}
+}
+
+func TestQ6ParameterSensitivity(t *testing.T) {
+	db := genDB(t)
+	base := tpch.Q6(db, tpch.DefaultQ6Params())
+	wider := tpch.Q6(db, tpch.Q6Params{
+		StartDate: tpch.MakeDate(1994, 1, 1), Discount: 0.06, Quantity: 50,
+	})
+	if wider <= base {
+		t.Errorf("raising the quantity cap should add revenue: %v vs %v", wider, base)
+	}
+	empty := tpch.Q6(db, tpch.Q6Params{
+		StartDate: tpch.MakeDate(2005, 1, 1), Discount: 0.06, Quantity: 24,
+	})
+	if empty != 0 {
+		t.Errorf("out-of-range window returned %v", empty)
+	}
+}

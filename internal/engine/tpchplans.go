@@ -1,0 +1,412 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/tpch"
+)
+
+// This file bridges the TPC-H population into engine relations and
+// builds the physical plans of the paper's four evaluation queries.
+// Each query is split federation-style into three pieces: a *left
+// preparation* plan (scan + pushed-down filters/projection on the fact
+// table's site), a *right preparation* plan (same for the dimension
+// table's site), and a *final* plan (join + aggregation at whichever
+// site the optimizer picks) that consumes the shipped prep results
+// registered as tables "left" and "right".
+
+// ToRelation converts a generated TPC-H table into an engine relation.
+// Only the columns the evaluation queries read are materialized.
+func ToRelation(db *tpch.Database, table string) (*Relation, error) {
+	switch table {
+	case "lineitem":
+		rel := &Relation{Name: table, Schema: Schema{
+			"l_orderkey", "l_partkey", "l_quantity", "l_extendedprice",
+			"l_discount", "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipmode",
+		}}
+		rel.Rows = make([]Row, len(db.Lineitems))
+		for i := range db.Lineitems {
+			l := &db.Lineitems[i]
+			rel.Rows[i] = Row{
+				int64(l.OrderKey), int64(l.PartKey), l.Quantity, l.ExtendedPrice,
+				l.Discount, int64(l.ShipDate), int64(l.CommitDate), int64(l.ReceiptDate), l.ShipMode,
+			}
+		}
+		return rel, nil
+	case "orders":
+		rel := &Relation{Name: table, Schema: Schema{
+			"o_orderkey", "o_custkey", "o_orderpriority", "o_comment",
+		}}
+		rel.Rows = make([]Row, len(db.Orders))
+		for i := range db.Orders {
+			o := &db.Orders[i]
+			rel.Rows[i] = Row{int64(o.OrderKey), int64(o.CustKey), o.OrderPriority, o.Comment}
+		}
+		return rel, nil
+	case "customer":
+		rel := &Relation{Name: table, Schema: Schema{"c_custkey"}}
+		rel.Rows = make([]Row, len(db.Customers))
+		for i := range db.Customers {
+			rel.Rows[i] = Row{int64(db.Customers[i].CustKey)}
+		}
+		return rel, nil
+	case "part":
+		rel := &Relation{Name: table, Schema: Schema{
+			"p_partkey", "p_brand", "p_type", "p_container",
+		}}
+		rel.Rows = make([]Row, len(db.Parts))
+		for i := range db.Parts {
+			p := &db.Parts[i]
+			rel.Rows[i] = Row{int64(p.PartKey), p.Brand, p.Type, p.Container}
+		}
+		return rel, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownTable, table)
+}
+
+// QueryPlan is the federated decomposition of one evaluation query.
+type QueryPlan struct {
+	Query tpch.QueryID
+	// LeftTable/RightTable name the base tables of the two prep plans.
+	LeftTable, RightTable string
+	// LeftPrep/RightPrep run at the sites owning the tables.
+	LeftPrep, RightPrep Node
+	// Final runs at the join site over tables "left" and "right".
+	Final Node
+}
+
+// BuildPlan constructs the federated plan of a studied query with the
+// spec's default substitution parameters.
+func BuildPlan(q tpch.QueryID) (*QueryPlan, error) {
+	switch q {
+	case tpch.QueryQ12:
+		return buildQ12(), nil
+	case tpch.QueryQ13:
+		return buildQ13(), nil
+	case tpch.QueryQ14:
+		return buildQ14(), nil
+	case tpch.QueryQ17:
+		return buildQ17(), nil
+	}
+	return nil, fmt.Errorf("engine: no plan builder for query %v", q)
+}
+
+func colInt(row Row, idx map[string]int, name string) (int64, error) {
+	i, ok := idx[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownColumn, name)
+	}
+	v, ok := row[i].(int64)
+	if !ok {
+		return 0, fmt.Errorf("engine: column %q is %T, want int64", name, row[i])
+	}
+	return v, nil
+}
+
+func colFloat(row Row, idx map[string]int, name string) (float64, error) {
+	i, ok := idx[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownColumn, name)
+	}
+	v, ok := row[i].(float64)
+	if !ok {
+		return 0, fmt.Errorf("engine: column %q is %T, want float64", name, row[i])
+	}
+	return v, nil
+}
+
+func colString(row Row, idx map[string]int, name string) (string, error) {
+	i, ok := idx[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownColumn, name)
+	}
+	v, ok := row[i].(string)
+	if !ok {
+		return "", fmt.Errorf("engine: column %q is %T, want string", name, row[i])
+	}
+	return v, nil
+}
+
+func buildQ12() *QueryPlan {
+	p := tpch.DefaultQ12Params()
+	start, end := int64(p.StartDate), int64(p.StartDate.AddYears(1))
+	modes := map[string]bool{}
+	for _, m := range p.ShipModes {
+		modes[m] = true
+	}
+	left := &Project{
+		In: &Filter{
+			In: &Scan{Table: "lineitem"},
+			Pred: func(row Row, idx map[string]int) (bool, error) {
+				mode, err := colString(row, idx, "l_shipmode")
+				if err != nil {
+					return false, err
+				}
+				if !modes[mode] {
+					return false, nil
+				}
+				commit, err := colInt(row, idx, "l_commitdate")
+				if err != nil {
+					return false, err
+				}
+				receipt, err := colInt(row, idx, "l_receiptdate")
+				if err != nil {
+					return false, err
+				}
+				ship, err := colInt(row, idx, "l_shipdate")
+				if err != nil {
+					return false, err
+				}
+				return commit < receipt && ship < commit && receipt >= start && receipt < end, nil
+			},
+		},
+		Cols: []string{"l_orderkey", "l_shipmode"},
+	}
+	right := &Project{
+		In:   &Scan{Table: "orders"},
+		Cols: []string{"o_orderkey", "o_orderpriority"},
+	}
+	isHigh := func(row Row, idx map[string]int) (bool, error) {
+		prio, err := colString(row, idx, "o_orderpriority")
+		if err != nil {
+			return false, err
+		}
+		return prio == "1-URGENT" || prio == "2-HIGH", nil
+	}
+	isLow := func(row Row, idx map[string]int) (bool, error) {
+		high, err := isHigh(row, idx)
+		return !high, err
+	}
+	final := &Sort{
+		In: &Aggregate{
+			In: &HashJoin{
+				Left:    &Scan{Table: "left"},
+				Right:   &Scan{Table: "right"},
+				LeftKey: "l_orderkey", RightKey: "o_orderkey",
+			},
+			GroupBy: []string{"l_shipmode"},
+			Aggs: []AggSpec{
+				{As: "high_line_count", Kind: Count, Where: isHigh},
+				{As: "low_line_count", Kind: Count, Where: isLow},
+			},
+		},
+		Less: func(a, b Row, idx map[string]int) bool {
+			return a[idx["l_shipmode"]].(string) < b[idx["l_shipmode"]].(string)
+		},
+	}
+	return &QueryPlan{
+		Query: tpch.QueryQ12, LeftTable: "lineitem", RightTable: "orders",
+		LeftPrep: left, RightPrep: right, Final: final,
+	}
+}
+
+func buildQ13() *QueryPlan {
+	p := tpch.DefaultQ13Params()
+	// Left prep: orders surviving the comment filter.
+	left := &Project{
+		In: &Filter{
+			In: &Scan{Table: "orders"},
+			Pred: func(row Row, idx map[string]int) (bool, error) {
+				comment, err := colString(row, idx, "o_comment")
+				if err != nil {
+					return false, err
+				}
+				return !likePattern(comment, p.Word1, p.Word2), nil
+			},
+		},
+		Cols: []string{"o_orderkey", "o_custkey"},
+	}
+	right := &Project{In: &Scan{Table: "customer"}, Cols: []string{"c_custkey"}}
+	// Final: customer ⟕ filtered-orders, count orders per customer,
+	// histogram the counts.
+	perCustomer := &Aggregate{
+		In: &HashJoin{
+			Left:    &Scan{Table: "right"}, // customer drives the outer join
+			Right:   &Scan{Table: "left"},
+			LeftKey: "c_custkey", RightKey: "o_custkey",
+			Type: LeftOuter,
+		},
+		GroupBy: []string{"c_custkey"},
+		Aggs: []AggSpec{{
+			As: "c_count", Kind: Count,
+			Where: func(row Row, idx map[string]int) (bool, error) {
+				return row[idx["o_orderkey"]] != nil, nil
+			},
+		}},
+	}
+	final := &Sort{
+		In: &Aggregate{
+			In:      perCustomer,
+			GroupBy: []string{"c_count"},
+			Aggs:    []AggSpec{{As: "custdist", Kind: Count}},
+		},
+		Less: func(a, b Row, idx map[string]int) bool {
+			ad, bd := a[idx["custdist"]].(int64), b[idx["custdist"]].(int64)
+			if ad != bd {
+				return ad > bd
+			}
+			return a[idx["c_count"]].(int64) > b[idx["c_count"]].(int64)
+		},
+	}
+	return &QueryPlan{
+		Query: tpch.QueryQ13, LeftTable: "orders", RightTable: "customer",
+		LeftPrep: left, RightPrep: right, Final: final,
+	}
+}
+
+func buildQ14() *QueryPlan {
+	p := tpch.DefaultQ14Params()
+	start, end := int64(p.StartDate), int64(p.StartDate.AddMonths(1))
+	left := &Project{
+		In: &Filter{
+			In: &Scan{Table: "lineitem"},
+			Pred: func(row Row, idx map[string]int) (bool, error) {
+				ship, err := colInt(row, idx, "l_shipdate")
+				if err != nil {
+					return false, err
+				}
+				return ship >= start && ship < end, nil
+			},
+		},
+		Cols: []string{"l_partkey", "l_extendedprice", "l_discount"},
+	}
+	right := &Project{In: &Scan{Table: "part"}, Cols: []string{"p_partkey", "p_type"}}
+	revenue := func(row Row, idx map[string]int) (float64, error) {
+		price, err := colFloat(row, idx, "l_extendedprice")
+		if err != nil {
+			return 0, err
+		}
+		disc, err := colFloat(row, idx, "l_discount")
+		if err != nil {
+			return 0, err
+		}
+		return price * (1 - disc), nil
+	}
+	final := &Map{
+		In: &Aggregate{
+			In: &HashJoin{
+				Left:    &Scan{Table: "left"},
+				Right:   &Scan{Table: "right"},
+				LeftKey: "l_partkey", RightKey: "p_partkey",
+			},
+			Aggs: []AggSpec{
+				{As: "promo_revenue_sum", Kind: Sum, Val: revenue,
+					Where: func(row Row, idx map[string]int) (bool, error) {
+						t, err := colString(row, idx, "p_type")
+						if err != nil {
+							return false, err
+						}
+						return len(t) >= 5 && t[:5] == "PROMO", nil
+					}},
+				{As: "total_revenue", Kind: Sum, Val: revenue},
+			},
+		},
+		Out: Schema{"promo_revenue"},
+		Fn: func(row Row, idx map[string]int) (Row, error) {
+			promo := row[idx["promo_revenue_sum"]].(float64)
+			total := row[idx["total_revenue"]].(float64)
+			if total == 0 {
+				return Row{0.0}, nil
+			}
+			return Row{100 * promo / total}, nil
+		},
+	}
+	return &QueryPlan{
+		Query: tpch.QueryQ14, LeftTable: "lineitem", RightTable: "part",
+		LeftPrep: left, RightPrep: right, Final: final,
+	}
+}
+
+func buildQ17() *QueryPlan {
+	p := tpch.DefaultQ17Params()
+	left := &Project{
+		In:   &Scan{Table: "lineitem"},
+		Cols: []string{"l_partkey", "l_quantity", "l_extendedprice"},
+	}
+	right := &Project{
+		In: &Filter{
+			In: &Scan{Table: "part"},
+			Pred: func(row Row, idx map[string]int) (bool, error) {
+				brand, err := colString(row, idx, "p_brand")
+				if err != nil {
+					return false, err
+				}
+				container, err := colString(row, idx, "p_container")
+				if err != nil {
+					return false, err
+				}
+				return brand == p.Brand && container == p.Container, nil
+			},
+		},
+		Cols: []string{"p_partkey"},
+	}
+	joined := &Cached{In: &HashJoin{
+		Left:    &Scan{Table: "left"},
+		Right:   &Scan{Table: "right"},
+		LeftKey: "l_partkey", RightKey: "p_partkey",
+	}}
+	avgQty := &Aggregate{
+		In:      joined,
+		GroupBy: []string{"p_partkey"},
+		Aggs: []AggSpec{{
+			As: "avg_qty", Kind: Avg,
+			Val: func(row Row, idx map[string]int) (float64, error) {
+				return colFloat(row, idx, "l_quantity")
+			},
+		}},
+	}
+	withAvg := &HashJoin{
+		Left:    joined,
+		Right:   avgQty,
+		LeftKey: "l_partkey", RightKey: "p_partkey",
+	}
+	final := &Map{
+		In: &Aggregate{
+			In: &Filter{
+				In: withAvg,
+				Pred: func(row Row, idx map[string]int) (bool, error) {
+					qty, err := colFloat(row, idx, "l_quantity")
+					if err != nil {
+						return false, err
+					}
+					avg, err := colFloat(row, idx, "avg_qty")
+					if err != nil {
+						return false, err
+					}
+					return qty < 0.2*avg, nil
+				},
+			},
+			Aggs: []AggSpec{{
+				As: "sum_price", Kind: Sum,
+				Val: func(row Row, idx map[string]int) (float64, error) {
+					return colFloat(row, idx, "l_extendedprice")
+				},
+			}},
+		},
+		Out: Schema{"avg_yearly"},
+		Fn: func(row Row, idx map[string]int) (Row, error) {
+			return Row{row[idx["sum_price"]].(float64) / 7.0}, nil
+		},
+	}
+	return &QueryPlan{
+		Query: tpch.QueryQ17, LeftTable: "lineitem", RightTable: "part",
+		LeftPrep: left, RightPrep: right, Final: final,
+	}
+}
+
+// likePattern mirrors tpch.matchesLikePattern for plan predicates
+// (LIKE '%w1%w2%').
+func likePattern(s, w1, w2 string) bool {
+	for i := 0; i+len(w1) <= len(s); i++ {
+		if s[i:i+len(w1)] == w1 {
+			rest := s[i+len(w1):]
+			for j := 0; j+len(w2) <= len(rest); j++ {
+				if rest[j:j+len(w2)] == w2 {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/tpch"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"xxx", "y"}},
+		Notes:  []string{"n"},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"T\n", "a", "bb", "xxx", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tbl := Table1Pricing()
+	if len(tbl.Rows) != 11 { // 5 Amazon + 6 Microsoft
+		t.Fatalf("Table 1 has %d rows, want 11", len(tbl.Rows))
+	}
+	out := tbl.Render()
+	for _, cell := range []string{"a1.medium", "$0.0049/hour", "B8MS", "$0.3330/hour", "EBS-Only"} {
+		if !strings.Contains(out, cell) {
+			t.Errorf("Table 1 lacks %q", cell)
+		}
+	}
+}
+
+func TestTable2MatchesPaperExactly(t *testing.T) {
+	tbl, err := Table2R2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("Table 2 has %d rows, want 7 (M=4..10)", len(tbl.Rows))
+	}
+	// Every |diff| cell must be below 5e-4 — the published precision.
+	for _, row := range tbl.Rows {
+		diff, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad diff cell %q: %v", row[3], err)
+		}
+		if diff > 5e-4 {
+			t.Errorf("M=%s: |R² diff| = %v exceeds published precision", row[0], diff)
+		}
+	}
+}
+
+func TestRunMRESmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MRE campaign is slow for -short")
+	}
+	res, err := RunMRE(0.1, MREOptions{Reps: 2, HistorySize: 40, TestQueries: 15, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range tpch.AllQueries {
+		perModel := res.MRE[q]
+		if len(perModel) != len(ModelOrder) {
+			t.Fatalf("%v scored %d models, want %d", q, len(perModel), len(ModelOrder))
+		}
+		for name, v := range perModel {
+			if math.IsNaN(v) || v < 0 {
+				t.Errorf("%v %s MRE = %v", q, name, v)
+			}
+		}
+		if best := res.BestModel(q); best == "" {
+			t.Errorf("%v has no best model", q)
+		}
+	}
+	tbl := MRETable(res, "test")
+	if len(tbl.Rows) != len(tpch.AllQueries) {
+		t.Errorf("MRE table rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fig3 run is slow for -short")
+	}
+	res, tbl, err := RunFig3(Fig3Options{PolicyChanges: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GAEvaluations <= 0 || res.WSMEvaluations <= 0 {
+		t.Fatalf("evaluation counts: %+v", res)
+	}
+	// The WSM path must pay per policy; the GA path pays once.
+	if res.WSMEvaluations < res.Policies {
+		t.Errorf("WSM evaluations %d < policies %d", res.WSMEvaluations, res.Policies)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("Fig3 table rows = %d, want 2", len(tbl.Rows))
+	}
+}
+
+func TestRunExample31(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Example 3.1 run is slow for -short")
+	}
+	res, tbl, err := RunExample31(Example31Options{Plans: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PaperPlanCount != 18200 {
+		t.Errorf("paper plan count = %d, want 18200", res.PaperPlanCount)
+	}
+	if res.DreamNS <= 0 || res.BMLNS <= 0 {
+		t.Fatalf("timings: %+v", res)
+	}
+	// DREAM's small window must estimate faster than full-history BML.
+	if res.DreamNS >= res.BMLNS {
+		t.Errorf("DREAM (%d ns) not faster than BML (%d ns) per sweep", res.DreamNS, res.BMLNS)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("Example 3.1 table rows = %d, want 2", len(tbl.Rows))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow for -short")
+	}
+	opts := AblationOptions{Reps: 1, Seed: 6}
+	growth, err := AblationWindowGrowth(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(growth.Rows) != 2 {
+		t.Errorf("growth ablation rows = %d", len(growth.Rows))
+	}
+	r2, err := AblationR2Threshold(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Rows) != 5 {
+		t.Errorf("r2 ablation rows = %d", len(r2.Rows))
+	}
+	rec, err := AblationRecency(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Rows) != 2 {
+		t.Errorf("recency ablation rows = %d", len(rec.Rows))
+	}
+	opt, err := AblationOptimizer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Rows) != 2 {
+		t.Errorf("optimizer ablation rows = %d", len(opt.Rows))
+	}
+}

@@ -1,0 +1,103 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ErrTransient marks an injected execution failure. Cloud federations
+// fail in exactly this transient way — preempted spot VMs, dropped WAN
+// connections, engine timeouts — and the scheduler must retry through
+// it rather than surface every blip.
+var ErrTransient = errors.New("federation: transient execution failure")
+
+// FlakyExecutor wraps an Executor and makes Execute fail with a fixed
+// probability, deterministically per seed. Feature extraction never
+// fails (it is pure metadata). Use it in tests and chaos experiments to
+// validate retry behaviour.
+type FlakyExecutor struct {
+	Inner Executor
+	// FailureProb is the per-execution failure probability in [0, 1].
+	FailureProb float64
+
+	rng      *stats.RNG
+	attempts int
+	failures int
+}
+
+// NewFlakyExecutor wraps inner with seeded failure injection.
+func NewFlakyExecutor(inner Executor, failureProb float64, seed int64) (*FlakyExecutor, error) {
+	if inner == nil {
+		return nil, errors.New("federation: nil inner executor")
+	}
+	if failureProb < 0 || failureProb > 1 {
+		return nil, fmt.Errorf("federation: failure probability %v outside [0,1]", failureProb)
+	}
+	return &FlakyExecutor{Inner: inner, FailureProb: failureProb, rng: stats.NewRNG(seed)}, nil
+}
+
+// Execute implements Executor with injected failures.
+func (f *FlakyExecutor) Execute(p Plan) (*Outcome, error) {
+	f.attempts++
+	if f.rng.Bernoulli(f.FailureProb) {
+		f.failures++
+		return nil, fmt.Errorf("%w: plan %v (attempt %d)", ErrTransient, p, f.attempts)
+	}
+	return f.Inner.Execute(p)
+}
+
+// Features implements Executor (never fails by injection).
+func (f *FlakyExecutor) Features(p Plan) ([]float64, error) {
+	return f.Inner.Features(p)
+}
+
+// Attempts returns the number of Execute calls observed.
+func (f *FlakyExecutor) Attempts() int { return f.attempts }
+
+// Failures returns the number of injected failures.
+func (f *FlakyExecutor) Failures() int { return f.failures }
+
+// RetryingExecutor wraps an Executor and retries transient failures up
+// to MaxRetries additional attempts. Non-transient errors surface
+// immediately.
+type RetryingExecutor struct {
+	Inner Executor
+	// MaxRetries is the number of re-attempts after the first failure;
+	// default 3.
+	MaxRetries int
+}
+
+// NewRetryingExecutor wraps inner with retry-on-transient behaviour.
+func NewRetryingExecutor(inner Executor, maxRetries int) (*RetryingExecutor, error) {
+	if inner == nil {
+		return nil, errors.New("federation: nil inner executor")
+	}
+	if maxRetries <= 0 {
+		maxRetries = 3
+	}
+	return &RetryingExecutor{Inner: inner, MaxRetries: maxRetries}, nil
+}
+
+// Execute implements Executor with retries.
+func (r *RetryingExecutor) Execute(p Plan) (*Outcome, error) {
+	var lastErr error
+	for attempt := 0; attempt <= r.MaxRetries; attempt++ {
+		out, err := r.Inner.Execute(p)
+		if err == nil {
+			return out, nil
+		}
+		if !errors.Is(err, ErrTransient) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("federation: plan %v failed after %d attempts: %w",
+		p, r.MaxRetries+1, lastErr)
+}
+
+// Features implements Executor.
+func (r *RetryingExecutor) Features(p Plan) ([]float64, error) {
+	return r.Inner.Features(p)
+}

@@ -1,0 +1,158 @@
+package federation
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/tpch"
+)
+
+func flakySetup(t *testing.T, prob float64) (*FlakyExecutor, Plan) {
+	t.Helper()
+	fed, err := DefaultTopology(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := Calibrate(fed, 0.004, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := NewScaledExecutor(fed, cal, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky, err := NewFlakyExecutor(inner, prob, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flaky, Plan{Query: tpch.QueryQ12, JoinAtLeft: true, NodesLeft: 2, NodesRight: 1}
+}
+
+func TestFlakyExecutorInjectsFailures(t *testing.T) {
+	flaky, plan := flakySetup(t, 0.5)
+	failures := 0
+	for i := 0; i < 200; i++ {
+		if _, err := flaky.Execute(plan); err != nil {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("non-transient error: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures < 60 || failures > 140 {
+		t.Errorf("injected %d/200 failures at p=0.5", failures)
+	}
+	if flaky.Attempts() != 200 || flaky.Failures() != failures {
+		t.Errorf("counters: attempts %d failures %d", flaky.Attempts(), flaky.Failures())
+	}
+	// Features never fail.
+	if _, err := flaky.Features(plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlakyExecutorValidation(t *testing.T) {
+	if _, err := NewFlakyExecutor(nil, 0.5, 1); err == nil {
+		t.Error("nil inner accepted")
+	}
+	inner, _ := flakySetup(t, 0)
+	if _, err := NewFlakyExecutor(inner, 1.5, 1); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}
+
+func TestRetryingExecutorSurvivesFlakiness(t *testing.T) {
+	flaky, plan := flakySetup(t, 0.3)
+	retry, err := NewRetryingExecutor(flaky, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With p=0.3 and 6 attempts, failure probability per call is
+	// 0.3⁶ ≈ 0.07%; 100 calls should all succeed.
+	for i := 0; i < 100; i++ {
+		if _, err := retry.Execute(plan); err != nil {
+			t.Fatalf("call %d failed through retries: %v", i, err)
+		}
+	}
+	if flaky.Failures() == 0 {
+		t.Error("no failures injected — test is vacuous")
+	}
+	if _, err := retry.Features(plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetryingExecutorGivesUp(t *testing.T) {
+	flaky, plan := flakySetup(t, 1) // always fails
+	retry, err := NewRetryingExecutor(flaky, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = retry.Execute(plan)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("got %v, want wrapped ErrTransient", err)
+	}
+	if flaky.Attempts() != 3 { // 1 + 2 retries
+		t.Errorf("attempts = %d, want 3", flaky.Attempts())
+	}
+}
+
+func TestRetryingExecutorPassesThroughHardErrors(t *testing.T) {
+	fed, err := DefaultTopology(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := Calibrate(fed, 0.004, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := NewScaledExecutor(fed, cal, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retry, err := NewRetryingExecutor(inner, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over-capacity plan is a hard error: no retries, immediate surface.
+	if _, err := retry.Execute(Plan{Query: tpch.QueryQ12, NodesLeft: 999, NodesRight: 1}); err == nil {
+		t.Error("hard error swallowed")
+	}
+	if _, err := NewRetryingExecutor(nil, 1); err == nil {
+		t.Error("nil inner accepted")
+	}
+}
+
+// TestSchedulerPipelineUnderChaos drives the whole pipeline through a
+// flaky executor wrapped in retries — the integration-level contract.
+func TestSchedulerPipelineUnderChaos(t *testing.T) {
+	flaky, _ := flakySetup(t, 0.25)
+	retry, err := NewRetryingExecutor(flaky, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ires package cannot be imported here (cycle-free layering:
+	// ires imports federation); exercise the executor contract the
+	// scheduler relies on instead.
+	plans := []Plan{
+		{Query: tpch.QueryQ12, JoinAtLeft: true, NodesLeft: 1, NodesRight: 1},
+		{Query: tpch.QueryQ13, JoinAtLeft: false, NodesLeft: 2, NodesRight: 2},
+		{Query: tpch.QueryQ14, JoinAtLeft: true, NodesLeft: 4, NodesRight: 1},
+	}
+	for _, p := range plans {
+		out, err := retry.Execute(p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if out.TimeS <= 0 {
+			t.Fatalf("%v: degenerate outcome", p)
+		}
+		x, err := retry.Features(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(x) != FeatureDim {
+			t.Fatalf("feature dim %d", len(x))
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package federation
+
+import (
+	"repro/internal/cloud"
+	"repro/internal/engine"
+)
+
+// DefaultTopology reproduces the paper's experimental setup as a
+// two-site federation: a Hive deployment (on Amazon instances) holding
+// the large fact tables and a PostgreSQL deployment (on Microsoft
+// instances) holding the dimension tables, so that each of the four
+// studied queries joins tables living in *different* engines and
+// clouds, exactly the scenario of the paper's Example 2.1.
+//
+//	site "hive-aws":     lineitem, customer
+//	site "postgres-azure": orders, part
+//
+// Q12 = lineitem(A) ⋈ orders(B), Q13 = orders(B) ⟕ customer(A),
+// Q14/Q17 = lineitem(A) ⋈ part(B): all cross-site.
+func DefaultTopology(seed int64) (*Federation, error) {
+	hiveSite := &Site{
+		Name:     "hive-aws",
+		Provider: cloud.Amazon(),
+		Engine:   engine.Hive(),
+		Instance: "a1.xlarge",
+		MaxNodes: 16,
+		Load:     cloud.NewLoadProcess(seed + 1),
+	}
+	pgSite := &Site{
+		Name:     "postgres-azure",
+		Provider: cloud.Microsoft(),
+		Engine:   engine.Postgres(),
+		Instance: "B2MS",
+		MaxNodes: 4, // PostgreSQL does not scale out; small pool
+		Load:     cloud.NewLoadProcess(seed + 2),
+	}
+	return New(Config{
+		Sites: []*Site{hiveSite, pgSite},
+		Catalog: map[string]string{
+			"lineitem": hiveSite.Name,
+			"customer": hiveSite.Name,
+			"orders":   pgSite.Name,
+			"part":     pgSite.Name,
+		},
+		DefaultLink: cloud.Link{BandwidthMiBps: 110, LatencyS: 0.07},
+		NoiseStd:    0.10,
+		Seed:        seed + 3,
+	})
+}
+
+// ThreeCloudTopology extends the default deployment with a third site —
+// Spark on Google Cloud holding the customer table — realizing the
+// three-provider architecture of the paper's Figure 1 and its
+// future-work plan to "validate with more cloud providers (and their
+// associated pricing model and services)".
+//
+//	hive-aws (Hive, Amazon):        lineitem
+//	spark-gcp (Spark, Google):      customer
+//	postgres-azure (PG, Microsoft): orders, part
+//
+// Q12/Q14/Q17 stay AWS↔Azure; Q13 becomes Azure↔GCP.
+func ThreeCloudTopology(seed int64) (*Federation, error) {
+	hiveSite := &Site{
+		Name:     "hive-aws",
+		Provider: cloud.Amazon(),
+		Engine:   engine.Hive(),
+		Instance: "a1.xlarge",
+		MaxNodes: 16,
+		Load:     cloud.NewLoadProcess(seed + 1),
+	}
+	pgSite := &Site{
+		Name:     "postgres-azure",
+		Provider: cloud.Microsoft(),
+		Engine:   engine.Postgres(),
+		Instance: "B2MS",
+		MaxNodes: 4,
+		Load:     cloud.NewLoadProcess(seed + 2),
+	}
+	sparkSite := &Site{
+		Name:     "spark-gcp",
+		Provider: cloud.Google(),
+		Engine:   engine.Spark(),
+		Instance: "e2-standard-4",
+		MaxNodes: 12,
+		Load:     cloud.NewLoadProcess(seed + 4),
+	}
+	return New(Config{
+		Sites: []*Site{hiveSite, pgSite, sparkSite},
+		Catalog: map[string]string{
+			"lineitem": hiveSite.Name,
+			"customer": sparkSite.Name,
+			"orders":   pgSite.Name,
+			"part":     pgSite.Name,
+		},
+		Links: map[string]cloud.Link{
+			// Intra-continent pairs are faster than the default.
+			"hive-aws→spark-gcp": {BandwidthMiBps: 220, LatencyS: 0.03},
+			"spark-gcp→hive-aws": {BandwidthMiBps: 220, LatencyS: 0.03},
+		},
+		DefaultLink: cloud.Link{BandwidthMiBps: 110, LatencyS: 0.07},
+		NoiseStd:    0.10,
+		Seed:        seed + 3,
+	})
+}

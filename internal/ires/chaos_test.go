@@ -1,0 +1,54 @@
+package ires
+
+import (
+	"testing"
+
+	"repro/internal/federation"
+	"repro/internal/tpch"
+)
+
+// TestSchedulerSurvivesTransientFailures runs the full pipeline with a
+// 25%-flaky executor behind retries: bootstrap and submission must
+// complete, and the history must only contain successful executions.
+func TestSchedulerSurvivesTransientFailures(t *testing.T) {
+	fed, err := federation.DefaultTopology(51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := federation.Calibrate(fed, 0.004, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := federation.NewScaledExecutor(fed, cal, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky, err := federation.NewFlakyExecutor(inner, 0.25, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retry, err := federation.NewRetryingExecutor(flaky, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(fed, retry, dreamModel(t), []int{1, 2, 4}, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bootstrap(tpch.QueryQ14, 25); err != nil {
+		t.Fatalf("bootstrap under chaos: %v", err)
+	}
+	dec, err := s.Submit(tpch.QueryQ14, Policy{Weights: []float64{1, 1}})
+	if err != nil {
+		t.Fatalf("submit under chaos: %v", err)
+	}
+	if dec.Outcome == nil || dec.Outcome.TimeS <= 0 {
+		t.Fatal("no outcome under chaos")
+	}
+	if flaky.Failures() == 0 {
+		t.Error("chaos test injected no failures")
+	}
+	if s.History(tpch.QueryQ14).Len() != 26 {
+		t.Errorf("history = %d, want 26 (only successes recorded)", s.History(tpch.QueryQ14).Len())
+	}
+}

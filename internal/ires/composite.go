@@ -1,0 +1,74 @@
+package ires
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+)
+
+// CompositeDREAMModel is the operator-level variant of the DREAM
+// Modelling module. IReS builds one cost model *per operator*; the
+// monolithic DREAMModel instead regresses end-to-end plan time, which
+// forces a linear model through the inherently non-linear composition
+//
+//	time = max(leftPrep, rightPrep) + ship + final.
+//
+// CompositeDREAMModel runs DREAM per piece (each piece is much closer
+// to linear in the features) and reassembles the plan's time with the
+// true composition rule. Money is predicted directly. It requires a
+// history recorded with federation.BreakdownMetrics.
+type CompositeDREAMModel struct {
+	Est *core.Estimator
+}
+
+// NewCompositeDREAMModel builds the operator-level Modelling module.
+func NewCompositeDREAMModel(cfg core.Config) (*CompositeDREAMModel, error) {
+	est, err := core.NewEstimator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &CompositeDREAMModel{Est: est}, nil
+}
+
+// Name implements CostModel.
+func (m *CompositeDREAMModel) Name() string { return "dream-composite" }
+
+// breakdown indices in federation.BreakdownMetrics.
+const (
+	bdTime = iota
+	bdMoney
+	bdLeft
+	bdRight
+	bdShip
+	bdFinal
+)
+
+// Estimate implements CostModel. The returned vector is in
+// federation.Metrics order (time, money) regardless of the history's
+// extended metric set.
+func (m *CompositeDREAMModel) Estimate(h *core.History, x []float64) ([]float64, error) {
+	metrics := h.Metrics()
+	if len(metrics) != len(federation.BreakdownMetrics) {
+		return nil, fmt.Errorf("ires: composite model needs a %d-metric breakdown history, got %d",
+			len(federation.BreakdownMetrics), len(metrics))
+	}
+	est, err := m.Est.EstimateCostValue(h, x)
+	if err != nil {
+		return nil, err
+	}
+	v := est.Values()
+	left, right, ship, final := clampZero(v[bdLeft]), clampZero(v[bdRight]), clampZero(v[bdShip]), clampZero(v[bdFinal])
+	prep := left
+	if right > prep {
+		prep = right
+	}
+	return []float64{prep + ship + final, clampZero(v[bdMoney])}, nil
+}
+
+func clampZero(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,389 @@
+// Package ires reimplements the Intelligent Resource Scheduler pipeline
+// the paper builds MIDAS on (Section 2.4, Figure 1): an Interface that
+// accepts a query and a user policy, a Modelling module that predicts
+// multi-metric plan costs from execution history (pluggable: DREAM or
+// the Best-ML baseline), a Multi-Objective Optimizer that produces a
+// Pareto plan set, and the final BestInPareto selection (Algorithm 2).
+// Executed plans feed their measured costs back into the history, the
+// loop the whole estimation story depends on.
+package ires
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/ml"
+	"repro/internal/moo"
+	"repro/internal/regression"
+	"repro/internal/stats"
+	"repro/internal/tpch"
+)
+
+// ErrNoHistory is returned when estimation is requested before any
+// executions were recorded for a query.
+var ErrNoHistory = errors.New("ires: no history for query")
+
+// CostModel is the Modelling module contract: predict the cost vector
+// of a plan with feature vector x from the execution history h.
+type CostModel interface {
+	Name() string
+	Estimate(h *core.History, x []float64) ([]float64, error)
+}
+
+// ---------------------------------------------------------------------------
+// DREAM model
+
+// DREAMModel adapts the core DREAM estimator to the Modelling contract.
+type DREAMModel struct {
+	Est *core.Estimator
+}
+
+// NewDREAMModel builds a DREAM Modelling module with the given config.
+func NewDREAMModel(cfg core.Config) (*DREAMModel, error) {
+	est, err := core.NewEstimator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DREAMModel{Est: est}, nil
+}
+
+// Name implements CostModel.
+func (m *DREAMModel) Name() string { return "dream" }
+
+// Estimate implements CostModel. Predicted costs are clamped at zero:
+// time and money are non-negative by definition, and a regression line
+// extrapolated below zero carries no information beyond "very small".
+func (m *DREAMModel) Estimate(h *core.History, x []float64) ([]float64, error) {
+	est, err := m.Est.EstimateCostValue(h, x)
+	if err != nil {
+		return nil, err
+	}
+	vals := est.Values()
+	for i, v := range vals {
+		if v < 0 {
+			vals[i] = 0
+		}
+	}
+	return vals, nil
+}
+
+// ---------------------------------------------------------------------------
+// BML model with observation windows
+
+// BMLModel is the IReS baseline: the Best-ML learner trained on a fixed
+// observation window of the most recent history. WindowMultiple
+// expresses the window as a multiple of N = L+2 (the paper's BML_N,
+// BML_2N, BML_3N); 0 means the whole history (the paper's plain BML).
+type BMLModel struct {
+	// Learner defaults to ml.BML with default candidates.
+	Learner ml.Learner
+	// WindowMultiple k selects the k·(L+2) most recent observations;
+	// 0 selects everything.
+	WindowMultiple int
+	// Seed feeds the default learner.
+	Seed int64
+}
+
+// Name implements CostModel.
+func (m *BMLModel) Name() string {
+	if m.WindowMultiple <= 0 {
+		return "bml"
+	}
+	return fmt.Sprintf("bml_%dN", m.WindowMultiple)
+}
+
+// Estimate implements CostModel: train one model per metric on the
+// window, then predict.
+func (m *BMLModel) Estimate(h *core.History, x []float64) ([]float64, error) {
+	if h.Len() == 0 {
+		return nil, ErrNoHistory
+	}
+	learner := m.Learner
+	if learner == nil {
+		learner = ml.BML{Seed: m.Seed}
+	}
+	n := regression.MinObservations(h.Dim())
+	window := h.Len()
+	if m.WindowMultiple > 0 {
+		window = m.WindowMultiple * n
+		if window > h.Len() {
+			window = h.Len()
+		}
+	}
+	start := h.Len() - window
+	metrics := h.Metrics()
+	out := make([]float64, len(metrics))
+	for mi := range metrics {
+		samples := make([]regression.Sample, window)
+		for i := 0; i < window; i++ {
+			obs := h.At(start + i)
+			samples[i] = regression.Sample{X: obs.X, C: obs.Costs[mi]}
+		}
+		p, err := learner.Train(samples)
+		if err != nil {
+			return nil, fmt.Errorf("ires: %s metric %q: %w", m.Name(), metrics[mi], err)
+		}
+		v, err := p.Predict(x)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			v = 0 // costs are non-negative by definition
+		}
+		out[mi] = v
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+// SelectionStrategy picks how one plan is chosen from the Pareto set.
+// WeightedSumSelection is the paper's Algorithm 2; the others implement
+// its future-work item on "new strategies to choose QEPs in a Pareto
+// Set".
+type SelectionStrategy int
+
+// Available Pareto-set selection strategies.
+const (
+	// WeightedSumSelection scores normalized costs with Policy.Weights
+	// (Algorithm 2).
+	WeightedSumSelection SelectionStrategy = iota
+	// KneeSelection takes the knee of the Pareto front — no weights
+	// needed.
+	KneeSelection
+	// LexicographicSelection minimizes objectives in Policy.LexOrder
+	// priority order with Policy.LexTolerance tie bands.
+	LexicographicSelection
+)
+
+// Policy is the user query policy of Algorithm 2: weighted-sum
+// preferences S over the metrics and optional per-metric upper-bound
+// constraints B (empty = unconstrained). Strategy switches to the
+// alternative Pareto-selection rules.
+type Policy struct {
+	Weights     []float64
+	Constraints []float64
+	// Strategy defaults to WeightedSumSelection.
+	Strategy SelectionStrategy
+	// LexOrder and LexTolerance configure LexicographicSelection
+	// (default order: metric 0 then 1, 5% tolerance).
+	LexOrder     []int
+	LexTolerance float64
+}
+
+// Scheduler is the MIDAS/IReS pipeline instance.
+type Scheduler struct {
+	Fed   *federation.Federation
+	Exec  federation.Executor
+	Model CostModel
+	// NodeChoices is the cluster-size menu used when enumerating QEPs.
+	NodeChoices []int
+
+	histories map[tpch.QueryID]*core.History
+	rng       *stats.RNG
+}
+
+// NewScheduler assembles a scheduler.
+func NewScheduler(fed *federation.Federation, exec federation.Executor, model CostModel, nodeChoices []int, seed int64) (*Scheduler, error) {
+	if fed == nil || exec == nil || model == nil {
+		return nil, errors.New("ires: nil dependency")
+	}
+	if len(nodeChoices) == 0 {
+		nodeChoices = []int{1, 2, 4, 8, 16}
+	}
+	return &Scheduler{
+		Fed:         fed,
+		Exec:        exec,
+		Model:       model,
+		NodeChoices: nodeChoices,
+		histories:   make(map[tpch.QueryID]*core.History),
+		rng:         stats.NewRNG(seed),
+	}, nil
+}
+
+// History returns (creating if needed) the execution history of a query.
+func (s *Scheduler) History(q tpch.QueryID) *core.History {
+	h, ok := s.histories[q]
+	if !ok {
+		var err error
+		h, err = core.NewHistory(federation.FeatureDim, federation.Metrics...)
+		if err != nil {
+			// FeatureDim and Metrics are package constants; this cannot
+			// fail at runtime.
+			panic(err)
+		}
+		s.histories[q] = h
+	}
+	return h
+}
+
+// Record appends one completed execution to the query's history.
+func (s *Scheduler) Record(q tpch.QueryID, x []float64, costs []float64) error {
+	return s.History(q).Append(core.Observation{X: x, Costs: costs})
+}
+
+// Bootstrap executes n randomly chosen plans of q to seed the history,
+// the warm-up IReS performs before its models are usable.
+func (s *Scheduler) Bootstrap(q tpch.QueryID, n int) error {
+	plans, err := s.Fed.EnumeratePlans(q, s.NodeChoices)
+	if err != nil {
+		return err
+	}
+	if len(plans) == 0 {
+		return fmt.Errorf("ires: query %v has no feasible plans", q)
+	}
+	for i := 0; i < n; i++ {
+		p := plans[s.rng.Intn(len(plans))]
+		out, err := s.Exec.Execute(p)
+		if err != nil {
+			return err
+		}
+		x, err := s.Exec.Features(p)
+		if err != nil {
+			return err
+		}
+		if err := s.Record(q, x, out.Costs()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decision reports one scheduling round.
+type Decision struct {
+	Plan      federation.Plan
+	Estimated []float64 // model-predicted cost vector of the chosen plan
+	Outcome   *federation.Outcome
+	// ParetoSize is the size of the Pareto plan set the choice was
+	// made from; PlanSpace the number of enumerated QEPs.
+	ParetoSize, PlanSpace int
+}
+
+// Submit runs one full pipeline round for query q: enumerate QEPs,
+// estimate each with the Modelling module, reduce to the Pareto set,
+// select with BestInPareto under the policy, execute the winner and
+// feed the measurement back into history.
+func (s *Scheduler) Submit(q tpch.QueryID, pol Policy) (*Decision, error) {
+	h := s.History(q)
+	if h.Len() == 0 {
+		return nil, fmt.Errorf("%w: %v (run Bootstrap first)", ErrNoHistory, q)
+	}
+	plans, err := s.Fed.EnumeratePlans(q, s.NodeChoices)
+	if err != nil {
+		return nil, err
+	}
+	costs := make([][]float64, len(plans))
+	for i, p := range plans {
+		x, err := s.Exec.Features(p)
+		if err != nil {
+			return nil, err
+		}
+		c, err := s.Model.Estimate(h, x)
+		if err != nil {
+			return nil, fmt.Errorf("ires: estimating %v: %w", p, err)
+		}
+		// Negative predictions are meaningless for time/money; clamp
+		// so dominance computations stay sane.
+		for j, v := range c {
+			if v < 0 {
+				c[j] = 0
+			}
+		}
+		costs[i] = c
+	}
+	frontIdx, err := moo.ParetoFront(costs)
+	if err != nil {
+		return nil, err
+	}
+	frontCosts := make([][]float64, len(frontIdx))
+	for i, idx := range frontIdx {
+		frontCosts[i] = costs[idx]
+	}
+	// Normalize so seconds and dollars are comparable before the
+	// weighted sum (Algorithm 2's WeightSum over user policy).
+	normalized := moo.NormalizeCosts(frontCosts)
+	best, err := selectFromParetoSet(frontCosts, normalized, pol)
+	if err != nil {
+		return nil, err
+	}
+	chosen := plans[frontIdx[best]]
+	out, err := s.Exec.Execute(chosen)
+	if err != nil {
+		return nil, err
+	}
+	x, err := s.Exec.Features(chosen)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Record(q, x, out.Costs()); err != nil {
+		return nil, err
+	}
+	return &Decision{
+		Plan:       chosen,
+		Estimated:  costs[frontIdx[best]],
+		Outcome:    out,
+		ParetoSize: len(frontIdx),
+		PlanSpace:  len(plans),
+	}, nil
+}
+
+// bestWithConstraints applies Algorithm 2 with constraints evaluated on
+// the raw costs but the weighted sum computed on normalized costs.
+func bestWithConstraints(raw, normalized [][]float64, weights, constraints []float64) (int, error) {
+	if len(constraints) > 0 {
+		var feasible []int
+		for i, c := range raw {
+			ok := true
+			for n, b := range constraints {
+				if n < len(c) && c[n] > b {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				feasible = append(feasible, i)
+			}
+		}
+		if len(feasible) > 0 {
+			sub := make([][]float64, len(feasible))
+			for i, idx := range feasible {
+				sub[i] = normalized[idx]
+			}
+			best, err := moo.ArgminWeightedSum(sub, weights)
+			if err != nil {
+				return 0, err
+			}
+			return feasible[best], nil
+		}
+	}
+	return moo.ArgminWeightedSum(normalized, weights)
+}
+
+// selectFromParetoSet dispatches on the policy's selection strategy.
+// raw carries the model's cost vectors, normalized their min-max
+// rescaling across the set.
+func selectFromParetoSet(raw, normalized [][]float64, pol Policy) (int, error) {
+	switch pol.Strategy {
+	case KneeSelection:
+		return moo.KneePoint(raw)
+	case LexicographicSelection:
+		order := pol.LexOrder
+		if len(order) == 0 {
+			order = []int{0, 1}
+		}
+		tol := pol.LexTolerance
+		if tol == 0 {
+			tol = 0.05
+		}
+		return moo.Lexicographic(raw, order, tol)
+	default:
+		weights := pol.Weights
+		if len(weights) == 0 {
+			weights = []float64{1, 1}
+		}
+		return bestWithConstraints(raw, normalized, weights, pol.Constraints)
+	}
+}

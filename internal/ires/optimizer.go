@@ -1,0 +1,217 @@
+package ires
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/moo"
+	"repro/internal/tpch"
+)
+
+// This file implements the two Multi-Objective Query Processing
+// approaches the paper contrasts in Figure 3:
+//
+//   - the genetic-algorithm path: NSGA-II searches the plan space,
+//     produces a Pareto plan set once, and the user policy only picks
+//     within it (cheap to re-run when weights change);
+//   - the Weighted Sum Model path: every plan is scalarized directly
+//     with the current weights, and any weight change restarts the
+//     whole optimization.
+
+// planProblem embeds the discrete QEP space into a continuous box for
+// NSGA-II: x = (joinAtLeft?, leftChoice, rightChoice) ∈ [0,1]³, decoded
+// by thresholding and index rounding. Objective values come from the
+// Modelling module.
+type planProblem struct {
+	sched   *Scheduler
+	query   tpch.QueryID
+	history *core.History
+	choices []int
+	// maxLeft/maxRight cap the decoded node counts at the owning
+	// sites' capacities, so the front only contains executable plans.
+	maxLeft, maxRight int
+	// evals counts Modelling evaluations (the expensive step).
+	evals int
+	// cache avoids re-estimating the same decoded plan.
+	cache map[federation.Plan][]float64
+	err   error
+}
+
+// Bounds implements moo.Problem.
+func (p *planProblem) Bounds() (lo, hi []float64) {
+	return []float64{0, 0, 0}, []float64{1, 1, 1}
+}
+
+// decode maps a continuous decision vector to a concrete plan.
+func (p *planProblem) decode(x []float64) federation.Plan {
+	pick := func(v float64, cap int) int {
+		i := int(v * float64(len(p.choices)))
+		if i >= len(p.choices) {
+			i = len(p.choices) - 1
+		}
+		n := p.choices[i]
+		if cap > 0 && n > cap {
+			n = cap
+		}
+		return n
+	}
+	return federation.Plan{
+		Query:      p.query,
+		JoinAtLeft: x[0] >= 0.5,
+		NodesLeft:  pick(x[1], p.maxLeft),
+		NodesRight: pick(x[2], p.maxRight),
+	}
+}
+
+// Evaluate implements moo.Problem.
+func (p *planProblem) Evaluate(x []float64) []float64 {
+	plan := p.decode(x)
+	if c, ok := p.cache[plan]; ok {
+		return c
+	}
+	feats, err := p.sched.Exec.Features(plan)
+	if err != nil {
+		p.err = err
+		return []float64{math.Inf(1), math.Inf(1)}
+	}
+	c, err := p.sched.Model.Estimate(p.history, feats)
+	if err != nil {
+		p.err = err
+		return []float64{math.Inf(1), math.Inf(1)}
+	}
+	for j, v := range c {
+		if v < 0 {
+			c[j] = 0
+		}
+	}
+	p.evals++
+	p.cache[plan] = c
+	return c
+}
+
+// GAResult is the reusable output of the GA optimization path.
+type GAResult struct {
+	// Plans and Costs are the Pareto plan set with the model's cost
+	// vectors, deduplicated.
+	Plans []federation.Plan
+	Costs [][]float64
+	// ModelEvaluations counts distinct plan estimations performed.
+	ModelEvaluations int
+}
+
+// Select applies a user policy to the precomputed Pareto set — the
+// cheap per-policy step of the GA path (Figure 3, left). The policy's
+// Strategy field picks between Algorithm 2's weighted sum, knee-point
+// and lexicographic selection.
+func (r *GAResult) Select(pol Policy) (federation.Plan, error) {
+	if len(r.Plans) == 0 {
+		return federation.Plan{}, moo.ErrNoPlans
+	}
+	normalized := moo.NormalizeCosts(r.Costs)
+	idx, err := selectFromParetoSet(r.Costs, normalized, pol)
+	if err != nil {
+		return federation.Plan{}, err
+	}
+	return r.Plans[idx], nil
+}
+
+// OptimizeGA runs the NSGA-II path once for query q, returning the
+// Pareto plan set for later policy selections.
+func (s *Scheduler) OptimizeGA(q tpch.QueryID, cfg moo.NSGAIIConfig) (*GAResult, error) {
+	h := s.History(q)
+	if h.Len() == 0 {
+		return nil, fmt.Errorf("%w: %v", ErrNoHistory, q)
+	}
+	leftTable, rightTable := q.Tables()
+	leftSite, err := s.Fed.SiteOf(leftTable)
+	if err != nil {
+		return nil, err
+	}
+	rightSite, err := s.Fed.SiteOf(rightTable)
+	if err != nil {
+		return nil, err
+	}
+	prob := &planProblem{
+		sched:    s,
+		query:    q,
+		history:  h,
+		choices:  s.NodeChoices,
+		maxLeft:  leftSite.MaxNodes,
+		maxRight: rightSite.MaxNodes,
+		cache:    make(map[federation.Plan][]float64),
+	}
+	res, err := moo.NSGAII(prob, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if prob.err != nil {
+		return nil, prob.err
+	}
+	out := &GAResult{ModelEvaluations: prob.evals}
+	seen := make(map[federation.Plan]bool)
+	for _, ind := range res.Front {
+		plan := prob.decode(ind.X)
+		if seen[plan] {
+			continue
+		}
+		seen[plan] = true
+		out.Plans = append(out.Plans, plan)
+		out.Costs = append(out.Costs, prob.cache[plan])
+	}
+	return out, nil
+}
+
+// WSMResult reports one run of the Weighted Sum Model path.
+type WSMResult struct {
+	Plan federation.Plan
+	// ModelEvaluations counts plan estimations; the WSM path pays this
+	// again for every policy change.
+	ModelEvaluations int
+}
+
+// OptimizeWSM runs the weighted-sum path (Figure 3, right): estimate
+// every enumerated plan, scalarize with the current weights, return the
+// argmin. There is no reusable artifact — a changed policy reruns this.
+func (s *Scheduler) OptimizeWSM(q tpch.QueryID, pol Policy) (*WSMResult, error) {
+	h := s.History(q)
+	if h.Len() == 0 {
+		return nil, fmt.Errorf("%w: %v", ErrNoHistory, q)
+	}
+	plans, err := s.Fed.EnumeratePlans(q, s.NodeChoices)
+	if err != nil {
+		return nil, err
+	}
+	if len(plans) == 0 {
+		return nil, moo.ErrNoPlans
+	}
+	costs := make([][]float64, len(plans))
+	evals := 0
+	for i, p := range plans {
+		x, err := s.Exec.Features(p)
+		if err != nil {
+			return nil, err
+		}
+		c, err := s.Model.Estimate(h, x)
+		if err != nil {
+			return nil, err
+		}
+		for j, v := range c {
+			if v < 0 {
+				c[j] = 0
+			}
+		}
+		costs[i] = c
+		evals++
+	}
+	weights := pol.Weights
+	if len(weights) == 0 {
+		weights = []float64{1, 1}
+	}
+	idx, err := moo.ArgminWeightedSum(moo.NormalizeCosts(costs), weights)
+	if err != nil {
+		return nil, err
+	}
+	return &WSMResult{Plan: plans[idx], ModelEvaluations: evals}, nil
+}

@@ -1,0 +1,305 @@
+// Package linalg provides the small dense linear-algebra kernel used by
+// the regression and machine-learning packages: row-major matrices,
+// products, transposes, and Gaussian-elimination solves.
+//
+// The package is deliberately minimal — it implements exactly what the
+// normal-equation solution of Multiple Linear Regression (paper eq. 12,
+// B = (AᵀA)⁻¹AᵀC) and the baseline learners need, with defensive error
+// returns instead of panics so callers can fall back (e.g. to ridge
+// regularization) when a window of observations is singular.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrSingular is returned when a solve or inverse meets a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// ErrShape is returned when operand dimensions are incompatible.
+var ErrShape = errors.New("linalg: incompatible matrix shapes")
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zero-valued rows×cols matrix.
+// It panics if either dimension is not positive, since that is always a
+// programming error at the call site.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty row set", ErrShape)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, i, len(r), m.cols)
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m, nil
+}
+
+// ColumnVector wraps a slice as an n×1 matrix. The slice is copied.
+func ColumnVector(v []float64) *Matrix {
+	m := New(len(v), 1)
+	copy(m.data, v)
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m·n.
+func (m *Matrix) Mul(n *Matrix) (*Matrix, error) {
+	if m.cols != n.rows {
+		return nil, fmt.Errorf("%w: %dx%d · %dx%d", ErrShape, m.rows, m.cols, n.rows, n.cols)
+	}
+	out := New(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		mrow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			nrow := n.data[k*n.cols : (k+1)*n.cols]
+			for j, nv := range nrow {
+				orow[j] += mv * nv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m·v as a slice.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("%w: %dx%d · vec(%d)", ErrShape, m.rows, m.cols, len(v))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Add returns m + n.
+func (m *Matrix) Add(n *Matrix) (*Matrix, error) {
+	if m.rows != n.rows || m.cols != n.cols {
+		return nil, fmt.Errorf("%w: %dx%d + %dx%d", ErrShape, m.rows, m.cols, n.rows, n.cols)
+	}
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] + n.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns s·m as a new matrix.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = s * m.data[i]
+	}
+	return out
+}
+
+// AddDiagonal returns a copy of m with d added to each diagonal element.
+// It is the ridge-regularization primitive used when a window of
+// observations makes AᵀA singular.
+func (m *Matrix) AddDiagonal(d float64) (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("%w: AddDiagonal on %dx%d", ErrShape, m.rows, m.cols)
+	}
+	out := m.Clone()
+	for i := 0; i < m.rows; i++ {
+		out.data[i*m.cols+i] += d
+	}
+	return out, nil
+}
+
+// Solve solves m·x = b for x using Gaussian elimination with partial
+// pivoting. b must have the same number of rows as m; the returned x
+// has shape cols(m)×cols(b).
+func (m *Matrix) Solve(b *Matrix) (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("%w: solve needs square matrix, got %dx%d", ErrShape, m.rows, m.cols)
+	}
+	if b.rows != m.rows {
+		return nil, fmt.Errorf("%w: rhs has %d rows, want %d", ErrShape, b.rows, m.rows)
+	}
+	n := m.rows
+	// Work on augmented copies so m and b are untouched.
+	a := m.Clone()
+	x := b.Clone()
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the largest |a[row][col]| at or below the diagonal.
+		pivot := col
+		maxAbs := math.Abs(a.data[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.data[r*n+col]); v > maxAbs {
+				maxAbs, pivot = v, r
+			}
+		}
+		if maxAbs < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(x, pivot, col)
+		}
+		pv := a.data[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := a.data[r*n+col] / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a.data[r*n+c] -= f * a.data[col*n+c]
+			}
+			for c := 0; c < x.cols; c++ {
+				x.data[r*x.cols+c] -= f * x.data[col*x.cols+c]
+			}
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		pv := a.data[col*n+col]
+		for c := 0; c < x.cols; c++ {
+			s := x.data[col*x.cols+c]
+			for k := col + 1; k < n; k++ {
+				s -= a.data[col*n+k] * x.data[k*x.cols+c]
+			}
+			x.data[col*x.cols+c] = s / pv
+		}
+	}
+	return x, nil
+}
+
+// SolveVec solves m·x = b for a vector right-hand side.
+func (m *Matrix) SolveVec(b []float64) ([]float64, error) {
+	x, err := m.Solve(ColumnVector(b))
+	if err != nil {
+		return nil, err
+	}
+	return x.Col(0), nil
+}
+
+// Inverse returns m⁻¹ via Solve against the identity.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("%w: inverse of %dx%d", ErrShape, m.rows, m.cols)
+	}
+	return m.Solve(Identity(m.rows))
+}
+
+// Equal reports whether m and n have the same shape and all elements
+// within tol of each other.
+func (m *Matrix) Equal(n *Matrix, tol float64) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i := range m.data {
+		if math.Abs(m.data[i]-n.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%.6g", m.At(i, j))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}

@@ -1,0 +1,195 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/regression"
+)
+
+// Huber is an iteratively-reweighted least-squares (IRLS) robust
+// regressor with the Huber loss. The paper's reference for "Least
+// squared regression" is Rousseeuw & Leroy's *Robust regression and
+// outlier detection*; this learner is the natural robust member of the
+// Modelling candidate set: latency spikes (stragglers, co-tenant bursts)
+// are outliers that plain OLS chases and Huber down-weights.
+type Huber struct {
+	// Delta is the Huber threshold in units of the residual scale
+	// (MAD); residuals beyond Delta·scale get down-weighted. Default
+	// 1.345 (95% Gaussian efficiency).
+	Delta float64
+	// MaxIterations bounds the IRLS loop; default 30.
+	MaxIterations int
+	// Tolerance stops iteration when coefficients move less than this
+	// (relative); default 1e-8.
+	Tolerance float64
+}
+
+// Name implements Learner.
+func (Huber) Name() string { return "huber" }
+
+// Train implements Learner.
+func (h Huber) Train(samples []regression.Sample) (Predictor, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	delta := h.Delta
+	if delta <= 0 {
+		delta = 1.345
+	}
+	maxIter := h.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 30
+	}
+	tol := h.Tolerance
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	dim := len(samples[0].X)
+	if len(samples) < regression.MinObservations(dim) {
+		return nil, fmt.Errorf("ml: huber: %w", regression.ErrTooFewObservations)
+	}
+	for i, s := range samples {
+		if len(s.X) != dim {
+			return nil, fmt.Errorf("ml: huber: sample %d: %w", i, regression.ErrDimension)
+		}
+	}
+
+	// Design matrix with intercept column and response vector.
+	a := linalg.New(len(samples), dim+1)
+	c := make([]float64, len(samples))
+	for i, s := range samples {
+		a.Set(i, 0, 1)
+		for j, v := range s.X {
+			a.Set(i, j+1, v)
+		}
+		c[i] = s.C
+	}
+
+	// Initialize with unit weights (= OLS).
+	weightsVec := make([]float64, len(samples))
+	for i := range weightsVec {
+		weightsVec[i] = 1
+	}
+	beta, err := solveWLS(a, c, weightsVec)
+	if err != nil {
+		return nil, fmt.Errorf("ml: huber: initial fit: %w", err)
+	}
+
+	residuals := make([]float64, len(samples))
+	for iter := 0; iter < maxIter; iter++ {
+		fitted, err := a.MulVec(beta)
+		if err != nil {
+			return nil, err
+		}
+		for i := range residuals {
+			residuals[i] = c[i] - fitted[i]
+		}
+		scale := madScale(residuals)
+		if scale < 1e-12 {
+			break // (near-)exact fit: nothing to robustify
+		}
+		for i, r := range residuals {
+			if ar := math.Abs(r); ar > delta*scale {
+				weightsVec[i] = delta * scale / ar
+			} else {
+				weightsVec[i] = 1
+			}
+		}
+		newBeta, err := solveWLS(a, c, weightsVec)
+		if err != nil {
+			return nil, fmt.Errorf("ml: huber: reweighted fit: %w", err)
+		}
+		var change, magnitude float64
+		for j := range beta {
+			change += math.Abs(newBeta[j] - beta[j])
+			magnitude += math.Abs(beta[j])
+		}
+		beta = newBeta
+		if magnitude > 0 && change/magnitude < tol {
+			break
+		}
+	}
+	return huberPredictor{beta: beta, dim: dim}, nil
+}
+
+// solveWLS solves the weighted normal equations (AᵀWA)β = AᵀWc with a
+// tiny ridge retry on singular systems (mirroring regression.Fit).
+func solveWLS(a *linalg.Matrix, c, w []float64) ([]float64, error) {
+	n, p := a.Rows(), a.Cols()
+	wa := linalg.New(n, p)
+	wc := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			wa.Set(i, j, a.At(i, j)*w[i])
+		}
+		wc[i] = c[i] * w[i]
+	}
+	at := a.T()
+	ata, err := at.Mul(wa)
+	if err != nil {
+		return nil, err
+	}
+	atc, err := at.MulVec(wc)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := ata.SolveVec(atc)
+	if errors.Is(err, linalg.ErrSingular) {
+		reg, derr := ata.AddDiagonal(1e-8)
+		if derr != nil {
+			return nil, derr
+		}
+		beta, err = reg.SolveVec(atc)
+	}
+	return beta, err
+}
+
+type huberPredictor struct {
+	beta []float64
+	dim  int
+}
+
+func (p huberPredictor) Name() string { return "huber" }
+
+func (p huberPredictor) Predict(x []float64) (float64, error) {
+	if len(x) != p.dim {
+		return 0, regression.ErrDimension
+	}
+	c := p.beta[0]
+	for i, v := range x {
+		c += p.beta[i+1] * v
+	}
+	return c, nil
+}
+
+// madScale estimates the residual scale as 1.4826 × the median absolute
+// deviation, the standard robust sigma estimate.
+func madScale(residuals []float64) float64 {
+	abs := make([]float64, len(residuals))
+	for i, r := range residuals {
+		abs[i] = math.Abs(r)
+	}
+	return 1.4826 * median(abs)
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	// Insertion sort: residual vectors here are small.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return 0.5 * (s[mid-1] + s[mid])
+}

@@ -1,0 +1,154 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/regression"
+	"repro/internal/stats"
+)
+
+func TestHuberMatchesOLSOnCleanData(t *testing.T) {
+	train := linearSamples(20, 60, 0.3)
+	hub, err := Huber{}.Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hub.Name() != "huber" {
+		t.Errorf("Name = %q", hub.Name())
+	}
+	ols, err := LeastSquares{}.Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without outliers the two should agree closely.
+	for _, x := range [][]float64{{1, 1}, {5, 2}, {9, 9}} {
+		hv, err := hub.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ov, err := ols.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(hv-ov) > 0.5 {
+			t.Errorf("clean data: huber %v vs ols %v at %v", hv, ov, x)
+		}
+	}
+}
+
+func TestHuberResistsOutliers(t *testing.T) {
+	// True model c = 2 + 3x₁ − x₂; 10% of points are wild stragglers.
+	rng := stats.NewRNG(21)
+	train := make([]regression.Sample, 80)
+	for i := range train {
+		x1, x2 := rng.Uniform(0, 10), rng.Uniform(0, 10)
+		c := 2 + 3*x1 - x2 + rng.Normal(0, 0.3)
+		if i%10 == 0 {
+			c += 200 // latency spike
+		}
+		train[i] = regression.Sample{X: []float64{x1, x2}, C: c}
+	}
+	hub, err := Huber{}.Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ols, err := LeastSquares{}.Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare prediction error against the clean function.
+	var hubErr, olsErr float64
+	for i := 0; i < 50; i++ {
+		x1, x2 := rng.Uniform(0, 10), rng.Uniform(0, 10)
+		truth := 2 + 3*x1 - x2
+		hv, err := hub.Predict([]float64{x1, x2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ov, err := ols.Predict([]float64{x1, x2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hubErr += math.Abs(hv - truth)
+		olsErr += math.Abs(ov - truth)
+	}
+	if hubErr >= olsErr {
+		t.Errorf("huber error %v not better than OLS %v under 10%% outliers", hubErr, olsErr)
+	}
+	// And decisively so: OLS absorbs the +200 spikes into its intercept.
+	if hubErr > olsErr/2 {
+		t.Logf("huber %v vs ols %v (weak margin)", hubErr, olsErr)
+	}
+}
+
+func TestHuberValidation(t *testing.T) {
+	if _, err := (Huber{}).Train(nil); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("got %v, want ErrNoSamples", err)
+	}
+	// Too few samples propagate the regression error.
+	if _, err := (Huber{}).Train(linearSamples(1, 2, 0)); err == nil {
+		t.Error("trained on 2 samples for 2 features")
+	}
+	p, err := Huber{}.Train(linearSamples(2, 30, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Predict([]float64{1}); !errors.Is(err, regression.ErrDimension) {
+		t.Errorf("predict wrong dim: got %v, want ErrDimension", err)
+	}
+}
+
+func TestHuberExactFitEarlyStop(t *testing.T) {
+	// Noise-free data: the MAD scale collapses and the loop must exit.
+	var train []regression.Sample
+	rng := stats.NewRNG(3)
+	for i := 0; i < 20; i++ {
+		x := rng.Uniform(0, 10)
+		train = append(train, regression.Sample{X: []float64{x}, C: 1 + 2*x})
+	}
+	p, err := Huber{}.Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Predict([]float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-9) > 1e-6 {
+		t.Errorf("exact-fit prediction = %v, want 9", v)
+	}
+}
+
+func TestHuberInBMLCandidateSet(t *testing.T) {
+	// BML with Huber added must still select sensibly.
+	cands := append(DefaultCandidates(1), Huber{})
+	train := linearSamples(4, 50, 0.5)
+	p, sel, err := BML{Candidates: cands}.TrainSelect(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.CVError) != 4 {
+		t.Errorf("CV scored %d candidates, want 4", len(sel.CVError))
+	}
+	if _, err := p.Predict([]float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianAndMAD(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median odd = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("median even = %v", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Errorf("median empty = %v", m)
+	}
+	s := madScale([]float64{-1, 0, 1, 2, -2})
+	if s <= 0 {
+		t.Errorf("madScale = %v", s)
+	}
+}

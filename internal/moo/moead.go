@@ -1,0 +1,188 @@
+package moo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// MOEADConfig parameterizes MOEA/D.
+type MOEADConfig struct {
+	// Subproblems is the number of weight vectors (population size);
+	// defaults to 100.
+	Subproblems int
+	// Neighbors is the neighbourhood size T; defaults to 10% of the
+	// subproblems (at least 2).
+	Neighbors int
+	// Generations defaults to 100.
+	Generations int
+	// CrossoverProb, EtaCrossover, MutationProb, EtaMutation follow the
+	// NSGA-II defaults.
+	CrossoverProb float64
+	EtaCrossover  float64
+	MutationProb  float64
+	EtaMutation   float64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// MOEAD implements MOEA/D (Zhang & Li 2007, the paper's reference [36]):
+// the multi-objective problem is decomposed into scalar subproblems via
+// Tchebycheff aggregation over a uniform spread of weight vectors, and
+// each subproblem is optimized using solutions of its neighbours.
+// Two-objective problems only — which covers the paper's (time, money)
+// MOQP space.
+func MOEAD(p Problem, cfg MOEADConfig) (*Result, error) {
+	lo, hi, err := validateBounds(p)
+	if err != nil {
+		return nil, err
+	}
+	dim := len(lo)
+	if cfg.Subproblems <= 1 {
+		cfg.Subproblems = 100
+	}
+	if cfg.Neighbors <= 1 {
+		cfg.Neighbors = cfg.Subproblems / 10
+		if cfg.Neighbors < 2 {
+			cfg.Neighbors = 2
+		}
+	}
+	if cfg.Neighbors > cfg.Subproblems {
+		cfg.Neighbors = cfg.Subproblems
+	}
+	if cfg.Generations <= 0 {
+		cfg.Generations = 100
+	}
+	ga := NSGAIIConfig{
+		CrossoverProb: cfg.CrossoverProb,
+		EtaCrossover:  cfg.EtaCrossover,
+		MutationProb:  cfg.MutationProb,
+		EtaMutation:   cfg.EtaMutation,
+	}
+	if ga.CrossoverProb <= 0 {
+		ga.CrossoverProb = 0.9
+	}
+	if ga.MutationProb <= 0 {
+		ga.MutationProb = 1 / float64(dim)
+	}
+	if ga.EtaCrossover <= 0 {
+		ga.EtaCrossover = 15
+	}
+	if ga.EtaMutation <= 0 {
+		ga.EtaMutation = 20
+	}
+	rng := stats.NewRNG(cfg.Seed)
+
+	evals := 0
+	eval := func(x []float64) []float64 {
+		evals++
+		return p.Evaluate(x)
+	}
+
+	n := cfg.Subproblems
+	// Uniform weight vectors for two objectives.
+	weights := make([][2]float64, n)
+	for i := range weights {
+		w := float64(i) / float64(n-1)
+		weights[i] = [2]float64{w, 1 - w}
+	}
+	// Neighbourhoods: the T closest weight vectors.
+	neighbors := make([][]int, n)
+	for i := range neighbors {
+		idx := make([]int, n)
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			da := math.Abs(weights[idx[a]][0] - weights[i][0])
+			db := math.Abs(weights[idx[b]][0] - weights[i][0])
+			return da < db
+		})
+		neighbors[i] = idx[:cfg.Neighbors]
+	}
+
+	pop := make([]Individual, n)
+	nObj := 0
+	for i := range pop {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.Uniform(lo[j], hi[j])
+		}
+		pop[i] = Individual{X: x, Costs: eval(x)}
+		if i == 0 {
+			nObj = len(pop[i].Costs)
+		}
+	}
+	if nObj != 2 {
+		return nil, fmt.Errorf("moo: MOEAD supports exactly 2 objectives, problem has %d", nObj)
+	}
+
+	// Ideal point z*.
+	z := []float64{math.Inf(1), math.Inf(1)}
+	updateIdeal := func(c []float64) {
+		for m := 0; m < 2; m++ {
+			if c[m] < z[m] {
+				z[m] = c[m]
+			}
+		}
+	}
+	for i := range pop {
+		updateIdeal(pop[i].Costs)
+	}
+	tcheby := func(c []float64, w [2]float64) float64 {
+		// max of w_m · |c_m − z_m| with a small floor on weights so
+		// extreme vectors still consider both objectives.
+		best := 0.0
+		for m := 0; m < 2; m++ {
+			wm := w[m]
+			if wm < 1e-4 {
+				wm = 1e-4
+			}
+			if v := wm * math.Abs(c[m]-z[m]); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		for i := 0; i < n; i++ {
+			nb := neighbors[i]
+			p1 := pop[nb[rng.Intn(len(nb))]]
+			p2 := pop[nb[rng.Intn(len(nb))]]
+			c1, _ := sbxCrossover(p1.X, p2.X, lo, hi, ga, rng)
+			polynomialMutate(c1, lo, hi, ga, rng)
+			child := Individual{X: c1, Costs: eval(c1)}
+			updateIdeal(child.Costs)
+			for _, j := range nb {
+				if tcheby(child.Costs, weights[j]) < tcheby(pop[j].Costs, weights[j]) {
+					pop[j] = child
+				}
+			}
+		}
+	}
+
+	costs := costsOf(pop)
+	fronts, err := NonDominatedSort(costs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Population: pop, Evaluations: evals}
+	for rank, front := range fronts {
+		for _, i := range front {
+			pop[i].Rank = rank
+		}
+	}
+	seen := make(map[string]bool)
+	for _, i := range fronts[0] {
+		key := fmt.Sprint(pop[i].Costs)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		res.Front = append(res.Front, pop[i])
+	}
+	return res, nil
+}

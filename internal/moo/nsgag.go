@@ -1,0 +1,201 @@
+package moo
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// NSGAG runs NSGA-G, the grid-based NSGA variant the authors proposed
+// in companion work (Le, Kantere, d'Orazio, BPOD@BigData 2018) and cite
+// as a Multi-Objective Optimizer candidate. It follows the NSGA-II
+// loop but replaces crowding-distance truncation of the final partial
+// front with *grid selection*: the objective space of the front is cut
+// into Divisions^M cells and survivors are drawn round-robin from the
+// least-populated cells, which spreads the front at lower selection
+// cost than sorting every objective.
+func NSGAG(p Problem, cfg NSGAIIConfig, divisions int) (*Result, error) {
+	if divisions <= 0 {
+		divisions = 4
+	}
+	lo, hi, err := validateBounds(p)
+	if err != nil {
+		return nil, err
+	}
+	dim := len(lo)
+	if cfg.PopSize <= 0 {
+		cfg.PopSize = 100
+	}
+	if cfg.PopSize%2 == 1 {
+		cfg.PopSize++
+	}
+	if cfg.Generations <= 0 {
+		cfg.Generations = 100
+	}
+	if cfg.CrossoverProb <= 0 {
+		cfg.CrossoverProb = 0.9
+	}
+	if cfg.MutationProb <= 0 {
+		cfg.MutationProb = 1 / float64(dim)
+	}
+	if cfg.EtaCrossover <= 0 {
+		cfg.EtaCrossover = 15
+	}
+	if cfg.EtaMutation <= 0 {
+		cfg.EtaMutation = 20
+	}
+	rng := stats.NewRNG(cfg.Seed)
+
+	evals := 0
+	eval := func(x []float64) []float64 {
+		evals++
+		return p.Evaluate(x)
+	}
+
+	pop := make([]Individual, cfg.PopSize)
+	for i := range pop {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.Uniform(lo[j], hi[j])
+		}
+		pop[i] = Individual{X: x, Costs: eval(x)}
+	}
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		ranks, crowd, err := rankAndCrowd(pop)
+		if err != nil {
+			return nil, err
+		}
+		offspring := make([]Individual, 0, cfg.PopSize)
+		for len(offspring) < cfg.PopSize {
+			p1 := tournament(pop, ranks, crowd, rng)
+			p2 := tournament(pop, ranks, crowd, rng)
+			c1, c2 := sbxCrossover(p1.X, p2.X, lo, hi, cfg, rng)
+			polynomialMutate(c1, lo, hi, cfg, rng)
+			polynomialMutate(c2, lo, hi, cfg, rng)
+			offspring = append(offspring,
+				Individual{X: c1, Costs: eval(c1)},
+				Individual{X: c2, Costs: eval(c2)})
+		}
+		combined := append(pop, offspring...)
+		pop, err = gridSelection(combined, cfg.PopSize, divisions, rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	costs := costsOf(pop)
+	fronts, err := NonDominatedSort(costs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Population: pop, Evaluations: evals}
+	for rank, front := range fronts {
+		for _, i := range front {
+			pop[i].Rank = rank
+		}
+	}
+	for _, i := range fronts[0] {
+		res.Front = append(res.Front, pop[i])
+	}
+	return res, nil
+}
+
+// gridSelection keeps n individuals: whole fronts first, then fills the
+// remainder from the partial front by drawing round-robin from the
+// least-populated grid cells.
+func gridSelection(combined []Individual, n, divisions int, rng *stats.RNG) ([]Individual, error) {
+	costs := costsOf(combined)
+	fronts, err := NonDominatedSort(costs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Individual, 0, n)
+	for _, front := range fronts {
+		if len(out)+len(front) <= n {
+			for _, i := range front {
+				out = append(out, combined[i])
+			}
+			continue
+		}
+		need := n - len(out)
+		for _, i := range pickFromGrid(costs, front, need, divisions, rng) {
+			out = append(out, combined[i])
+		}
+		break
+	}
+	return out, nil
+}
+
+// pickFromGrid buckets the front into grid cells over its own
+// objective-space bounding box and draws `need` members, visiting the
+// emptiest cells first and picking randomly inside each cell.
+func pickFromGrid(costs [][]float64, front []int, need, divisions int, rng *stats.RNG) []int {
+	if need >= len(front) {
+		return front
+	}
+	nObj := len(costs[front[0]])
+	lo := make([]float64, nObj)
+	hi := make([]float64, nObj)
+	for m := range lo {
+		lo[m], hi[m] = math.Inf(1), math.Inf(-1)
+	}
+	for _, i := range front {
+		for m, v := range costs[i] {
+			if v < lo[m] {
+				lo[m] = v
+			}
+			if v > hi[m] {
+				hi[m] = v
+			}
+		}
+	}
+	cellOf := func(i int) string {
+		// Encode the cell coordinates compactly; nObj is small (2–3).
+		key := make([]byte, 0, nObj*2)
+		for m, v := range costs[i] {
+			var c int
+			if hi[m] > lo[m] {
+				c = int(float64(divisions) * (v - lo[m]) / (hi[m] - lo[m]))
+				if c == divisions {
+					c = divisions - 1
+				}
+			}
+			key = append(key, byte(m), byte(c))
+		}
+		return string(key)
+	}
+	cells := make(map[string][]int)
+	for _, i := range front {
+		k := cellOf(i)
+		cells[k] = append(cells[k], i)
+	}
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	// Emptiest cells first; deterministic tie-break on the key.
+	sort.Slice(keys, func(a, b int) bool {
+		if len(cells[keys[a]]) != len(cells[keys[b]]) {
+			return len(cells[keys[a]]) < len(cells[keys[b]])
+		}
+		return keys[a] < keys[b]
+	})
+	picked := make([]int, 0, need)
+	for len(picked) < need {
+		for _, k := range keys {
+			members := cells[k]
+			if len(members) == 0 {
+				continue
+			}
+			j := rng.Intn(len(members))
+			picked = append(picked, members[j])
+			cells[k] = append(members[:j], members[j+1:]...)
+			if len(picked) == need {
+				break
+			}
+		}
+	}
+	return picked
+}

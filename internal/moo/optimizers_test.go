@@ -1,0 +1,197 @@
+package moo
+
+import (
+	"math"
+	"testing"
+)
+
+// frontQuality returns the mean distance of a front to the true ZDT1
+// front f2 = 1 − sqrt(f1) plus its f1 spread.
+func frontQuality(front []Individual) (meanDist, spread float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, ind := range front {
+		want := 1 - math.Sqrt(ind.Costs[0])
+		meanDist += math.Abs(ind.Costs[1] - want)
+		if ind.Costs[0] < lo {
+			lo = ind.Costs[0]
+		}
+		if ind.Costs[0] > hi {
+			hi = ind.Costs[0]
+		}
+	}
+	return meanDist / float64(len(front)), hi - lo
+}
+
+func TestSPEA2OnSchaffer(t *testing.T) {
+	res, err := SPEA2(schaffer{}, NSGAIIConfig{PopSize: 40, Generations: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	for _, ind := range res.Front {
+		if ind.X[0] < -0.3 || ind.X[0] > 2.3 {
+			t.Errorf("SPEA2 front member x = %v outside Pareto set [0,2]", ind.X[0])
+		}
+	}
+	if res.Evaluations == 0 {
+		t.Error("no evaluations counted")
+	}
+}
+
+func TestSPEA2OnZDT1(t *testing.T) {
+	res, err := SPEA2(zdt1{dim: 6}, NSGAIIConfig{PopSize: 60, Generations: 80, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, spread := frontQuality(res.Front)
+	if dist > 0.25 {
+		t.Errorf("SPEA2 mean distance to ZDT1 front = %v, want < 0.25", dist)
+	}
+	if spread < 0.4 {
+		t.Errorf("SPEA2 f1 spread = %v, want ≥ 0.4", spread)
+	}
+}
+
+func TestSPEA2FrontNonDominated(t *testing.T) {
+	res, err := SPEA2(zdt1{dim: 4}, NSGAIIConfig{PopSize: 30, Generations: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Front {
+		for j, b := range res.Front {
+			if i == j {
+				continue
+			}
+			dom, err := ParetoDominates(a.Costs, b.Costs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dom {
+				t.Fatalf("front member %d dominates %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSPEA2Deterministic(t *testing.T) {
+	run := func() []Individual {
+		res, err := SPEA2(schaffer{}, NSGAIIConfig{PopSize: 16, Generations: 10, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Front
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("same-seed SPEA2 runs differ: %d vs %d front members", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Costs[0] != b[i].Costs[0] {
+			t.Fatal("same-seed SPEA2 runs produced different fronts")
+		}
+	}
+}
+
+func TestSPEA2BadBounds(t *testing.T) {
+	if _, err := SPEA2(badBounds{}, NSGAIIConfig{PopSize: 4, Generations: 1}); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestMOEADOnSchaffer(t *testing.T) {
+	res, err := MOEAD(schaffer{}, MOEADConfig{Subproblems: 50, Generations: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	for _, ind := range res.Front {
+		if ind.X[0] < -0.3 || ind.X[0] > 2.3 {
+			t.Errorf("MOEA/D front member x = %v outside Pareto set", ind.X[0])
+		}
+	}
+}
+
+func TestMOEADOnZDT1(t *testing.T) {
+	res, err := MOEAD(zdt1{dim: 6}, MOEADConfig{Subproblems: 60, Generations: 120, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, spread := frontQuality(res.Front)
+	if dist > 0.25 {
+		t.Errorf("MOEA/D mean distance to ZDT1 front = %v, want < 0.25", dist)
+	}
+	if spread < 0.4 {
+		t.Errorf("MOEA/D f1 spread = %v, want ≥ 0.4", spread)
+	}
+}
+
+func TestMOEADDefaultsAndDeterminism(t *testing.T) {
+	run := func() *Result {
+		res, err := MOEAD(schaffer{}, MOEADConfig{Subproblems: 20, Generations: 10, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Front) != len(b.Front) {
+		t.Fatal("same-seed MOEA/D runs differ")
+	}
+	if a.Evaluations != b.Evaluations {
+		t.Fatal("evaluation counts differ between same-seed runs")
+	}
+	// Defaults path: zero config values.
+	if _, err := MOEAD(schaffer{}, MOEADConfig{Subproblems: 8, Generations: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMOEADRejectsNon2Objective(t *testing.T) {
+	if _, err := MOEAD(threeObj{}, MOEADConfig{Subproblems: 8, Generations: 2}); err == nil {
+		t.Error("3-objective problem accepted by 2-objective MOEA/D")
+	}
+}
+
+type threeObj struct{}
+
+func (threeObj) Bounds() (lo, hi []float64) { return []float64{0}, []float64{1} }
+func (threeObj) Evaluate(x []float64) []float64 {
+	return []float64{x[0], 1 - x[0], x[0] * x[0]}
+}
+
+// TestOptimizersComparableOnZDT1 cross-checks that all four optimizers
+// land on the same front within tolerance — the ablation the paper's
+// §2.4 implies when it lists them as interchangeable candidates.
+func TestOptimizersComparableOnZDT1(t *testing.T) {
+	type runner struct {
+		name string
+		run  func() (*Result, error)
+	}
+	for _, r := range []runner{
+		{"nsga2", func() (*Result, error) {
+			return NSGAII(zdt1{dim: 6}, NSGAIIConfig{PopSize: 60, Generations: 80, Seed: 11})
+		}},
+		{"nsgag", func() (*Result, error) {
+			return NSGAG(zdt1{dim: 6}, NSGAIIConfig{PopSize: 60, Generations: 80, Seed: 11}, 6)
+		}},
+		{"spea2", func() (*Result, error) {
+			return SPEA2(zdt1{dim: 6}, NSGAIIConfig{PopSize: 60, Generations: 80, Seed: 11})
+		}},
+		{"moead", func() (*Result, error) {
+			return MOEAD(zdt1{dim: 6}, MOEADConfig{Subproblems: 60, Generations: 80, Seed: 11})
+		}},
+	} {
+		res, err := r.run()
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		dist, _ := frontQuality(res.Front)
+		if dist > 0.3 {
+			t.Errorf("%s: mean distance to ZDT1 front = %v, want < 0.3", r.name, dist)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package moo
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 3}, []float64{2, 2}, false},
+		{[]float64{2, 2}, []float64{2, 2}, true}, // weak dominance (eq. 1)
+		{[]float64{1, 2}, []float64{1, 2}, true},
+	}
+	for _, c := range cases {
+		got, err := Dominates(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := Dominates([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("got %v, want ErrDimension", err)
+	}
+}
+
+func TestStrictlyDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{2, 2}, false}, // equality blocks strictness
+		{[]float64{2, 2}, []float64{2, 2}, false},
+	}
+	for _, c := range cases {
+		got, err := StrictlyDominates(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("StrictlyDominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := StrictlyDominates([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("got %v, want ErrDimension", err)
+	}
+}
+
+func TestParetoDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{2, 2}, true}, // better in one, equal in other
+		{[]float64{2, 2}, []float64{2, 2}, false},
+		{[]float64{3, 1}, []float64{2, 2}, false},
+	}
+	for _, c := range cases {
+		got, err := ParetoDominates(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("ParetoDominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	costs := [][]float64{
+		{1, 5}, // front
+		{2, 4}, // front
+		{3, 3}, // front
+		{3, 5}, // dominated by {3,3} and {2,4}
+		{5, 1}, // front
+		{6, 6}, // dominated
+	}
+	front, err := ParetoFront(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{0: true, 1: true, 2: true, 4: true}
+	if len(front) != len(want) {
+		t.Fatalf("front = %v, want indices %v", front, want)
+	}
+	for _, i := range front {
+		if !want[i] {
+			t.Errorf("index %d in front but is dominated", i)
+		}
+	}
+}
+
+func TestParetoFrontIdenticalPoints(t *testing.T) {
+	costs := [][]float64{{1, 1}, {1, 1}, {2, 2}}
+	front, err := ParetoFront(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) != 2 {
+		t.Errorf("identical optima: front = %v, want both copies kept", front)
+	}
+}
+
+func TestNonDominatedSort(t *testing.T) {
+	costs := [][]float64{
+		{1, 1}, // F1
+		{2, 2}, // F2
+		{3, 3}, // F3
+		{1, 4}, // F1 (incomparable with {1,1}? no: {1,1} dominates {1,4}) → F2
+		{4, 1}, // dominated by {1,1} → F2
+	}
+	fronts, err := NonDominatedSort(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fronts[0]) != 1 || fronts[0][0] != 0 {
+		t.Errorf("F1 = %v, want [0]", fronts[0])
+	}
+	total := 0
+	for _, f := range fronts {
+		total += len(f)
+	}
+	if total != len(costs) {
+		t.Errorf("fronts cover %d points, want %d", total, len(costs))
+	}
+}
+
+// Property: every point in a later front is dominated by some point in
+// an earlier front, and F1 equals ParetoFront.
+func TestPropertyNonDominatedSortLayers(t *testing.T) {
+	f := func(raw []float64) bool {
+		// Build 2-objective points from the raw stream.
+		n := len(raw) / 2
+		if n < 2 || n > 40 {
+			return true
+		}
+		costs := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			a, b := raw[2*i], raw[2*i+1]
+			if a != a || b != b { // NaN
+				return true
+			}
+			costs[i] = []float64{a, b}
+		}
+		fronts, err := NonDominatedSort(costs)
+		if err != nil {
+			return false
+		}
+		pf, err := ParetoFront(costs)
+		if err != nil {
+			return false
+		}
+		if len(fronts[0]) != len(pf) {
+			return false
+		}
+		// Every member of front k>0 must be dominated by some member of
+		// front k-1.
+		for k := 1; k < len(fronts); k++ {
+			for _, i := range fronts[k] {
+				dominated := false
+				for _, j := range fronts[k-1] {
+					d, err := ParetoDominates(costs[j], costs[i])
+					if err != nil {
+						return false
+					}
+					if d {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dominance is transitive and antisymmetric (modulo equality).
+func TestPropertyDominanceLaws(t *testing.T) {
+	f := func(a, b, c [3]float64) bool {
+		av, bv, cv := a[:], b[:], c[:]
+		ab, _ := ParetoDominates(av, bv)
+		bc, _ := ParetoDominates(bv, cv)
+		ac, _ := ParetoDominates(av, cv)
+		if ab && bc && !ac {
+			return false // transitivity violated
+		}
+		ba, _ := ParetoDominates(bv, av)
+		return !(ab && ba) // antisymmetry
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+package moo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements alternative strategies for choosing one plan out
+// of a Pareto set — the paper's concluding future-work item ("we will
+// also define new strategies to choose QEPs in a Pareto Set"), built
+// alongside the weighted-sum BestInPareto of Algorithm 2.
+
+// ErrObjectiveCount is returned when a strategy does not support the
+// cost vectors' dimensionality.
+var ErrObjectiveCount = errors.New("moo: unsupported objective count")
+
+// KneePoint returns the index of the knee of a two-objective Pareto
+// set: the point farthest (on normalized axes) from the line joining
+// the two extreme points. The knee is the "best bang for the buck"
+// plan — moving away from it trades a lot of one objective for little
+// of the other — and needs no user weights at all.
+func KneePoint(costs [][]float64) (int, error) {
+	if len(costs) == 0 {
+		return 0, ErrNoPlans
+	}
+	if len(costs[0]) != 2 {
+		return 0, fmt.Errorf("%w: knee selection needs 2 objectives, got %d", ErrObjectiveCount, len(costs[0]))
+	}
+	if len(costs) == 1 {
+		return 0, nil
+	}
+	norm := NormalizeCosts(costs)
+	// Extreme points on the normalized axes.
+	bestF1, bestF2 := 0, 0
+	for i, c := range norm {
+		if c[0] < norm[bestF1][0] || (c[0] == norm[bestF1][0] && c[1] < norm[bestF1][1]) {
+			bestF1 = i
+		}
+		if c[1] < norm[bestF2][1] || (c[1] == norm[bestF2][1] && c[0] < norm[bestF2][0]) {
+			bestF2 = i
+		}
+	}
+	a, b := norm[bestF1], norm[bestF2]
+	dx, dy := b[0]-a[0], b[1]-a[1]
+	length := math.Hypot(dx, dy)
+	if length == 0 {
+		// Degenerate set (all identical after normalization): any
+		// member is a knee.
+		return bestF1, nil
+	}
+	best, bestDist := bestF1, -1.0
+	for i, c := range norm {
+		// Perpendicular distance to the extreme-point line; points on
+		// the convex side (toward the ideal point) score positive.
+		dist := math.Abs(dx*(a[1]-c[1])-dy*(a[0]-c[0])) / length
+		if dist > bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	return best, nil
+}
+
+// EpsilonConstraint minimizes the primary objective subject to upper
+// bounds on the others: plan i is feasible when costs[i][m] ≤
+// epsilons[m] for every non-primary objective m with a finite bound.
+// epsilons is indexed like the cost vectors; the primary entry is
+// ignored. If nothing is feasible, the plan closest to feasibility
+// (smallest total constraint violation) is returned.
+func EpsilonConstraint(costs [][]float64, primary int, epsilons []float64) (int, error) {
+	if len(costs) == 0 {
+		return 0, ErrNoPlans
+	}
+	nObj := len(costs[0])
+	if primary < 0 || primary >= nObj {
+		return 0, fmt.Errorf("%w: primary objective %d of %d", ErrDimension, primary, nObj)
+	}
+	if len(epsilons) != nObj {
+		return 0, fmt.Errorf("%w: %d epsilons for %d objectives", ErrDimension, len(epsilons), nObj)
+	}
+	best, bestVal := -1, math.Inf(1)
+	fallback, fallbackViolation := -1, math.Inf(1)
+	for i, c := range costs {
+		violation := 0.0
+		for m, e := range epsilons {
+			if m == primary || math.IsInf(e, 1) {
+				continue
+			}
+			if c[m] > e {
+				violation += c[m] - e
+			}
+		}
+		if violation == 0 {
+			if c[primary] < bestVal {
+				best, bestVal = i, c[primary]
+			}
+		} else if violation < fallbackViolation {
+			fallback, fallbackViolation = i, violation
+		}
+	}
+	if best >= 0 {
+		return best, nil
+	}
+	return fallback, nil
+}
+
+// Lexicographic orders objectives by priority: the plan minimizing the
+// first objective wins; ties within `tolerance` (relative) fall through
+// to the next objective, and so on. order lists objective indices by
+// decreasing priority and must be a permutation prefix (non-repeating,
+// in range).
+func Lexicographic(costs [][]float64, order []int, tolerance float64) (int, error) {
+	if len(costs) == 0 {
+		return 0, ErrNoPlans
+	}
+	nObj := len(costs[0])
+	if len(order) == 0 {
+		return 0, fmt.Errorf("%w: empty priority order", ErrDimension)
+	}
+	seen := make(map[int]bool, len(order))
+	for _, m := range order {
+		if m < 0 || m >= nObj {
+			return 0, fmt.Errorf("%w: objective %d of %d", ErrDimension, m, nObj)
+		}
+		if seen[m] {
+			return 0, fmt.Errorf("%w: objective %d repeated in priority order", ErrDimension, m)
+		}
+		seen[m] = true
+	}
+	if tolerance < 0 {
+		tolerance = 0
+	}
+	candidates := make([]int, len(costs))
+	for i := range candidates {
+		candidates[i] = i
+	}
+	for _, m := range order {
+		bestVal := math.Inf(1)
+		for _, i := range candidates {
+			if costs[i][m] < bestVal {
+				bestVal = costs[i][m]
+			}
+		}
+		cut := bestVal * (1 + tolerance)
+		if bestVal < 0 {
+			cut = bestVal * (1 - tolerance)
+		}
+		next := candidates[:0]
+		for _, i := range candidates {
+			if costs[i][m] <= cut {
+				next = append(next, i)
+			}
+		}
+		candidates = next
+		if len(candidates) == 1 {
+			break
+		}
+	}
+	return candidates[0], nil
+}

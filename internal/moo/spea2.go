@@ -1,0 +1,236 @@
+package moo
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// SPEA2 implements the Strength Pareto Evolutionary Algorithm 2
+// (Zitzler, Laumanns, Thiele 2001), one of the Pareto-dominance
+// optimizers the paper lists as Multi-Objective Optimizer candidates
+// (its reference [37]). It maintains a fixed-size archive of the best
+// individuals; fitness combines dominance *strength* with a k-nearest-
+// neighbour density estimate, and archive truncation removes the most
+// crowded members first.
+func SPEA2(p Problem, cfg NSGAIIConfig) (*Result, error) {
+	lo, hi, err := validateBounds(p)
+	if err != nil {
+		return nil, err
+	}
+	dim := len(lo)
+	if cfg.PopSize <= 0 {
+		cfg.PopSize = 100
+	}
+	if cfg.Generations <= 0 {
+		cfg.Generations = 100
+	}
+	if cfg.CrossoverProb <= 0 {
+		cfg.CrossoverProb = 0.9
+	}
+	if cfg.MutationProb <= 0 {
+		cfg.MutationProb = 1 / float64(dim)
+	}
+	if cfg.EtaCrossover <= 0 {
+		cfg.EtaCrossover = 15
+	}
+	if cfg.EtaMutation <= 0 {
+		cfg.EtaMutation = 20
+	}
+	archiveSize := cfg.PopSize
+	rng := stats.NewRNG(cfg.Seed)
+
+	evals := 0
+	eval := func(x []float64) []float64 {
+		evals++
+		return p.Evaluate(x)
+	}
+
+	pop := make([]Individual, cfg.PopSize)
+	for i := range pop {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.Uniform(lo[j], hi[j])
+		}
+		pop[i] = Individual{X: x, Costs: eval(x)}
+	}
+	var archive []Individual
+
+	for gen := 0; gen <= cfg.Generations; gen++ {
+		union := append(append([]Individual{}, pop...), archive...)
+		fitness, err := spea2Fitness(union)
+		if err != nil {
+			return nil, err
+		}
+		// Environmental selection: all non-dominated members (fitness
+		// < 1); truncate or fill to archiveSize.
+		var next []int
+		for i, f := range fitness {
+			if f < 1 {
+				next = append(next, i)
+			}
+		}
+		switch {
+		case len(next) > archiveSize:
+			next = spea2Truncate(union, next, archiveSize)
+		case len(next) < archiveSize:
+			// Fill with the best dominated individuals.
+			rest := make([]int, 0, len(union)-len(next))
+			inNext := make(map[int]bool, len(next))
+			for _, i := range next {
+				inNext[i] = true
+			}
+			for i := range union {
+				if !inNext[i] {
+					rest = append(rest, i)
+				}
+			}
+			sort.Slice(rest, func(a, b int) bool { return fitness[rest[a]] < fitness[rest[b]] })
+			for _, i := range rest {
+				if len(next) == archiveSize {
+					break
+				}
+				next = append(next, i)
+			}
+		}
+		archive = make([]Individual, len(next))
+		for i, idx := range next {
+			archive[i] = union[idx]
+		}
+		if gen == cfg.Generations {
+			break
+		}
+
+		// Mating selection: binary tournaments on the archive by
+		// fitness (recomputed over the archive slice order).
+		archFitness, err := spea2Fitness(archive)
+		if err != nil {
+			return nil, err
+		}
+		tournament := func() Individual {
+			a, b := rng.Intn(len(archive)), rng.Intn(len(archive))
+			if archFitness[a] <= archFitness[b] {
+				return archive[a]
+			}
+			return archive[b]
+		}
+		offspring := make([]Individual, 0, cfg.PopSize)
+		for len(offspring) < cfg.PopSize {
+			p1, p2 := tournament(), tournament()
+			c1, c2 := sbxCrossover(p1.X, p2.X, lo, hi, cfg, rng)
+			polynomialMutate(c1, lo, hi, cfg, rng)
+			polynomialMutate(c2, lo, hi, cfg, rng)
+			offspring = append(offspring,
+				Individual{X: c1, Costs: eval(c1)},
+				Individual{X: c2, Costs: eval(c2)})
+		}
+		pop = offspring[:cfg.PopSize]
+	}
+
+	// Report the non-dominated members of the final archive.
+	costs := costsOf(archive)
+	fronts, err := NonDominatedSort(costs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Population: archive, Evaluations: evals}
+	for rank, front := range fronts {
+		for _, i := range front {
+			archive[i].Rank = rank
+		}
+	}
+	for _, i := range fronts[0] {
+		res.Front = append(res.Front, archive[i])
+	}
+	return res, nil
+}
+
+// spea2Fitness computes R(i) + D(i): raw fitness (sum of strengths of
+// dominators) plus the k-NN density term.
+func spea2Fitness(pop []Individual) ([]float64, error) {
+	n := len(pop)
+	strength := make([]int, n)
+	dominators := make([][]int, n) // dominators[i]: indices dominating i
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dom, err := ParetoDominates(pop[i].Costs, pop[j].Costs)
+			if err != nil {
+				return nil, err
+			}
+			if dom {
+				strength[i]++
+				dominators[j] = append(dominators[j], i)
+			}
+		}
+	}
+	k := int(math.Sqrt(float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	fitness := make([]float64, n)
+	dists := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		raw := 0.0
+		for _, d := range dominators[i] {
+			raw += float64(strength[d])
+		}
+		dists = dists[:0]
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dists = append(dists, objDistance(pop[i].Costs, pop[j].Costs))
+		}
+		sort.Float64s(dists)
+		kd := 0.0
+		if len(dists) > 0 {
+			idx := k - 1
+			if idx >= len(dists) {
+				idx = len(dists) - 1
+			}
+			kd = dists[idx]
+		}
+		fitness[i] = raw + 1/(kd+2)
+	}
+	return fitness, nil
+}
+
+// spea2Truncate removes archive members whose nearest neighbour is
+// closest, one at a time, until size members remain.
+func spea2Truncate(pop []Individual, members []int, size int) []int {
+	current := append([]int{}, members...)
+	for len(current) > size {
+		// Find the member with the minimal distance to its nearest
+		// remaining neighbour.
+		worst, worstDist := -1, math.Inf(1)
+		for a, i := range current {
+			nearest := math.Inf(1)
+			for b, j := range current {
+				if a == b {
+					continue
+				}
+				if d := objDistance(pop[i].Costs, pop[j].Costs); d < nearest {
+					nearest = d
+				}
+			}
+			if nearest < worstDist {
+				worst, worstDist = a, nearest
+			}
+		}
+		current = append(current[:worst], current[worst+1:]...)
+	}
+	return current
+}
+
+func objDistance(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,136 @@
+package moo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoPlans is returned when a selection runs over an empty plan set.
+var ErrNoPlans = errors.New("moo: no plans to select from")
+
+// ErrWeights is returned for invalid weighted-sum weights.
+var ErrWeights = errors.New("moo: invalid weights")
+
+// WeightedSum scalarizes a cost vector with the Weighted Sum Model
+// (Helff & Orazio 2016): Σ wₙ·cₙ. Weights must be non-negative and not
+// all zero; they are normalized to sum to 1 so scores are comparable
+// across weight settings.
+func WeightedSum(costs, weights []float64) (float64, error) {
+	if len(costs) != len(weights) {
+		return 0, fmt.Errorf("%w: %d costs vs %d weights", ErrDimension, len(costs), len(weights))
+	}
+	var wSum float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return 0, fmt.Errorf("%w: negative or NaN weight %v", ErrWeights, w)
+		}
+		wSum += w
+	}
+	if wSum == 0 {
+		return 0, fmt.Errorf("%w: weights sum to zero", ErrWeights)
+	}
+	var s float64
+	for i, c := range costs {
+		s += (weights[i] / wSum) * c
+	}
+	return s, nil
+}
+
+// ArgminWeightedSum returns the index of the plan with the smallest
+// weighted-sum score. Used both as the WSM baseline optimizer (paper
+// Figure 3, right path) and inside BestInPareto.
+func ArgminWeightedSum(costs [][]float64, weights []float64) (int, error) {
+	if len(costs) == 0 {
+		return 0, ErrNoPlans
+	}
+	best := -1
+	bestScore := math.Inf(1)
+	for i, c := range costs {
+		s, err := WeightedSum(c, weights)
+		if err != nil {
+			return 0, err
+		}
+		if s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best, nil
+}
+
+// BestInPareto implements the paper's Algorithm 2: given the cost
+// vectors of a Pareto plan set P, per-metric constraints B (a plan is
+// feasible when cₙ(p) ≤ Bₙ for every constrained metric n ≤ |B|) and
+// weighted-sum preferences S, return the index of the selected plan.
+// If no plan satisfies the constraints, the weighted-sum winner over
+// the whole set is returned (Algorithm 2 line 6).
+func BestInPareto(costs [][]float64, weights, constraints []float64) (int, error) {
+	if len(costs) == 0 {
+		return 0, ErrNoPlans
+	}
+	if len(constraints) > len(costs[0]) {
+		return 0, fmt.Errorf("%w: %d constraints for %d metrics", ErrDimension, len(constraints), len(costs[0]))
+	}
+	var feasible []int
+	for i, c := range costs {
+		ok := true
+		for n, b := range constraints {
+			if c[n] > b {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			feasible = append(feasible, i)
+		}
+	}
+	if len(feasible) == 0 {
+		return ArgminWeightedSum(costs, weights)
+	}
+	sub := make([][]float64, len(feasible))
+	for i, idx := range feasible {
+		sub[i] = costs[idx]
+	}
+	best, err := ArgminWeightedSum(sub, weights)
+	if err != nil {
+		return 0, err
+	}
+	return feasible[best], nil
+}
+
+// NormalizeCosts rescales each objective column to [0,1] across the
+// plan set (min-max). WSM comparisons across metrics with different
+// units (seconds vs dollars) are meaningless without this step.
+// Constant columns map to 0. The input is not modified.
+func NormalizeCosts(costs [][]float64) [][]float64 {
+	if len(costs) == 0 {
+		return nil
+	}
+	nObj := len(costs[0])
+	lo := make([]float64, nObj)
+	hi := make([]float64, nObj)
+	for m := 0; m < nObj; m++ {
+		lo[m], hi[m] = math.Inf(1), math.Inf(-1)
+	}
+	for _, c := range costs {
+		for m, v := range c {
+			if v < lo[m] {
+				lo[m] = v
+			}
+			if v > hi[m] {
+				hi[m] = v
+			}
+		}
+	}
+	out := make([][]float64, len(costs))
+	for i, c := range costs {
+		row := make([]float64, nObj)
+		for m, v := range c {
+			if hi[m] > lo[m] {
+				row[m] = (v - lo[m]) / (hi[m] - lo[m])
+			}
+		}
+		out[i] = row
+	}
+	return out
+}

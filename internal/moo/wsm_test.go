@@ -1,0 +1,175 @@
+package moo
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedSum(t *testing.T) {
+	s, err := WeightedSum([]float64{10, 20}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 15 { // normalized weights 0.5/0.5
+		t.Errorf("WeightedSum = %v, want 15", s)
+	}
+	s, err = WeightedSum([]float64{10, 20}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 10 {
+		t.Errorf("single-objective WSM = %v, want 10", s)
+	}
+}
+
+func TestWeightedSumErrors(t *testing.T) {
+	if _, err := WeightedSum([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("got %v, want ErrDimension", err)
+	}
+	if _, err := WeightedSum([]float64{1, 2}, []float64{-1, 2}); !errors.Is(err, ErrWeights) {
+		t.Errorf("negative weight: got %v, want ErrWeights", err)
+	}
+	if _, err := WeightedSum([]float64{1, 2}, []float64{0, 0}); !errors.Is(err, ErrWeights) {
+		t.Errorf("zero weights: got %v, want ErrWeights", err)
+	}
+}
+
+func TestArgminWeightedSum(t *testing.T) {
+	costs := [][]float64{{10, 1}, {1, 10}, {4, 4}}
+	i, err := ArgminWeightedSum(costs, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 2 {
+		t.Errorf("balanced weights pick %d, want 2", i)
+	}
+	i, err = ArgminWeightedSum(costs, []float64{1, 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 1 {
+		t.Errorf("time-heavy weights pick %d, want 1", i)
+	}
+	if _, err := ArgminWeightedSum(nil, []float64{1}); !errors.Is(err, ErrNoPlans) {
+		t.Errorf("got %v, want ErrNoPlans", err)
+	}
+}
+
+func TestBestInParetoConstraintsSatisfiable(t *testing.T) {
+	// Algorithm 2 with feasible subset: plan 0 violates the budget, so
+	// the winner must come from {1, 2}.
+	costs := [][]float64{
+		{1, 100}, // fastest, too expensive
+		{5, 10},
+		{8, 5},
+	}
+	weights := []float64{1, 1}
+	budget := []float64{math.Inf(1), 20} // money ≤ 20
+	i, err := BestInPareto(costs, weights, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i == 0 {
+		t.Error("selected plan violates the monetary constraint")
+	}
+	// Among feasible plans {1,2}: scores 7.5 vs 6.5 → plan 2.
+	if i != 2 {
+		t.Errorf("selected %d, want 2", i)
+	}
+}
+
+func TestBestInParetoConstraintsUnsatisfiable(t *testing.T) {
+	// Algorithm 2 line 6: no feasible plan → weighted-sum over all.
+	costs := [][]float64{{10, 10}, {2, 2}}
+	i, err := BestInPareto(costs, []float64{1, 1}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 1 {
+		t.Errorf("fallback selected %d, want 1", i)
+	}
+}
+
+func TestBestInParetoFewerConstraintsThanMetrics(t *testing.T) {
+	// |B| < |N|: only the first metric is constrained (n ≤ |B|).
+	costs := [][]float64{{10, 1}, {1, 10}}
+	i, err := BestInPareto(costs, []float64{1, 1}, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 1 {
+		t.Errorf("selected %d, want 1 (only plan with c₁ ≤ 5)", i)
+	}
+}
+
+func TestBestInParetoErrors(t *testing.T) {
+	if _, err := BestInPareto(nil, []float64{1}, nil); !errors.Is(err, ErrNoPlans) {
+		t.Errorf("got %v, want ErrNoPlans", err)
+	}
+	if _, err := BestInPareto([][]float64{{1}}, []float64{1}, []float64{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("too many constraints: got %v, want ErrDimension", err)
+	}
+}
+
+func TestNormalizeCosts(t *testing.T) {
+	norm := NormalizeCosts([][]float64{{0, 100}, {10, 200}, {5, 150}})
+	want := [][]float64{{0, 0}, {1, 1}, {0.5, 0.5}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(norm[i][j]-want[i][j]) > 1e-12 {
+				t.Errorf("norm[%d][%d] = %v, want %v", i, j, norm[i][j], want[i][j])
+			}
+		}
+	}
+	// Constant column maps to zero.
+	norm = NormalizeCosts([][]float64{{5, 1}, {5, 2}})
+	if norm[0][0] != 0 || norm[1][0] != 0 {
+		t.Errorf("constant column not zeroed: %v", norm)
+	}
+	if NormalizeCosts(nil) != nil {
+		t.Error("nil input should return nil")
+	}
+}
+
+// Property: BestInPareto always returns an index in range, and when
+// constraints admit at least one plan the winner satisfies them.
+func TestPropertyBestInParetoFeasibility(t *testing.T) {
+	f := func(raw []float64, b1 float64) bool {
+		n := len(raw) / 2
+		if n == 0 || n > 30 || math.IsNaN(b1) {
+			return true
+		}
+		costs := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			a, b := math.Abs(raw[2*i]), math.Abs(raw[2*i+1])
+			if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+				return true
+			}
+			costs[i] = []float64{a, b}
+		}
+		budget := []float64{math.Abs(math.Mod(b1, 1000))}
+		idx, err := BestInPareto(costs, []float64{1, 1}, budget)
+		if err != nil {
+			return false
+		}
+		if idx < 0 || idx >= n {
+			return false
+		}
+		anyFeasible := false
+		for _, c := range costs {
+			if c[0] <= budget[0] {
+				anyFeasible = true
+				break
+			}
+		}
+		if anyFeasible && costs[idx][0] > budget[0] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package regression implements the Multiple Linear Regression model of
+// the paper's Section 2.5: the cost function c = β₀ + β₁x₁ + … + β_L x_L + ϵ,
+// fitted by ordinary least squares through the normal equations
+// B = (AᵀA)⁻¹AᵀC (eq. 12), with the coefficient of determination
+// R² = 1 − SSE/SST (eq. 14) as the fit-quality signal DREAM drives on.
+package regression
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// MinObservations returns the smallest usable dataset size for a model
+// with l variables. The paper (Section 3, citing Soong) uses M = L + 2:
+// one more observation than parameters so SSE has a degree of freedom.
+func MinObservations(l int) int { return l + 2 }
+
+// ErrTooFewObservations is returned when a fit is requested with fewer
+// than MinObservations samples.
+var ErrTooFewObservations = errors.New("regression: too few observations")
+
+// ErrDimension is returned when samples disagree on feature dimension.
+var ErrDimension = errors.New("regression: inconsistent feature dimensions")
+
+// Sample pairs a feature vector x with an observed cost c.
+type Sample struct {
+	X []float64 // independent variables (data sizes, node counts, …)
+	C float64   // observed cost (time, money, energy, …)
+}
+
+// Dataset is an ordered collection of samples; order matters because
+// DREAM windows select the most recent observations.
+type Dataset struct {
+	dim     int
+	samples []Sample
+}
+
+// NewDataset returns an empty dataset for feature dimension dim.
+func NewDataset(dim int) *Dataset {
+	return &Dataset{dim: dim}
+}
+
+// Dim returns the feature dimension L.
+func (d *Dataset) Dim() int { return d.dim }
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.samples) }
+
+// Add appends a sample, validating its dimension.
+func (d *Dataset) Add(s Sample) error {
+	if len(s.X) != d.dim {
+		return fmt.Errorf("%w: sample has %d features, dataset wants %d", ErrDimension, len(s.X), d.dim)
+	}
+	d.samples = append(d.samples, s)
+	return nil
+}
+
+// At returns the i-th sample (oldest first).
+func (d *Dataset) At(i int) Sample { return d.samples[i] }
+
+// Tail returns the m most recent samples (a view; do not mutate).
+func (d *Dataset) Tail(m int) []Sample {
+	if m >= len(d.samples) {
+		return d.samples
+	}
+	return d.samples[len(d.samples)-m:]
+}
+
+// Head returns the m oldest samples (a view; do not mutate).
+func (d *Dataset) Head(m int) []Sample {
+	if m >= len(d.samples) {
+		return d.samples
+	}
+	return d.samples[:m]
+}
+
+// Model is a fitted MLR model.
+type Model struct {
+	// Beta holds the fitted coefficients [β̂₀, β̂₁, …, β̂_L]; Beta[0] is
+	// the intercept.
+	Beta []float64
+	// R2 is the coefficient of determination on the training samples.
+	R2 float64
+	// AdjustedR2 penalizes R2 for the number of predictors.
+	AdjustedR2 float64
+	// SSE and SST are the error decomposition on the training samples.
+	SSE float64
+	SST float64
+	// N is the number of training samples; L the number of variables.
+	N, L int
+	// Ridge is the diagonal regularizer that was needed to make the
+	// normal equations solvable (0 for a plain OLS fit).
+	Ridge float64
+	// sigma2 is the residual variance estimate SSE/(N−L−1); ataInv the
+	// inverse normal matrix, both retained for prediction intervals.
+	sigma2 float64
+	ataInv *linalg.Matrix
+}
+
+// Predict evaluates the fitted equation ĉ = β̂₀ + Σ β̂ᵢxᵢ (eq. 6).
+func (m *Model) Predict(x []float64) (float64, error) {
+	if len(x) != m.L {
+		return 0, fmt.Errorf("%w: got %d features, model has %d", ErrDimension, len(x), m.L)
+	}
+	c := m.Beta[0]
+	for i, xi := range x {
+		c += m.Beta[i+1] * xi
+	}
+	return c, nil
+}
+
+// FitOptions tunes the solver.
+type FitOptions struct {
+	// Ridge adds λ·I to AᵀA before solving. Zero requests plain OLS
+	// with an automatic tiny-λ retry if the window is singular
+	// (collinear observations are common in small DREAM windows).
+	Ridge float64
+	// DisableRidgeFallback fails hard on singular windows instead of
+	// retrying with regularization.
+	DisableRidgeFallback bool
+}
+
+// Fit solves the normal equations over the given samples.
+func Fit(samples []Sample, opts FitOptions) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, ErrTooFewObservations
+	}
+	l := len(samples[0].X)
+	if len(samples) < MinObservations(l) {
+		return nil, fmt.Errorf("%w: have %d, need at least %d for %d variables",
+			ErrTooFewObservations, len(samples), MinObservations(l), l)
+	}
+	for i, s := range samples {
+		if len(s.X) != l {
+			return nil, fmt.Errorf("%w: sample %d has %d features, want %d", ErrDimension, i, len(s.X), l)
+		}
+	}
+
+	// Design matrix A (paper eq. 8) with a leading column of ones, and
+	// response vector C (eq. 9).
+	a := linalg.New(len(samples), l+1)
+	c := make([]float64, len(samples))
+	for i, s := range samples {
+		a.Set(i, 0, 1)
+		for j, x := range s.X {
+			a.Set(i, j+1, x)
+		}
+		c[i] = s.C
+	}
+
+	at := a.T()
+	ata, err := at.Mul(a)
+	if err != nil {
+		return nil, err
+	}
+	atc, err := at.MulVec(c)
+	if err != nil {
+		return nil, err
+	}
+
+	ridge := opts.Ridge
+	if ridge > 0 {
+		if ata, err = ata.AddDiagonal(ridge); err != nil {
+			return nil, err
+		}
+	}
+	beta, err := ata.SolveVec(atc)
+	if errors.Is(err, linalg.ErrSingular) && ridge == 0 && !opts.DisableRidgeFallback {
+		// Singular window: regularize just enough to get a solution.
+		ridge = 1e-8
+		reg, derr := ata.AddDiagonal(ridge)
+		if derr != nil {
+			return nil, derr
+		}
+		beta, err = reg.SolveVec(atc)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	fitted, err := a.MulVec(beta)
+	if err != nil {
+		return nil, err
+	}
+	sse, err := stats.SSE(c, fitted)
+	if err != nil {
+		return nil, err
+	}
+	sst, err := stats.SST(c)
+	if err != nil {
+		return nil, err
+	}
+	r2, err := stats.RSquared(c, fitted)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Model{
+		Beta:  beta,
+		R2:    r2,
+		SSE:   sse,
+		SST:   sst,
+		N:     len(samples),
+		L:     l,
+		Ridge: ridge,
+	}
+	if dof := m.N - m.L - 1; dof > 0 && m.N > 1 {
+		m.AdjustedR2 = 1 - (1-r2)*float64(m.N-1)/float64(dof)
+		m.sigma2 = sse / float64(dof)
+	} else {
+		m.AdjustedR2 = r2
+	}
+	if inv, err := ata.Inverse(); err == nil {
+		m.ataInv = inv
+	}
+	return m, nil
+}
+
+// PredictWithInterval returns the point estimate plus the standard
+// error of a *new* observation at x: sqrt(σ̂²·(1 + xᵀ(AᵀA)⁻¹x)). The
+// caller multiplies by the desired quantile (≈2 for a 95% band). A zero
+// standard error means the model had no residual degrees of freedom or
+// the normal matrix was not invertible; treat such intervals as
+// unknown-width rather than perfectly tight.
+func (m *Model) PredictWithInterval(x []float64) (pred, stderr float64, err error) {
+	pred, err = m.Predict(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	if m.sigma2 <= 0 || m.ataInv == nil {
+		return pred, 0, nil
+	}
+	aug := make([]float64, len(x)+1)
+	aug[0] = 1
+	copy(aug[1:], x)
+	tmp, err := m.ataInv.MulVec(aug)
+	if err != nil {
+		return 0, 0, err
+	}
+	var quad float64
+	for i, v := range aug {
+		quad += v * tmp[i]
+	}
+	if quad < 0 {
+		quad = 0 // numerical guard: (AᵀA)⁻¹ is PSD in exact arithmetic
+	}
+	return pred, math.Sqrt(m.sigma2 * (1 + quad)), nil
+}
+
+// FitDataset fits over the full dataset.
+func FitDataset(d *Dataset, opts FitOptions) (*Model, error) {
+	return Fit(d.samples, opts)
+}

@@ -1,0 +1,109 @@
+package tpch
+
+import "sort"
+
+// Q1 and Q6 are the classic single-table lineitem queries of TPC-H.
+// The paper's federation experiments need two-table queries (something
+// must cross sites), but a complete engine also has to handle pure
+// scan/aggregate workloads; these reference implementations anchor the
+// engine plans in queries_single tests.
+
+// Q1Params are the substitution parameters of TPC-H Q1.
+type Q1Params struct {
+	// DeltaDays shifts the shipdate cutoff back from 1998-12-01;
+	// default 90.
+	DeltaDays int
+}
+
+// DefaultQ1Params returns the spec's validation parameters.
+func DefaultQ1Params() Q1Params { return Q1Params{DeltaDays: 90} }
+
+// Q1Row is one output group of the pricing summary report.
+type Q1Row struct {
+	ReturnFlag byte
+	LineStatus byte
+	SumQty     float64
+	SumBase    float64
+	SumDisc    float64 // Σ extendedprice·(1−discount)
+	SumCharge  float64 // Σ extendedprice·(1−discount)·(1+tax)
+	AvgQty     float64
+	AvgPrice   float64
+	AvgDisc    float64
+	Count      int64
+}
+
+// Q1 computes the "Pricing Summary Report".
+func Q1(db *Database, p Q1Params) []Q1Row {
+	cutoff := MakeDate(1998, 12, 1).AddDays(-p.DeltaDays)
+	type key struct{ rf, ls byte }
+	groups := make(map[key]*Q1Row)
+	for i := range db.Lineitems {
+		l := &db.Lineitems[i]
+		if l.ShipDate > cutoff {
+			continue
+		}
+		k := key{l.ReturnFlag, l.LineStatus}
+		g := groups[k]
+		if g == nil {
+			g = &Q1Row{ReturnFlag: l.ReturnFlag, LineStatus: l.LineStatus}
+			groups[k] = g
+		}
+		disc := l.ExtendedPrice * (1 - l.Discount)
+		g.SumQty += l.Quantity
+		g.SumBase += l.ExtendedPrice
+		g.SumDisc += disc
+		g.SumCharge += disc * (1 + l.Tax)
+		g.AvgDisc += l.Discount
+		g.Count++
+	}
+	out := make([]Q1Row, 0, len(groups))
+	for _, g := range groups {
+		n := float64(g.Count)
+		g.AvgQty = g.SumQty / n
+		g.AvgPrice = g.SumBase / n
+		g.AvgDisc /= n
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ReturnFlag != out[j].ReturnFlag {
+			return out[i].ReturnFlag < out[j].ReturnFlag
+		}
+		return out[i].LineStatus < out[j].LineStatus
+	})
+	return out
+}
+
+// Q6Params are the substitution parameters of TPC-H Q6.
+type Q6Params struct {
+	StartDate Date    // default 1994-01-01; window is one year
+	Discount  float64 // default 0.06; band is ±0.01
+	Quantity  float64 // default 24
+}
+
+// DefaultQ6Params returns the spec's validation parameters.
+func DefaultQ6Params() Q6Params {
+	return Q6Params{StartDate: MakeDate(1994, 1, 1), Discount: 0.06, Quantity: 24}
+}
+
+// Q6 computes the "Forecasting Revenue Change": the revenue that would
+// have been kept had in-band discounts not been granted.
+func Q6(db *Database, p Q6Params) float64 {
+	end := p.StartDate.AddYears(1)
+	lo, hi := p.Discount-0.01, p.Discount+0.01
+	const eps = 1e-9 // the band bounds are inclusive at cent precision
+	var revenue float64
+	for i := range db.Lineitems {
+		l := &db.Lineitems[i]
+		if l.ShipDate < p.StartDate || l.ShipDate >= end {
+			continue
+		}
+		if l.Discount < lo-eps || l.Discount > hi+eps {
+			continue
+		}
+		if l.Quantity >= p.Quantity {
+			continue
+		}
+		revenue += l.ExtendedPrice * l.Discount
+	}
+	return revenue
+}

@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ires"
+	"repro/internal/tpch"
+)
+
+func TestCompositeThroughWorkloadHarness(t *testing.T) {
+	h, err := NewHarness(62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := ires.NewDREAMModel(core.Config{MMax: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := ires.NewCompositeDREAMModel(core.Config{MMax: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Run(EvalConfig{
+		Query: tpch.QueryQ12, SF: 0.1, Seed: 62,
+		HistorySize: 40, TestQueries: 15,
+		RecordBreakdown: true,
+	}, []ModelSpec{
+		{Name: "mono", Model: mono},
+		{Name: "comp", Model: comp},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range res.Scores {
+		if s.Failures > 2 {
+			t.Errorf("%s failed %d times", name, s.Failures)
+		}
+		if s.TimeMRE <= 0 {
+			t.Errorf("%s TimeMRE = %v", name, s.TimeMRE)
+		}
+		t.Logf("%s: time MRE %.3f", name, s.TimeMRE)
+	}
+}

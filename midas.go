@@ -1,0 +1,369 @@
+// Package midas is the public API of this reproduction of "Dynamic
+// estimation for medical data management in a cloud federation"
+// (Le, Kantere, d'Orazio — DARLI-AP @ EDBT/ICDT 2019).
+//
+// The package re-exports the user-facing surface of the internal
+// packages as one coherent API:
+//
+//   - DREAM (the paper's contribution): multi-metric cost estimation
+//     over a dynamic window of recent execution history (Algorithm 1).
+//   - The MIDAS federation: sites pairing cloud providers with database
+//     engines, a TPC-H catalog split across them, QEP enumeration, and
+//     executors that measure plan cost under drifting cloud load.
+//   - The IReS-style scheduler: Modelling (DREAM or Best-ML baselines),
+//     Multi-Objective Optimization (NSGA-II / NSGA-G / WSM), and
+//     BestInPareto plan selection (Algorithm 2).
+//   - The evaluation harness regenerating the paper's Tables 1–4,
+//     Figure 3 and Example 3.1.
+//
+// # Quick start
+//
+//	fed, _ := midas.NewDefaultFederation(42)
+//	cal, _ := midas.Calibrate(fed, 0.004, 42)
+//	exec, _ := midas.NewScaledExecutor(fed, cal, 0.1) // ≈100 MiB TPC-H
+//	model, _ := midas.NewDREAMModel(midas.DREAMConfig{})
+//	sched, _ := midas.NewScheduler(fed, exec, model, nil, 42)
+//	_ = sched.Bootstrap(midas.QueryQ12, 20)
+//	dec, _ := sched.Submit(midas.QueryQ12, midas.Policy{Weights: []float64{1, 1}})
+//	fmt.Printf("picked %v: est %v, actual %.1fs / $%.4f\n",
+//		dec.Plan, dec.Estimated, dec.Outcome.TimeS, dec.Outcome.MoneyUSD)
+//
+// See examples/ for complete programs and DESIGN.md for the system
+// inventory.
+package midas
+
+import (
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/federation"
+	"repro/internal/ires"
+	"repro/internal/ml"
+	"repro/internal/moo"
+	"repro/internal/regression"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// DREAM (paper Section 3, Algorithm 1)
+
+// DREAMConfig parameterizes the DREAM estimator; see core.Config.
+type DREAMConfig = core.Config
+
+// DREAMEstimator runs Algorithm 1 over an execution History.
+type DREAMEstimator = core.Estimator
+
+// History is an append-only log of plan executions (features + costs).
+type History = core.History
+
+// Observation is one execution record.
+type Observation = core.Observation
+
+// Estimate is the result of one EstimateCostValue call.
+type Estimate = core.Estimate
+
+// Window policies for DREAM (paper default: most recent observations).
+const (
+	MostRecent    = core.MostRecent
+	UniformSample = core.UniformSample
+)
+
+// Growth policies for DREAM's window (paper default: grow by one).
+const (
+	GrowByOne = core.GrowByOne
+	Doubling  = core.Doubling
+)
+
+// DefaultRequiredR2 is the paper's R²require = 0.8.
+const DefaultRequiredR2 = core.DefaultRequiredR2
+
+// NewDREAMEstimator validates a config and returns a DREAM estimator.
+func NewDREAMEstimator(cfg DREAMConfig) (*DREAMEstimator, error) {
+	return core.NewEstimator(cfg)
+}
+
+// NewHistory creates an execution history for the given feature
+// dimension and metric names.
+func NewHistory(dim int, metrics ...string) (*History, error) {
+	return core.NewHistory(dim, metrics...)
+}
+
+// LoadHistory reads a history previously written with History.Save.
+var LoadHistory = core.LoadHistory
+
+// ---------------------------------------------------------------------------
+// Regression and baseline learners
+
+// Sample pairs a feature vector with an observed cost.
+type Sample = regression.Sample
+
+// MLRModel is a fitted Multiple Linear Regression model (paper §2.5).
+type MLRModel = regression.Model
+
+// FitMLR solves the normal equations B = (AᵀA)⁻¹AᵀC over the samples.
+func FitMLR(samples []Sample) (*MLRModel, error) {
+	return regression.Fit(samples, regression.FitOptions{})
+}
+
+// Learner trains single-metric cost predictors (Best-ML candidates).
+type Learner = ml.Learner
+
+// Predictor is a trained cost model.
+type Predictor = ml.Predictor
+
+// The IReS Modelling learners named in the paper, plus the robust
+// regressor from its Rousseeuw & Leroy reference.
+type (
+	// LeastSquares is ordinary least-squares MLR.
+	LeastSquares = ml.LeastSquares
+	// Bagging aggregates bootstrap-trained base models.
+	Bagging = ml.Bagging
+	// MLP is a single-hidden-layer perceptron.
+	MLP = ml.MLP
+	// BML cross-validates the candidates and keeps the best.
+	BML = ml.BML
+	// Huber is an IRLS robust regressor (down-weights latency spikes).
+	Huber = ml.Huber
+)
+
+// ---------------------------------------------------------------------------
+// Multi-objective optimization (paper §2.3, §3, Algorithm 2)
+
+// Problem is a continuous multi-objective minimization problem.
+type Problem = moo.Problem
+
+// NSGAIIConfig tunes the genetic optimizers.
+type NSGAIIConfig = moo.NSGAIIConfig
+
+// NSGAII runs the Non-dominated Sorting Genetic Algorithm II.
+func NSGAII(p Problem, cfg NSGAIIConfig) (*moo.Result, error) { return moo.NSGAII(p, cfg) }
+
+// NSGAG runs the authors' grid-based NSGA variant.
+func NSGAG(p Problem, cfg NSGAIIConfig, divisions int) (*moo.Result, error) {
+	return moo.NSGAG(p, cfg, divisions)
+}
+
+// SPEA2 runs the Strength Pareto Evolutionary Algorithm 2 (paper
+// reference [37]).
+func SPEA2(p Problem, cfg NSGAIIConfig) (*moo.Result, error) { return moo.SPEA2(p, cfg) }
+
+// MOEADConfig parameterizes MOEA/D.
+type MOEADConfig = moo.MOEADConfig
+
+// MOEAD runs the decomposition-based optimizer (paper reference [36]).
+func MOEAD(p Problem, cfg MOEADConfig) (*moo.Result, error) { return moo.MOEAD(p, cfg) }
+
+// KneePoint selects the knee of a two-objective Pareto set — a
+// weight-free selection strategy (paper future work).
+func KneePoint(costs [][]float64) (int, error) { return moo.KneePoint(costs) }
+
+// EpsilonConstraint minimizes one objective under bounds on the others.
+func EpsilonConstraint(costs [][]float64, primary int, epsilons []float64) (int, error) {
+	return moo.EpsilonConstraint(costs, primary, epsilons)
+}
+
+// Lexicographic selects by objective priority with tolerance bands.
+func Lexicographic(costs [][]float64, order []int, tolerance float64) (int, error) {
+	return moo.Lexicographic(costs, order, tolerance)
+}
+
+// ParetoFront returns the indices of non-dominated cost vectors.
+func ParetoFront(costs [][]float64) ([]int, error) { return moo.ParetoFront(costs) }
+
+// BestInPareto implements the paper's Algorithm 2.
+func BestInPareto(costs [][]float64, weights, constraints []float64) (int, error) {
+	return moo.BestInPareto(costs, weights, constraints)
+}
+
+// WeightedSum scalarizes a cost vector with normalized weights.
+func WeightedSum(costs, weights []float64) (float64, error) {
+	return moo.WeightedSum(costs, weights)
+}
+
+// ---------------------------------------------------------------------------
+// Cloud federation substrate
+
+// Provider, InstanceType, Cluster and Link model the pay-as-you-go
+// substrate (paper Table 1).
+type (
+	Provider     = cloud.Provider
+	InstanceType = cloud.InstanceType
+	Cluster      = cloud.Cluster
+	Link         = cloud.Link
+	LoadProcess  = cloud.LoadProcess
+)
+
+// Provider catalogs from the paper's Table 1 (plus Google for the
+// architecture figure's three-cloud setup).
+var (
+	Amazon    = cloud.Amazon
+	Microsoft = cloud.Microsoft
+	Google    = cloud.Google
+)
+
+// EngineProfile is a simulated database engine personality.
+type EngineProfile = engine.Profile
+
+// The engines of the paper's Figure 1.
+var (
+	HiveProfile     = engine.Hive
+	PostgresProfile = engine.Postgres
+	SparkProfile    = engine.Spark
+)
+
+// ---------------------------------------------------------------------------
+// Federation, plans, executors
+
+type (
+	// Federation is the MIDAS topology (sites, catalog, links).
+	Federation = federation.Federation
+	// FederationConfig assembles a Federation.
+	FederationConfig = federation.Config
+	// Site pairs a provider with an engine at one location.
+	Site = federation.Site
+	// Plan is one equivalent QEP of a two-table query.
+	Plan = federation.Plan
+	// Outcome is the measured cost of one execution.
+	Outcome = federation.Outcome
+	// Executor runs plans (FullExecutor or ScaledExecutor).
+	Executor = federation.Executor
+	// FullExecutor executes relational plans over generated data.
+	FullExecutor = federation.FullExecutor
+	// ScaledExecutor replays calibrated statistics at any data scale.
+	ScaledExecutor = federation.ScaledExecutor
+	// Calibration holds per-query operator statistics per unit SF.
+	Calibration = federation.Calibration
+)
+
+// Metrics are the cost objectives (time_s, money_usd).
+var Metrics = federation.Metrics
+
+// FeatureDim is the plan feature dimension (paper Example 2.1 features
+// plus the join-placement indicator).
+const FeatureDim = federation.FeatureDim
+
+// NewFederation validates and builds a federation.
+func NewFederation(cfg FederationConfig) (*Federation, error) { return federation.New(cfg) }
+
+// NewDefaultFederation reproduces the paper's two-site Hive+PostgreSQL
+// deployment across Amazon and Microsoft.
+func NewDefaultFederation(seed int64) (*Federation, error) {
+	return federation.DefaultTopology(seed)
+}
+
+// NewThreeCloudFederation adds a Spark-on-Google site, realizing the
+// three-provider architecture of the paper's Figure 1.
+func NewThreeCloudFederation(seed int64) (*Federation, error) {
+	return federation.ThreeCloudTopology(seed)
+}
+
+// NewFlakyExecutor wraps an executor with deterministic transient
+// failures, for chaos testing.
+func NewFlakyExecutor(inner Executor, failureProb float64, seed int64) (*federation.FlakyExecutor, error) {
+	return federation.NewFlakyExecutor(inner, failureProb, seed)
+}
+
+// NewRetryingExecutor wraps an executor with retry-on-transient
+// behaviour.
+func NewRetryingExecutor(inner Executor, maxRetries int) (*federation.RetryingExecutor, error) {
+	return federation.NewRetryingExecutor(inner, maxRetries)
+}
+
+// NewFullExecutor runs plans for real over a generated database.
+func NewFullExecutor(fed *Federation, db *tpch.Database) *FullExecutor {
+	return federation.NewFullExecutor(fed, db)
+}
+
+// Calibrate measures per-query operator statistics at a small scale.
+func Calibrate(fed *Federation, calibSF float64, seed int64) (*Calibration, error) {
+	return federation.Calibrate(fed, calibSF, seed)
+}
+
+// NewScaledExecutor replays calibrated statistics at scale sf.
+func NewScaledExecutor(fed *Federation, cal *Calibration, sf float64) (*ScaledExecutor, error) {
+	return federation.NewScaledExecutor(fed, cal, sf)
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H
+
+// Database is a generated TPC-H population.
+type Database = tpch.Database
+
+// QueryID names the studied queries (Q12, Q13, Q14, Q17).
+type QueryID = tpch.QueryID
+
+// The paper's evaluation queries.
+const (
+	QueryQ12 = tpch.QueryQ12
+	QueryQ13 = tpch.QueryQ13
+	QueryQ14 = tpch.QueryQ14
+	QueryQ17 = tpch.QueryQ17
+)
+
+// AllQueries lists the evaluation queries in paper order.
+var AllQueries = tpch.AllQueries
+
+// GenerateTPCH builds a deterministic TPC-H population; SF 1 ≈ 1 GB.
+func GenerateTPCH(sf float64, seed int64) (*Database, error) {
+	return tpch.Generate(sf, tpch.GenOptions{Seed: seed})
+}
+
+// ---------------------------------------------------------------------------
+// IReS scheduler pipeline
+
+type (
+	// Scheduler is the MIDAS/IReS pipeline instance.
+	Scheduler = ires.Scheduler
+	// CostModel is the Modelling module contract.
+	CostModel = ires.CostModel
+	// DREAMModel adapts DREAM to the Modelling contract.
+	DREAMModel = ires.DREAMModel
+	// CompositeDREAMModel is the operator-level DREAM variant.
+	CompositeDREAMModel = ires.CompositeDREAMModel
+	// BMLModel is the windowed Best-ML baseline.
+	BMLModel = ires.BMLModel
+	// Policy is the user query policy (weights + constraints).
+	Policy = ires.Policy
+	// Decision reports one scheduling round.
+	Decision = ires.Decision
+)
+
+// NewDREAMModel builds a DREAM Modelling module.
+func NewDREAMModel(cfg DREAMConfig) (*DREAMModel, error) { return ires.NewDREAMModel(cfg) }
+
+// NewCompositeDREAMModel builds the operator-level DREAM Modelling
+// module (requires histories recorded with BreakdownMetrics).
+func NewCompositeDREAMModel(cfg DREAMConfig) (*CompositeDREAMModel, error) {
+	return ires.NewCompositeDREAMModel(cfg)
+}
+
+// BreakdownMetrics extends Metrics with per-operator timings.
+var BreakdownMetrics = federation.BreakdownMetrics
+
+// NewScheduler assembles the pipeline.
+func NewScheduler(fed *Federation, exec Executor, model CostModel, nodeChoices []int, seed int64) (*Scheduler, error) {
+	return ires.NewScheduler(fed, exec, model, nodeChoices, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation harness
+
+type (
+	// EvalConfig parameterizes one MRE evaluation run.
+	EvalConfig = workload.EvalConfig
+	// EvalHarness owns the federation and calibration of a campaign.
+	EvalHarness = workload.Harness
+	// ModelSpec names one model under evaluation.
+	ModelSpec = workload.ModelSpec
+	// ResultTable is a rendered experiment table.
+	ResultTable = experiments.Table
+)
+
+// NewEvalHarness builds an evaluation harness on the default topology.
+func NewEvalHarness(seed int64) (*EvalHarness, error) { return workload.NewHarness(seed) }
+
+// PaperModels returns the five Modelling configurations of Tables 3/4.
+func PaperModels(seed int64) ([]ModelSpec, error) { return workload.PaperModels(seed) }
