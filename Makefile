@@ -1,0 +1,45 @@
+# Single source of truth for the commands CI and humans run.
+# `make help` lists the targets.
+
+GO ?= go
+
+.PHONY: all build vet fmt-check lint test test-short bench bench-smoke help
+
+all: build lint test
+
+## build: compile every package
+build:
+	$(GO) build ./...
+
+## vet: run go vet over the module
+vet:
+	$(GO) vet ./...
+
+## fmt-check: fail if any file needs gofmt
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+## lint: vet + gofmt check
+lint: vet fmt-check
+
+## test: full test suite with the race detector
+test:
+	$(GO) test -race ./...
+
+## test-short: quick feedback loop without the race detector
+test-short:
+	$(GO) test ./...
+
+## bench: run every benchmark properly (slow)
+bench:
+	$(GO) test -run '^$$' -bench . ./...
+
+## bench-smoke: one iteration of every benchmark — proves bench code builds and runs
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+help:
+	@grep -E '^## ' Makefile | sed 's/^## /  /'

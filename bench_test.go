@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/federation"
+	"repro/internal/ires"
 	"repro/internal/moo"
 	"repro/internal/stats"
 	"repro/internal/tpch"
@@ -188,6 +189,103 @@ func BenchmarkDREAMEstimate(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDREAMEstimateUncached is the same measurement with the
+// model cache disabled — the seed repo's sequential estimation path,
+// kept as the baseline the parallel pipeline is judged against.
+func BenchmarkDREAMEstimateUncached(b *testing.B) {
+	h, err := core.NewHistory(federation.FeatureDim, federation.Metrics...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	for i := 0; i < 120; i++ {
+		x := []float64{rng.Uniform(50, 150), rng.Uniform(5, 15), float64(rng.Intn(4) + 1), float64(rng.Intn(4) + 1), float64(rng.Intn(2))}
+		costs := []float64{10 + 0.1*x[0] + rng.Normal(0, 2), 0.01 + 0.001*x[0]}
+		if err := h.Append(core.Observation{X: x, Costs: costs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	est, err := core.NewEstimator(core.Config{MMax: 21, CacheSize: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{100, 10, 2, 2, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateCostValue(h, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel plan-space estimation (paper Example 3.1, tentpole of the
+// concurrent pipeline): sweep every enumerated QEP of a query through
+// the Modelling module, sequentially vs. fanned out over the worker
+// pool with the per-(history, version) model cache.
+
+// benchPlanSweep builds a scheduler with the given estimation knobs,
+// bootstraps a history, and measures full plan-space sweeps via
+// OptimizeWSM (estimate every QEP + weighted-sum selection; no
+// execution, so the history — and the model fit — stay fixed).
+func benchPlanSweep(b *testing.B, q tpch.QueryID, workers, cacheSize int) {
+	b.Helper()
+	fed, err := federation.DefaultTopology(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal, err := federation.Calibrate(fed, 0.004, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec, err := federation.NewScaledExecutor(fed, cal, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := ires.NewDREAMModel(core.Config{
+		MMax:      3 * (federation.FeatureDim + 2),
+		CacheSize: cacheSize,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := ires.NewSchedulerWithConfig(fed, exec, model, ires.SchedulerConfig{
+		NodeChoices: []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16},
+		Seed:        1,
+		Parallelism: workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sched.Bootstrap(q, 30); err != nil {
+		b.Fatal(err)
+	}
+	pol := ires.Policy{Weights: []float64{1, 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.OptimizeWSM(q, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ12SweepSequential is the seed behaviour: one worker, no
+// model cache — every plan pays a full Algorithm 1 window search.
+func BenchmarkQ12SweepSequential(b *testing.B) { benchPlanSweep(b, tpch.QueryQ12, 1, -1) }
+
+// BenchmarkQ12SweepParallel is the concurrent pipeline: GOMAXPROCS
+// workers sharing one cached model fit per history version.
+func BenchmarkQ12SweepParallel(b *testing.B) { benchPlanSweep(b, tpch.QueryQ12, 0, 0) }
+
+// BenchmarkQ12SweepParallelUncached isolates the worker-pool
+// contribution: parallel fan-out, cache off.
+func BenchmarkQ12SweepParallelUncached(b *testing.B) { benchPlanSweep(b, tpch.QueryQ12, 0, -1) }
+
+// BenchmarkQ13SweepSequential / Parallel repeat the contrast on the
+// second-largest plan space.
+func BenchmarkQ13SweepSequential(b *testing.B) { benchPlanSweep(b, tpch.QueryQ13, 1, -1) }
+func BenchmarkQ13SweepParallel(b *testing.B)   { benchPlanSweep(b, tpch.QueryQ13, 0, 0) }
 
 // BenchmarkNSGAIIZdt1 measures the optimizer on the standard ZDT1
 // benchmark problem.

@@ -1,0 +1,81 @@
+package core
+
+import "sync"
+
+// The model cache exploits a structural property of Algorithm 1: the
+// window search — which windows are tried, which models are fitted,
+// where it converges — depends only on the history contents, never on
+// the plan being estimated. A scheduler estimating tens of thousands of
+// equivalent QEPs against one history (paper Example 3.1) therefore
+// needs exactly one window search per history version; every further
+// plan costs only one prediction per metric.
+
+// DefaultCacheSize is the default bound on cached window fits. One
+// entry is retained per (history, version) pair, so the bound is the
+// number of distinct query templates × history versions estimated
+// between evictions — generous for a scheduler that appends one
+// observation per round.
+const DefaultCacheSize = 64
+
+// fitKey identifies one immutable history state.
+type fitKey struct {
+	owner   *History
+	version uint64
+}
+
+// fitEntry is a single-flight cache slot: concurrent estimators racing
+// on a fresh key all wait on one window search instead of fitting the
+// same models in parallel.
+type fitEntry struct {
+	once sync.Once
+	fit  *windowFit
+	err  error
+}
+
+// fitCache is a bounded FIFO map of window fits. FIFO (not LRU) is
+// deliberate: keys are monotonically growing history versions, so the
+// oldest entry is also the least likely to be requested again.
+type fitCache struct {
+	mu     sync.Mutex
+	max    int
+	order  []fitKey
+	m      map[fitKey]*fitEntry
+	hits   uint64
+	misses uint64
+}
+
+func newFitCache(max int) *fitCache {
+	if max < 1 {
+		max = 1
+	}
+	return &fitCache{max: max, m: make(map[fitKey]*fitEntry, max)}
+}
+
+// get returns the cached fit for k, computing it at most once across
+// concurrent callers. Errors are cached too: a window search that fails
+// for one plan fails identically for every plan of the same version.
+func (c *fitCache) get(k fitKey, compute func() (*windowFit, error)) (*windowFit, error) {
+	c.mu.Lock()
+	e, ok := c.m[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+		e = &fitEntry{}
+		c.m[k] = e
+		c.order = append(c.order, k)
+		for len(c.order) > c.max {
+			delete(c.m, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.fit, e.err = compute() })
+	return e.fit, e.err
+}
+
+func (c *fitCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

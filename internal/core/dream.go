@@ -17,6 +17,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/regression"
 	"repro/internal/stats"
@@ -48,10 +49,19 @@ type Observation struct {
 
 // History is an append-only, time-ordered log of observations for one
 // operator or query template. Index 0 is the oldest observation.
+//
+// A History is safe for concurrent use: appends take a write lock and
+// bump a version counter, reads take a read lock. Concurrent estimators
+// should grab a Snapshot once and work against that immutable view, so
+// one scheduling round sees one consistent history even while executed
+// plans stream observations in. Do not copy a History after first use.
 type History struct {
 	metrics []string
 	dim     int
+
+	mu      sync.RWMutex
 	obs     []Observation
+	version uint64
 }
 
 // NewHistory creates a history for the given feature dimension and
@@ -79,7 +89,20 @@ func (h *History) Metrics() []string {
 func (h *History) Dim() int { return h.dim }
 
 // Len returns the number of observations.
-func (h *History) Len() int { return len(h.obs) }
+func (h *History) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.obs)
+}
+
+// Version returns a counter that increments on every Append. A fitted
+// model is valid for exactly one (history, version) pair, which is the
+// key the estimator's model cache uses.
+func (h *History) Version() uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.version
+}
 
 // Append records a completed execution.
 func (h *History) Append(o Observation) error {
@@ -93,12 +116,58 @@ func (h *History) Append(o Observation) error {
 	copy(x, o.X)
 	c := make([]float64, len(o.Costs))
 	copy(c, o.Costs)
+	h.mu.Lock()
 	h.obs = append(h.obs, Observation{X: x, Costs: c})
+	h.version++
+	h.mu.Unlock()
 	return nil
 }
 
 // At returns the i-th observation, oldest first.
-func (h *History) At(i int) Observation { return h.obs[i] }
+func (h *History) At(i int) Observation {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.obs[i]
+}
+
+// Snapshot captures an immutable view of the current history. The
+// returned snapshot is safe to read without locking while other
+// goroutines keep appending: observations are never mutated in place,
+// so the captured prefix stays valid forever.
+func (h *History) Snapshot() *Snapshot {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return &Snapshot{
+		owner:   h,
+		version: h.version,
+		obs:     h.obs[:len(h.obs):len(h.obs)],
+	}
+}
+
+// Snapshot is a point-in-time immutable view of a History. All methods
+// are safe for concurrent use without further locking.
+type Snapshot struct {
+	owner   *History
+	version uint64
+	obs     []Observation
+}
+
+// Len returns the number of observations in the snapshot.
+func (s *Snapshot) Len() int { return len(s.obs) }
+
+// At returns the i-th observation, oldest first.
+func (s *Snapshot) At(i int) Observation { return s.obs[i] }
+
+// Dim returns the feature dimension L.
+func (s *Snapshot) Dim() int { return s.owner.dim }
+
+// Metrics returns the metric names in cost-vector order.
+func (s *Snapshot) Metrics() []string { return s.owner.Metrics() }
+
+// Version reports the history version the snapshot was taken at.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+func (s *Snapshot) metricName(n int) string { return s.owner.metrics[n] }
 
 // metricSamples materializes the m selected observations as regression
 // samples for metric index n.
@@ -150,12 +219,26 @@ type Config struct {
 	Window WindowPolicy
 	// Seed drives UniformSample; ignored for MostRecent.
 	Seed int64
+	// CacheSize bounds the per-(history, version) model cache: the
+	// window search of Algorithm 1 does not depend on the plan being
+	// estimated, so its fitted models are reused for every plan
+	// estimated against the same history version. Zero selects
+	// DefaultCacheSize; a negative value disables caching. The cache
+	// only applies to the MostRecent window policy — UniformSample
+	// redraws its window on every call by design.
+	CacheSize int
 }
 
-// Estimator runs Algorithm 1 against a History.
+// Estimator runs Algorithm 1 against a History. It is safe for
+// concurrent use by multiple goroutines.
 type Estimator struct {
 	cfg Config
+
+	mu  sync.Mutex // guards rng (UniformSample window draws)
 	rng *stats.RNG
+
+	cacheMu sync.Mutex
+	cache   *fitCache // nil when caching is disabled
 }
 
 // NewEstimator validates the configuration and returns an estimator.
@@ -169,7 +252,36 @@ func NewEstimator(cfg Config) (*Estimator, error) {
 	if cfg.MMax < 0 {
 		return nil, fmt.Errorf("core: negative MMax %d", cfg.MMax)
 	}
-	return &Estimator{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}, nil
+	e := &Estimator{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+	e.SetCacheSize(cfg.CacheSize)
+	return e, nil
+}
+
+// SetCacheSize resizes (or, with a negative n, disables) the model
+// cache. Resizing drops all cached fits. Zero restores
+// DefaultCacheSize.
+func (e *Estimator) SetCacheSize(n int) {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	if n < 0 || e.cfg.Window != MostRecent {
+		e.cache = nil
+		return
+	}
+	if n == 0 {
+		n = DefaultCacheSize
+	}
+	e.cache = newFitCache(n)
+}
+
+// CacheStats reports model-cache hits and misses since construction or
+// the last SetCacheSize call. Both are zero when caching is disabled.
+func (e *Estimator) CacheStats() (hits, misses uint64) {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	if e.cache == nil {
+		return 0, 0
+	}
+	return e.cache.stats()
 }
 
 // MetricEstimate is the per-metric output of Algorithm 1.
@@ -211,48 +323,116 @@ func (e *Estimate) Values() []float64 {
 // a plan with feature vector x from the smallest window of history that
 // explains the observed variance well enough.
 func (e *Estimator) EstimateCostValue(h *History, x []float64) (*Estimate, error) {
-	if len(x) != h.Dim() {
-		return nil, fmt.Errorf("core: plan has %d features, history has %d", len(x), h.Dim())
+	return e.EstimateSnapshot(h.Snapshot(), x)
+}
+
+// EstimateSnapshot runs Algorithm 1 against a point-in-time history
+// snapshot. Concurrent estimators fanning one scheduling round over
+// many plans should take the snapshot once so every plan is scored
+// against the same history version (and hits the same cached fit).
+func (e *Estimator) EstimateSnapshot(s *Snapshot, x []float64) (*Estimate, error) {
+	if len(x) != s.Dim() {
+		return nil, fmt.Errorf("core: plan has %d features, history has %d", len(x), s.Dim())
 	}
-	l := h.Dim()
-	minM := regression.MinObservations(l)
-	if h.Len() < minM {
-		return nil, fmt.Errorf("%w: have %d observations, need %d", ErrInsufficientHistory, h.Len(), minM)
+	minM := regression.MinObservations(s.Dim())
+	if s.Len() < minM {
+		return nil, fmt.Errorf("%w: have %d observations, need %d", ErrInsufficientHistory, s.Len(), minM)
 	}
+
+	fit, err := e.fitFor(s, minM)
+	if err != nil {
+		return nil, err
+	}
+	est := &Estimate{
+		Metrics:    make([]MetricEstimate, len(fit.models)),
+		WindowSize: fit.windowSize,
+		Converged:  fit.converged,
+		Refits:     fit.refits,
+	}
+	for n := range fit.models {
+		v, se, err := fit.models[n].PredictWithInterval(x)
+		if err != nil {
+			return nil, err
+		}
+		est.Metrics[n] = MetricEstimate{
+			Metric: s.metricName(n),
+			Value:  v,
+			R2:     fit.r2s[n],
+			StdErr: se,
+			Model:  fit.models[n],
+		}
+	}
+	return est, nil
+}
+
+// windowFit is the plan-independent output of Algorithm 1's window
+// search: the fitted per-metric models and the search statistics. It is
+// what the model cache stores, keyed by (history, version).
+type windowFit struct {
+	models     []*regression.Model
+	r2s        []float64
+	windowSize int
+	converged  bool
+	// refits counts the model fits the search performed. Estimates
+	// served from cache report the producing search's count, so the
+	// Example 3.1 computational-cost signal stays comparable across
+	// cached and uncached runs.
+	refits int
+}
+
+// fitFor returns the window-search result for the snapshot, serving it
+// from the model cache when possible.
+func (e *Estimator) fitFor(s *Snapshot, minM int) (*windowFit, error) {
+	e.cacheMu.Lock()
+	cache := e.cache
+	e.cacheMu.Unlock()
+	if cache == nil {
+		return e.searchWindow(s, minM)
+	}
+	return cache.get(fitKey{owner: s.owner, version: s.version}, func() (*windowFit, error) {
+		return e.searchWindow(s, minM)
+	})
+}
+
+// searchWindow is Algorithm 1's window-growth loop: fit every metric on
+// the current window, grow until all models reach RequiredR2 or the
+// window hits Mmax.
+func (e *Estimator) searchWindow(s *Snapshot, minM int) (*windowFit, error) {
 	mmax := e.cfg.MMax
-	if mmax == 0 || mmax > h.Len() {
-		mmax = h.Len()
+	if mmax == 0 || mmax > s.Len() {
+		mmax = s.Len()
 	}
 	if mmax < minM {
 		mmax = minM
 	}
 
-	nMetrics := len(h.metrics)
-	est := &Estimate{Metrics: make([]MetricEstimate, nMetrics)}
-	models := make([]*regression.Model, nMetrics)
-	r2s := make([]float64, nMetrics)
-	for i := range r2s {
-		r2s[i] = -1 // "R²n ← ∅" (Algorithm 1 line 3): no model yet
+	nMetrics := len(s.Metrics())
+	fit := &windowFit{
+		models: make([]*regression.Model, nMetrics),
+		r2s:    make([]float64, nMetrics),
+	}
+	for i := range fit.r2s {
+		fit.r2s[i] = -1 // "R²n ← ∅" (Algorithm 1 line 3): no model yet
 	}
 
 	m := minM
 	for {
-		window := e.window(h, m)
+		window := e.window(s, m)
 		allGood := true
 		for n := 0; n < nMetrics; n++ {
 			model, err := regression.Fit(metricSamples(window, n), regression.FitOptions{})
 			if err != nil {
-				return nil, fmt.Errorf("core: metric %q window %d: %w", h.metrics[n], m, err)
+				return nil, fmt.Errorf("core: metric %q window %d: %w", s.metricName(n), m, err)
 			}
-			est.Refits++
-			models[n] = model
-			r2s[n] = model.R2
+			fit.refits++
+			fit.models[n] = model
+			fit.r2s[n] = model.R2
 			if model.R2 < e.cfg.RequiredR2 {
 				allGood = false
 			}
 		}
 		if allGood {
-			est.Converged = true
+			fit.converged = true
 			break
 		}
 		if m >= mmax {
@@ -260,22 +440,8 @@ func (e *Estimator) EstimateCostValue(h *History, x []float64) (*Estimate, error
 		}
 		m = e.grow(m, mmax)
 	}
-
-	est.WindowSize = m
-	for n := 0; n < nMetrics; n++ {
-		v, se, err := models[n].PredictWithInterval(x)
-		if err != nil {
-			return nil, err
-		}
-		est.Metrics[n] = MetricEstimate{
-			Metric: h.metrics[n],
-			Value:  v,
-			R2:     r2s[n],
-			StdErr: se,
-			Model:  models[n],
-		}
-	}
-	return est, nil
+	fit.windowSize = m
+	return fit, nil
 }
 
 // TrainingWindow returns the reduced training set DREAM would hand to a
@@ -284,11 +450,12 @@ func (e *Estimator) EstimateCostValue(h *History, x []float64) (*Estimate, error
 // x. It is exposed so external learners can be trained on DREAM-sized
 // windows.
 func (e *Estimator) TrainingWindow(h *History, x []float64) ([]Observation, error) {
-	est, err := e.EstimateCostValue(h, x)
+	s := h.Snapshot()
+	est, err := e.EstimateSnapshot(s, x)
 	if err != nil {
 		return nil, err
 	}
-	window := e.window(h, est.WindowSize)
+	window := e.window(s, est.WindowSize)
 	out := make([]Observation, len(window))
 	copy(out, window)
 	return out, nil
@@ -307,19 +474,22 @@ func (e *Estimator) grow(m, mmax int) int {
 	return m
 }
 
-func (e *Estimator) window(h *History, m int) []Observation {
-	if m > h.Len() {
-		m = h.Len()
+func (e *Estimator) window(s *Snapshot, m int) []Observation {
+	if m > s.Len() {
+		m = s.Len()
 	}
 	switch e.cfg.Window {
 	case UniformSample:
-		idx := e.rng.Perm(h.Len())[:m]
+		e.mu.Lock()
+		perm := e.rng.Perm(s.Len())
+		e.mu.Unlock()
+		idx := perm[:m]
 		out := make([]Observation, m)
 		for i, j := range idx {
-			out[i] = h.obs[j]
+			out[i] = s.obs[j]
 		}
 		return out
 	default:
-		return h.obs[h.Len()-m:]
+		return s.obs[s.Len()-m:]
 	}
 }

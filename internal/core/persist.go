@@ -31,16 +31,19 @@ type obsSnapshot struct {
 	Costs []float64 `json:"costs"`
 }
 
-// Save writes the history as versioned JSON.
+// Save writes the history as versioned JSON. The write captures a
+// point-in-time snapshot, so it is safe while other goroutines append.
 func (h *History) Save(w io.Writer) error {
+	s := h.Snapshot()
 	snap := historySnapshot{
 		Version:      persistVersion,
 		Dim:          h.dim,
 		Metrics:      h.Metrics(),
-		Observations: make([]obsSnapshot, h.Len()),
+		Observations: make([]obsSnapshot, s.Len()),
 	}
-	for i := range h.obs {
-		snap.Observations[i] = obsSnapshot{X: h.obs[i].X, Costs: h.obs[i].Costs}
+	for i := range snap.Observations {
+		o := s.At(i)
+		snap.Observations[i] = obsSnapshot{X: o.X, Costs: o.Costs}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")

@@ -217,7 +217,9 @@ func AblationOptimizer(opts AblationOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	dream, err := ires.NewDREAMModel(core.Config{MMax: 3 * (federation.FeatureDim + 2)})
+	// CacheSize -1: the wall-time contrast below is about estimation
+	// cost, so each path must pay its own window searches.
+	dream, err := ires.NewDREAMModel(core.Config{MMax: 3 * (federation.FeatureDim + 2), CacheSize: -1})
 	if err != nil {
 		return nil, err
 	}

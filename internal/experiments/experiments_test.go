@@ -116,15 +116,19 @@ func TestRunExample31(t *testing.T) {
 	if res.PaperPlanCount != 18200 {
 		t.Errorf("paper plan count = %d, want 18200", res.PaperPlanCount)
 	}
-	if res.DreamNS <= 0 || res.BMLNS <= 0 {
+	if res.DreamNS <= 0 || res.DreamCachedNS <= 0 || res.BMLNS <= 0 {
 		t.Fatalf("timings: %+v", res)
 	}
 	// DREAM's small window must estimate faster than full-history BML.
 	if res.DreamNS >= res.BMLNS {
 		t.Errorf("DREAM (%d ns) not faster than BML (%d ns) per sweep", res.DreamNS, res.BMLNS)
 	}
-	if len(tbl.Rows) != 2 {
-		t.Errorf("Example 3.1 table rows = %d, want 2", len(tbl.Rows))
+	// The shared window fit must beat refitting per plan.
+	if res.DreamCachedNS >= res.DreamNS {
+		t.Errorf("cached DREAM (%d ns) not faster than fit-per-plan DREAM (%d ns)", res.DreamCachedNS, res.DreamNS)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("Example 3.1 table rows = %d, want 3", len(tbl.Rows))
 	}
 }
 

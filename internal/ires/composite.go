@@ -34,6 +34,9 @@ func NewCompositeDREAMModel(cfg core.Config) (*CompositeDREAMModel, error) {
 // Name implements CostModel.
 func (m *CompositeDREAMModel) Name() string { return "dream-composite" }
 
+// SetModelCacheSize implements ModelCacheSizer.
+func (m *CompositeDREAMModel) SetModelCacheSize(n int) { m.Est.SetCacheSize(n) }
+
 // breakdown indices in federation.BreakdownMetrics.
 const (
 	bdTime = iota
@@ -48,12 +51,17 @@ const (
 // federation.Metrics order (time, money) regardless of the history's
 // extended metric set.
 func (m *CompositeDREAMModel) Estimate(h *core.History, x []float64) ([]float64, error) {
-	metrics := h.Metrics()
+	return m.EstimateSnapshot(h.Snapshot(), x)
+}
+
+// EstimateSnapshot implements SnapshotCostModel.
+func (m *CompositeDREAMModel) EstimateSnapshot(s *core.Snapshot, x []float64) ([]float64, error) {
+	metrics := s.Metrics()
 	if len(metrics) != len(federation.BreakdownMetrics) {
 		return nil, fmt.Errorf("ires: composite model needs a %d-metric breakdown history, got %d",
 			len(federation.BreakdownMetrics), len(metrics))
 	}
-	est, err := m.Est.EstimateCostValue(h, x)
+	est, err := m.Est.EstimateSnapshot(s, x)
 	if err != nil {
 		return nil, err
 	}

@@ -9,8 +9,10 @@
 package ires
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/federation"
@@ -27,9 +29,25 @@ var ErrNoHistory = errors.New("ires: no history for query")
 
 // CostModel is the Modelling module contract: predict the cost vector
 // of a plan with feature vector x from the execution history h.
+//
+// Estimate must be safe for concurrent use: unless the scheduler is
+// configured with Parallelism = 1, plan estimation fans out across
+// goroutines. The models in this package are safe; a custom model with
+// unsynchronized internal state needs its own locking (or a scheduler
+// pinned to Parallelism 1).
 type CostModel interface {
 	Name() string
 	Estimate(h *core.History, x []float64) ([]float64, error)
+}
+
+// SnapshotCostModel is implemented by Modelling modules that can score
+// plans against an immutable history snapshot. The scheduler takes one
+// snapshot per round and estimates every enumerated QEP against it, so
+// observations appended concurrently (by other rounds or by Record)
+// cannot split one Pareto comparison across history versions.
+type SnapshotCostModel interface {
+	CostModel
+	EstimateSnapshot(s *core.Snapshot, x []float64) ([]float64, error)
 }
 
 // ---------------------------------------------------------------------------
@@ -52,11 +70,19 @@ func NewDREAMModel(cfg core.Config) (*DREAMModel, error) {
 // Name implements CostModel.
 func (m *DREAMModel) Name() string { return "dream" }
 
+// SetModelCacheSize implements ModelCacheSizer.
+func (m *DREAMModel) SetModelCacheSize(n int) { m.Est.SetCacheSize(n) }
+
 // Estimate implements CostModel. Predicted costs are clamped at zero:
 // time and money are non-negative by definition, and a regression line
 // extrapolated below zero carries no information beyond "very small".
 func (m *DREAMModel) Estimate(h *core.History, x []float64) ([]float64, error) {
-	est, err := m.Est.EstimateCostValue(h, x)
+	return m.EstimateSnapshot(h.Snapshot(), x)
+}
+
+// EstimateSnapshot implements SnapshotCostModel.
+func (m *DREAMModel) EstimateSnapshot(s *core.Snapshot, x []float64) ([]float64, error) {
+	est, err := m.Est.EstimateSnapshot(s, x)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +207,17 @@ type Scheduler struct {
 	Model CostModel
 	// NodeChoices is the cluster-size menu used when enumerating QEPs.
 	NodeChoices []int
+	// Parallelism bounds the plan-estimation worker pool (Submit,
+	// OptimizeWSM). 0 means GOMAXPROCS; 1 forces the sequential path.
+	// Plan decisions are identical for any value as long as the model
+	// estimates deterministically — true for the default MostRecent
+	// DREAM window and all models in this package. A UniformSample
+	// DREAM window redraws randomly per call, so its results depend on
+	// evaluation order; pin Parallelism to 1 to keep that ablation
+	// reproducible.
+	Parallelism int
 
+	histMu    sync.Mutex
 	histories map[tpch.QueryID]*core.History
 	rng       *stats.RNG
 }
@@ -206,6 +242,8 @@ func NewScheduler(fed *federation.Federation, exec federation.Executor, model Co
 
 // History returns (creating if needed) the execution history of a query.
 func (s *Scheduler) History(q tpch.QueryID) *core.History {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
 	h, ok := s.histories[q]
 	if !ok {
 		var err error
@@ -267,6 +305,13 @@ type Decision struct {
 // select with BestInPareto under the policy, execute the winner and
 // feed the measurement back into history.
 func (s *Scheduler) Submit(q tpch.QueryID, pol Policy) (*Decision, error) {
+	return s.SubmitContext(context.Background(), q, pol)
+}
+
+// SubmitContext is Submit with cancellation: the estimation fan-out
+// (the expensive step over tens of thousands of equivalent QEPs)
+// observes ctx and aborts early when it is cancelled.
+func (s *Scheduler) SubmitContext(ctx context.Context, q tpch.QueryID, pol Policy) (*Decision, error) {
 	h := s.History(q)
 	if h.Len() == 0 {
 		return nil, fmt.Errorf("%w: %v (run Bootstrap first)", ErrNoHistory, q)
@@ -275,24 +320,9 @@ func (s *Scheduler) Submit(q tpch.QueryID, pol Policy) (*Decision, error) {
 	if err != nil {
 		return nil, err
 	}
-	costs := make([][]float64, len(plans))
-	for i, p := range plans {
-		x, err := s.Exec.Features(p)
-		if err != nil {
-			return nil, err
-		}
-		c, err := s.Model.Estimate(h, x)
-		if err != nil {
-			return nil, fmt.Errorf("ires: estimating %v: %w", p, err)
-		}
-		// Negative predictions are meaningless for time/money; clamp
-		// so dominance computations stay sane.
-		for j, v := range c {
-			if v < 0 {
-				c[j] = 0
-			}
-		}
-		costs[i] = c
+	costs, err := s.estimatePlans(ctx, h, plans)
+	if err != nil {
+		return nil, err
 	}
 	frontIdx, err := moo.ParetoFront(costs)
 	if err != nil {

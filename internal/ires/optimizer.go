@@ -1,10 +1,11 @@
 package ires
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
-	"repro/internal/core"
 	"repro/internal/federation"
 	"repro/internal/moo"
 	"repro/internal/tpch"
@@ -23,20 +24,32 @@ import (
 // planProblem embeds the discrete QEP space into a continuous box for
 // NSGA-II: x = (joinAtLeft?, leftChoice, rightChoice) ∈ [0,1]³, decoded
 // by thresholding and index rounding. Objective values come from the
-// Modelling module.
+// Modelling module. Evaluate is safe for concurrent use, so the moo
+// optimizers may fan fitness evaluation out over their Workers pool;
+// each decoded plan is estimated exactly once (single-flight cache).
 type planProblem struct {
-	sched   *Scheduler
-	query   tpch.QueryID
-	history *core.History
-	choices []int
+	sched *Scheduler
+	query tpch.QueryID
+	// estimateX scores a feature vector against the round's history
+	// snapshot (or live history for non-snapshot models).
+	estimateX func(x []float64) ([]float64, error)
+	choices   []int
 	// maxLeft/maxRight cap the decoded node counts at the owning
 	// sites' capacities, so the front only contains executable plans.
 	maxLeft, maxRight int
+
+	mu sync.Mutex
 	// evals counts Modelling evaluations (the expensive step).
 	evals int
 	// cache avoids re-estimating the same decoded plan.
-	cache map[federation.Plan][]float64
+	cache map[federation.Plan]*planEval
 	err   error
+}
+
+// planEval is a single-flight cache slot for one decoded plan.
+type planEval struct {
+	once  sync.Once
+	costs []float64
 }
 
 // Bounds implements moo.Problem.
@@ -68,17 +81,28 @@ func (p *planProblem) decode(x []float64) federation.Plan {
 // Evaluate implements moo.Problem.
 func (p *planProblem) Evaluate(x []float64) []float64 {
 	plan := p.decode(x)
-	if c, ok := p.cache[plan]; ok {
-		return c
+	p.mu.Lock()
+	e, ok := p.cache[plan]
+	if !ok {
+		e = &planEval{}
+		p.cache[plan] = e
 	}
+	p.mu.Unlock()
+	e.once.Do(func() { e.costs = p.estimate(plan) })
+	return e.costs
+}
+
+// estimate scores one decoded plan with the Modelling module, recording
+// the first error encountered.
+func (p *planProblem) estimate(plan federation.Plan) []float64 {
 	feats, err := p.sched.Exec.Features(plan)
 	if err != nil {
-		p.err = err
+		p.setErr(err)
 		return []float64{math.Inf(1), math.Inf(1)}
 	}
-	c, err := p.sched.Model.Estimate(p.history, feats)
+	c, err := p.estimateX(feats)
 	if err != nil {
-		p.err = err
+		p.setErr(err)
 		return []float64{math.Inf(1), math.Inf(1)}
 	}
 	for j, v := range c {
@@ -86,9 +110,18 @@ func (p *planProblem) Evaluate(x []float64) []float64 {
 			c[j] = 0
 		}
 	}
+	p.mu.Lock()
 	p.evals++
-	p.cache[plan] = c
+	p.mu.Unlock()
 	return c
+}
+
+func (p *planProblem) setErr(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
 }
 
 // GAResult is the reusable output of the GA optimization path.
@@ -134,13 +167,22 @@ func (s *Scheduler) OptimizeGA(q tpch.QueryID, cfg moo.NSGAIIConfig) (*GAResult,
 		return nil, err
 	}
 	prob := &planProblem{
-		sched:    s,
-		query:    q,
-		history:  h,
-		choices:  s.NodeChoices,
-		maxLeft:  leftSite.MaxNodes,
-		maxRight: rightSite.MaxNodes,
-		cache:    make(map[federation.Plan][]float64),
+		sched:     s,
+		query:     q,
+		estimateX: s.estimateFn(h),
+		choices:   s.NodeChoices,
+		maxLeft:   leftSite.MaxNodes,
+		maxRight:  rightSite.MaxNodes,
+		cache:     make(map[federation.Plan]*planEval),
+	}
+	if cfg.Workers == 0 {
+		// Inherit the scheduler's estimation parallelism: fitness
+		// evaluation goes through the same Modelling hot path.
+		if s.Parallelism == 0 {
+			cfg.Workers = -1 // GOMAXPROCS
+		} else {
+			cfg.Workers = s.Parallelism
+		}
 	}
 	res, err := moo.NSGAII(prob, cfg)
 	if err != nil {
@@ -158,7 +200,7 @@ func (s *Scheduler) OptimizeGA(q tpch.QueryID, cfg moo.NSGAIIConfig) (*GAResult,
 		}
 		seen[plan] = true
 		out.Plans = append(out.Plans, plan)
-		out.Costs = append(out.Costs, prob.cache[plan])
+		out.Costs = append(out.Costs, prob.cache[plan].costs)
 	}
 	return out, nil
 }
@@ -175,6 +217,12 @@ type WSMResult struct {
 // every enumerated plan, scalarize with the current weights, return the
 // argmin. There is no reusable artifact — a changed policy reruns this.
 func (s *Scheduler) OptimizeWSM(q tpch.QueryID, pol Policy) (*WSMResult, error) {
+	return s.OptimizeWSMContext(context.Background(), q, pol)
+}
+
+// OptimizeWSMContext is OptimizeWSM with cancellation: the per-plan
+// estimation sweep observes ctx and aborts early when it is cancelled.
+func (s *Scheduler) OptimizeWSMContext(ctx context.Context, q tpch.QueryID, pol Policy) (*WSMResult, error) {
 	h := s.History(q)
 	if h.Len() == 0 {
 		return nil, fmt.Errorf("%w: %v", ErrNoHistory, q)
@@ -186,25 +234,11 @@ func (s *Scheduler) OptimizeWSM(q tpch.QueryID, pol Policy) (*WSMResult, error) 
 	if len(plans) == 0 {
 		return nil, moo.ErrNoPlans
 	}
-	costs := make([][]float64, len(plans))
-	evals := 0
-	for i, p := range plans {
-		x, err := s.Exec.Features(p)
-		if err != nil {
-			return nil, err
-		}
-		c, err := s.Model.Estimate(h, x)
-		if err != nil {
-			return nil, err
-		}
-		for j, v := range c {
-			if v < 0 {
-				c[j] = 0
-			}
-		}
-		costs[i] = c
-		evals++
+	costs, err := s.estimatePlans(ctx, h, plans)
+	if err != nil {
+		return nil, err
 	}
+	evals := len(plans)
 	weights := pol.Weights
 	if len(weights) == 0 {
 		weights = []float64{1, 1}

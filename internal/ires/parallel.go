@@ -1,0 +1,172 @@
+package ires
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+)
+
+// The paper's Example 3.1 counts 18,200 equivalent QEPs for one query
+// on a 70-vCPU/260-GB pool — per-plan estimation is the scheduler's
+// hottest path. This file fans that path out over a bounded worker
+// pool. Cost vectors are collected positionally, so the pipeline's
+// output is byte-identical to the sequential loop for any worker count
+// whenever estimation is a pure function of (history snapshot,
+// features) — true for every model in this package under the default
+// MostRecent window; see Scheduler.Parallelism for the UniformSample
+// caveat.
+
+// SchedulerConfig bundles the scheduler assembly knobs, including the
+// parallel-estimation ones this package adds on top of the paper's
+// pipeline.
+type SchedulerConfig struct {
+	// NodeChoices is the cluster-size menu used when enumerating QEPs;
+	// nil selects the default {1, 2, 4, 8, 16}.
+	NodeChoices []int
+	// Seed drives the scheduler's own randomness (Bootstrap sampling).
+	Seed int64
+	// Parallelism bounds the estimation worker pool used by Submit,
+	// OptimizeWSM and population evaluation. 0 means GOMAXPROCS;
+	// 1 forces the sequential path.
+	Parallelism int
+	// CacheSize overrides the Modelling module's per-(history, version)
+	// model cache when the model supports it (DREAM variants do).
+	// 0 keeps the model's own configuration; negative disables caching.
+	CacheSize int
+}
+
+// ModelCacheSizer is implemented by Modelling modules whose underlying
+// estimator keeps a per-(history, version) model cache.
+type ModelCacheSizer interface {
+	SetModelCacheSize(n int)
+}
+
+// NewSchedulerWithConfig assembles a scheduler with explicit
+// parallelism and caching knobs.
+func NewSchedulerWithConfig(fed *federation.Federation, exec federation.Executor, model CostModel, cfg SchedulerConfig) (*Scheduler, error) {
+	s, err := NewScheduler(fed, exec, model, cfg.NodeChoices, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.Parallelism = cfg.Parallelism
+	if cfg.CacheSize != 0 {
+		if ms, ok := model.(ModelCacheSizer); ok {
+			ms.SetModelCacheSize(cfg.CacheSize)
+		}
+	}
+	return s, nil
+}
+
+// workers resolves the effective pool size for n independent tasks.
+func (s *Scheduler) workers(n int) int {
+	w := s.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// estimateFn returns the per-plan scoring function for one scheduling
+// round. Snapshot-capable models get a single point-in-time snapshot,
+// so every plan of the round is scored against one history version
+// even while other goroutines append observations.
+func (s *Scheduler) estimateFn(h *core.History) func(x []float64) ([]float64, error) {
+	if sm, ok := s.Model.(SnapshotCostModel); ok {
+		snap := h.Snapshot()
+		return func(x []float64) ([]float64, error) { return sm.EstimateSnapshot(snap, x) }
+	}
+	return func(x []float64) ([]float64, error) { return s.Model.Estimate(h, x) }
+}
+
+// estimatePlans maps every plan to its clamped model cost vector, in
+// plan order. With more than one worker the plans are fanned out over a
+// bounded pool; the first error (by lowest plan index among those
+// actually estimated) cancels the remaining work.
+func (s *Scheduler) estimatePlans(ctx context.Context, h *core.History, plans []federation.Plan) ([][]float64, error) {
+	costs := make([][]float64, len(plans))
+	estimateX := s.estimateFn(h)
+	estimate := func(i int) error {
+		x, err := s.Exec.Features(plans[i])
+		if err != nil {
+			return err
+		}
+		c, err := estimateX(x)
+		if err != nil {
+			return fmt.Errorf("ires: estimating %v: %w", plans[i], err)
+		}
+		// Negative predictions are meaningless for time/money; clamp
+		// so dominance computations stay sane.
+		for j, v := range c {
+			if v < 0 {
+				c[j] = 0
+			}
+		}
+		costs[i] = c
+		return nil
+	}
+
+	if s.workers(len(plans)) == 1 {
+		for i := range plans {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := estimate(i); err != nil {
+				return nil, err
+			}
+		}
+		return costs, nil
+	}
+
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     int64 = -1
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = len(plans)
+		firstErr error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for g := 0; g < s.workers(len(plans)); g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(plans) || poolCtx.Err() != nil {
+					return
+				}
+				if err := estimate(i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return costs, nil
+}

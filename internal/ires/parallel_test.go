@@ -1,0 +1,172 @@
+package ires
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/moo"
+	"repro/internal/tpch"
+)
+
+// buildStack assembles one complete scheduler stack (federation,
+// calibration, scaled executor, DREAM model) with the given estimation
+// knobs. Two stacks built with the same seed are bit-identical.
+func buildStack(t *testing.T, seed int64, cfg SchedulerConfig) *Scheduler {
+	t.Helper()
+	fed, err := federation.DefaultTopology(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := federation.Calibrate(fed, 0.004, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := federation.NewScaledExecutor(fed, cal, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewDREAMModel(core.Config{MMax: 3 * (federation.FeatureDim + 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSchedulerWithConfig(fed, exec, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// renderDecision serializes every decision field (dereferencing the
+// outcome pointer) for byte-level comparison.
+func renderDecision(d *Decision) string {
+	return fmt.Sprintf("plan=%+v est=%v outcome=%+v pareto=%d space=%d",
+		d.Plan, d.Estimated, *d.Outcome, d.ParetoSize, d.PlanSpace)
+}
+
+// TestParallelSubmitMatchesSequential is the determinism contract of
+// the parallel pipeline: for the same seed, a scheduler fanning
+// estimation over many workers (with the model cache on) must make
+// byte-identical decisions to the sequential, cache-less path.
+func TestParallelSubmitMatchesSequential(t *testing.T) {
+	choices := []int{1, 2, 3, 4, 6, 8, 12, 16}
+	seq := buildStack(t, 42, SchedulerConfig{NodeChoices: choices, Seed: 42, Parallelism: 1, CacheSize: -1})
+	par := buildStack(t, 42, SchedulerConfig{NodeChoices: choices, Seed: 42, Parallelism: 8})
+
+	if err := seq.Bootstrap(tpch.QueryQ12, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Bootstrap(tpch.QueryQ12, 25); err != nil {
+		t.Fatal(err)
+	}
+
+	pol := Policy{Weights: []float64{1, 1}}
+	for round := 0; round < 5; round++ {
+		a, err := seq.Submit(tpch.QueryQ12, pol)
+		if err != nil {
+			t.Fatalf("round %d sequential: %v", round, err)
+		}
+		b, err := par.Submit(tpch.QueryQ12, pol)
+		if err != nil {
+			t.Fatalf("round %d parallel: %v", round, err)
+		}
+		got, want := renderDecision(b), renderDecision(a)
+		if got != want {
+			t.Fatalf("round %d decisions diverge:\nsequential: %s\nparallel:   %s", round, want, got)
+		}
+	}
+}
+
+// TestParallelOptimizeWSMMatchesSequential covers the weighted-sum path
+// of Figure 3 under the same contract.
+func TestParallelOptimizeWSMMatchesSequential(t *testing.T) {
+	choices := []int{1, 2, 3, 4, 6, 8, 12, 16}
+	seq := buildStack(t, 7, SchedulerConfig{NodeChoices: choices, Seed: 7, Parallelism: 1, CacheSize: -1})
+	par := buildStack(t, 7, SchedulerConfig{NodeChoices: choices, Seed: 7, Parallelism: 8})
+	if err := seq.Bootstrap(tpch.QueryQ13, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Bootstrap(tpch.QueryQ13, 25); err != nil {
+		t.Fatal(err)
+	}
+	pol := Policy{Weights: []float64{2, 1}}
+	a, err := seq.OptimizeWSM(tpch.QueryQ13, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.OptimizeWSM(tpch.QueryQ13, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Plan != b.Plan {
+		t.Fatalf("WSM plans diverge: sequential %+v, parallel %+v", a.Plan, b.Plan)
+	}
+	if a.ModelEvaluations != b.ModelEvaluations {
+		t.Fatalf("evaluation counts diverge: %d vs %d", a.ModelEvaluations, b.ModelEvaluations)
+	}
+}
+
+// TestParallelOptimizeGAMatchesSequential: NSGA-II over the plan
+// problem with a concurrent fitness pool returns the same Pareto set as
+// the sequential evaluation, because all random draws stay on the main
+// loop.
+func TestParallelOptimizeGAMatchesSequential(t *testing.T) {
+	choices := []int{1, 2, 4, 8, 16}
+	seq := buildStack(t, 11, SchedulerConfig{NodeChoices: choices, Seed: 11, Parallelism: 1, CacheSize: -1})
+	par := buildStack(t, 11, SchedulerConfig{NodeChoices: choices, Seed: 11})
+	if err := seq.Bootstrap(tpch.QueryQ12, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Bootstrap(tpch.QueryQ12, 25); err != nil {
+		t.Fatal(err)
+	}
+	cfg := moo.NSGAIIConfig{PopSize: 24, Generations: 10, Seed: 3}
+	a, err := seq.OptimizeGA(tpch.QueryQ12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.OptimizeGA(tpch.QueryQ12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := fmt.Sprintf("%+v %+v", b.Plans, b.Costs), fmt.Sprintf("%+v %+v", a.Plans, a.Costs)
+	if got != want {
+		t.Fatalf("GA results diverge:\nsequential: %s\nparallel:   %s", want, got)
+	}
+	if a.ModelEvaluations != b.ModelEvaluations {
+		t.Fatalf("distinct-plan evaluation counts diverge: %d vs %d", a.ModelEvaluations, b.ModelEvaluations)
+	}
+}
+
+// TestSubmitContextCancelled: a cancelled context aborts the estimation
+// fan-out instead of running the full plan sweep.
+func TestSubmitContextCancelled(t *testing.T) {
+	s := buildStack(t, 5, SchedulerConfig{Parallelism: 4})
+	if err := s.Bootstrap(tpch.QueryQ12, 20); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.SubmitContext(ctx, tpch.QueryQ12, Policy{Weights: []float64{1, 1}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSchedulerWithConfigDefaults: the zero config yields a working
+// scheduler with default node choices.
+func TestSchedulerWithConfigDefaults(t *testing.T) {
+	s := buildStack(t, 3, SchedulerConfig{})
+	if len(s.NodeChoices) == 0 {
+		t.Fatal("default node choices not applied")
+	}
+	if err := s.Bootstrap(tpch.QueryQ14, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(tpch.QueryQ14, Policy{Weights: []float64{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -26,6 +26,13 @@ type MOEADConfig struct {
 	EtaMutation   float64
 	// Seed makes runs reproducible.
 	Seed int64
+	// Workers parallelizes the initial-population evaluation
+	// (0 sequential, negative GOMAXPROCS, else literal). The
+	// generational loop itself is inherently sequential — each child
+	// updates the neighbourhood the next child's parents are drawn
+	// from — so only initialization fans out. With Workers > 1 the
+	// Problem's Evaluate must be safe for concurrent use.
+	Workers int
 }
 
 // MOEAD implements MOEA/D (Zhang & Li 2007, the paper's reference [36]):
@@ -103,18 +110,9 @@ func MOEAD(p Problem, cfg MOEADConfig) (*Result, error) {
 		neighbors[i] = idx[:cfg.Neighbors]
 	}
 
-	pop := make([]Individual, n)
-	nObj := 0
-	for i := range pop {
-		x := make([]float64, dim)
-		for j := range x {
-			x[j] = rng.Uniform(lo[j], hi[j])
-		}
-		pop[i] = Individual{X: x, Costs: eval(x)}
-		if i == 0 {
-			nObj = len(pop[i].Costs)
-		}
-	}
+	pop := evalBatch(p, randomPopulation(n, lo, hi, rng), resolveWorkers(cfg.Workers))
+	evals += n
+	nObj := len(pop[0].Costs)
 	if nObj != 2 {
 		return nil, fmt.Errorf("moo: MOEAD supports exactly 2 objectives, problem has %d", nObj)
 	}

@@ -33,6 +33,13 @@ type NSGAIIConfig struct {
 	EtaMutation  float64
 	// Seed makes runs reproducible.
 	Seed int64
+	// Workers bounds the fitness-evaluation worker pool: 0 evaluates
+	// sequentially (historical behaviour), a negative value uses
+	// GOMAXPROCS, anything else is taken literally. With Workers > 1
+	// the Problem's Evaluate must be safe for concurrent use. Results
+	// are identical for any value: all random draws happen on the main
+	// loop before evaluations are fanned out.
+	Workers int
 }
 
 // Individual is one evaluated member of the final population.
@@ -83,39 +90,28 @@ func NSGAII(p Problem, cfg NSGAIIConfig) (*Result, error) {
 		cfg.EtaMutation = 20
 	}
 	rng := stats.NewRNG(cfg.Seed)
+	workers := resolveWorkers(cfg.Workers)
 
 	evals := 0
-	eval := func(x []float64) []float64 {
-		evals++
-		return p.Evaluate(x)
-	}
-
-	pop := make([]Individual, cfg.PopSize)
-	for i := range pop {
-		x := make([]float64, dim)
-		for j := range x {
-			x[j] = rng.Uniform(lo[j], hi[j])
-		}
-		pop[i] = Individual{X: x, Costs: eval(x)}
-	}
+	pop := evalBatch(p, randomPopulation(cfg.PopSize, lo, hi, rng), workers)
+	evals += len(pop)
 
 	for gen := 0; gen < cfg.Generations; gen++ {
 		ranks, crowd, err := rankAndCrowd(pop)
 		if err != nil {
 			return nil, err
 		}
-		offspring := make([]Individual, 0, cfg.PopSize)
-		for len(offspring) < cfg.PopSize {
+		childXs := make([][]float64, 0, cfg.PopSize)
+		for len(childXs) < cfg.PopSize {
 			p1 := tournament(pop, ranks, crowd, rng)
 			p2 := tournament(pop, ranks, crowd, rng)
 			c1, c2 := sbxCrossover(p1.X, p2.X, lo, hi, cfg, rng)
 			polynomialMutate(c1, lo, hi, cfg, rng)
 			polynomialMutate(c2, lo, hi, cfg, rng)
-			offspring = append(offspring,
-				Individual{X: c1, Costs: eval(c1)},
-				Individual{X: c2, Costs: eval(c2)})
+			childXs = append(childXs, c1, c2)
 		}
-		combined := append(pop, offspring...)
+		evals += len(childXs)
+		combined := append(pop, evalBatch(p, childXs, workers)...)
 		pop, err = environmentalSelection(combined, cfg.PopSize)
 		if err != nil {
 			return nil, err
@@ -138,6 +134,21 @@ func NSGAII(p Problem, cfg NSGAIIConfig) (*Result, error) {
 		res.Front = append(res.Front, pop[i])
 	}
 	return res, nil
+}
+
+// randomPopulation draws popSize decision vectors uniformly from the
+// bounds box, consuming the RNG in the same order as the historical
+// generate-then-evaluate loop.
+func randomPopulation(popSize int, lo, hi []float64, rng *stats.RNG) [][]float64 {
+	xs := make([][]float64, popSize)
+	for i := range xs {
+		x := make([]float64, len(lo))
+		for j := range x {
+			x[j] = rng.Uniform(lo[j], hi[j])
+		}
+		xs[i] = x
+	}
+	return xs
 }
 
 func costsOf(pop []Individual) [][]float64 {

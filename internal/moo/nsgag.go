@@ -46,39 +46,28 @@ func NSGAG(p Problem, cfg NSGAIIConfig, divisions int) (*Result, error) {
 		cfg.EtaMutation = 20
 	}
 	rng := stats.NewRNG(cfg.Seed)
+	workers := resolveWorkers(cfg.Workers)
 
 	evals := 0
-	eval := func(x []float64) []float64 {
-		evals++
-		return p.Evaluate(x)
-	}
-
-	pop := make([]Individual, cfg.PopSize)
-	for i := range pop {
-		x := make([]float64, dim)
-		for j := range x {
-			x[j] = rng.Uniform(lo[j], hi[j])
-		}
-		pop[i] = Individual{X: x, Costs: eval(x)}
-	}
+	pop := evalBatch(p, randomPopulation(cfg.PopSize, lo, hi, rng), workers)
+	evals += len(pop)
 
 	for gen := 0; gen < cfg.Generations; gen++ {
 		ranks, crowd, err := rankAndCrowd(pop)
 		if err != nil {
 			return nil, err
 		}
-		offspring := make([]Individual, 0, cfg.PopSize)
-		for len(offspring) < cfg.PopSize {
+		childXs := make([][]float64, 0, cfg.PopSize)
+		for len(childXs) < cfg.PopSize {
 			p1 := tournament(pop, ranks, crowd, rng)
 			p2 := tournament(pop, ranks, crowd, rng)
 			c1, c2 := sbxCrossover(p1.X, p2.X, lo, hi, cfg, rng)
 			polynomialMutate(c1, lo, hi, cfg, rng)
 			polynomialMutate(c2, lo, hi, cfg, rng)
-			offspring = append(offspring,
-				Individual{X: c1, Costs: eval(c1)},
-				Individual{X: c2, Costs: eval(c2)})
+			childXs = append(childXs, c1, c2)
 		}
-		combined := append(pop, offspring...)
+		evals += len(childXs)
+		combined := append(pop, evalBatch(p, childXs, workers)...)
 		pop, err = gridSelection(combined, cfg.PopSize, divisions, rng)
 		if err != nil {
 			return nil, err

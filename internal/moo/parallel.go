@@ -1,0 +1,76 @@
+package moo
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Population evaluation is embarrassingly parallel: each individual's
+// objective vector is a pure function of its decision vector, while all
+// the stochastic steps (initialization, tournaments, crossover,
+// mutation) stay on the single seeded RNG of the main loop. The
+// optimizers therefore draw every decision vector of a batch first and
+// only then fan the evaluations out, which keeps runs byte-identical
+// for any worker count.
+
+// resolveWorkers maps a config's Workers knob to a pool size:
+// 0 keeps the historical sequential behaviour, negative selects
+// GOMAXPROCS, anything else is taken literally.
+func resolveWorkers(w int) int {
+	switch {
+	case w == 0:
+		return 1
+	case w < 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return w
+	}
+}
+
+// evalBatch evaluates a batch of decision vectors into Individuals,
+// preserving input order — the shared population-evaluation step of
+// every optimizer in this package.
+func evalBatch(p Problem, xs [][]float64, workers int) []Individual {
+	costs := evalAll(p, xs, workers)
+	batch := make([]Individual, len(xs))
+	for i := range xs {
+		batch[i] = Individual{X: xs[i], Costs: costs[i]}
+	}
+	return batch
+}
+
+// evalAll evaluates every decision vector and returns the objective
+// vectors in input order. With workers > 1 the evaluations run on a
+// bounded pool; Problem.Evaluate must then be safe for concurrent use.
+func evalAll(p Problem, xs [][]float64, workers int) [][]float64 {
+	out := make([][]float64, len(xs))
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	if workers <= 1 || len(xs) < 2 {
+		for i, x := range xs {
+			out[i] = p.Evaluate(x)
+		}
+		return out
+	}
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+	)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(xs) {
+					return
+				}
+				out[i] = p.Evaluate(xs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,105 @@
+package moo
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// zdt1 (defined in nsga2_test.go) has a pure Evaluate, so it is
+// trivially safe for concurrent use.
+
+// countingProblem wraps zdt1 with an atomic evaluation counter.
+type countingProblem struct {
+	zdt1
+	n int64
+}
+
+func (c *countingProblem) Evaluate(x []float64) []float64 {
+	atomic.AddInt64(&c.n, 1)
+	return c.zdt1.Evaluate(x)
+}
+
+func renderResult(r *Result) string {
+	out := ""
+	for _, ind := range r.Front {
+		out += fmt.Sprintf("%v->%v;", ind.X, ind.Costs)
+	}
+	return fmt.Sprintf("evals=%d front=%s", r.Evaluations, out)
+}
+
+// TestOptimizersDeterministicAcrossWorkers runs every population-based
+// optimizer sequentially and with a saturated worker pool and demands
+// byte-identical results: parallel fitness evaluation must be invisible
+// to the search.
+func TestOptimizersDeterministicAcrossWorkers(t *testing.T) {
+	cfg := func(workers int) NSGAIIConfig {
+		return NSGAIIConfig{PopSize: 20, Generations: 8, Seed: 5, Workers: workers}
+	}
+	cases := []struct {
+		name string
+		run  func(p Problem, workers int) (*Result, error)
+	}{
+		{"NSGAII", func(p Problem, w int) (*Result, error) { return NSGAII(p, cfg(w)) }},
+		{"NSGAG", func(p Problem, w int) (*Result, error) { return NSGAG(p, cfg(w), 4) }},
+		{"SPEA2", func(p Problem, w int) (*Result, error) { return SPEA2(p, cfg(w)) }},
+		{"MOEAD", func(p Problem, w int) (*Result, error) {
+			return MOEAD(p, MOEADConfig{Subproblems: 20, Generations: 8, Seed: 5, Workers: w})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seqRes, err := tc.run(zdt1{dim: 6}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parRes, err := tc.run(zdt1{dim: 6}, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := renderResult(parRes), renderResult(seqRes); got != want {
+				t.Fatalf("parallel result diverges from sequential:\nseq: %s\npar: %s", want, got)
+			}
+		})
+	}
+}
+
+// TestWorkersEvaluationCount: parallel evaluation performs exactly the
+// same number of objective evaluations as the sequential loop.
+func TestWorkersEvaluationCount(t *testing.T) {
+	seqP := &countingProblem{zdt1: zdt1{dim: 6}}
+	parP := &countingProblem{zdt1: zdt1{dim: 6}}
+	cfgSeq := NSGAIIConfig{PopSize: 16, Generations: 5, Seed: 2, Workers: 0}
+	cfgPar := cfgSeq
+	cfgPar.Workers = 4
+	a, err := NSGAII(seqP, cfgSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NSGAII(parP, cfgPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqP.n != parP.n {
+		t.Fatalf("evaluation counts differ: sequential %d, parallel %d", seqP.n, parP.n)
+	}
+	if a.Evaluations != b.Evaluations {
+		t.Fatalf("reported Evaluations differ: %d vs %d", a.Evaluations, b.Evaluations)
+	}
+	if int64(a.Evaluations) != seqP.n {
+		t.Fatalf("reported %d evaluations, problem saw %d", a.Evaluations, seqP.n)
+	}
+}
+
+// TestResolveWorkers pins the knob semantics.
+func TestResolveWorkers(t *testing.T) {
+	if got := resolveWorkers(0); got != 1 {
+		t.Errorf("resolveWorkers(0) = %d, want 1", got)
+	}
+	if got := resolveWorkers(3); got != 3 {
+		t.Errorf("resolveWorkers(3) = %d, want 3", got)
+	}
+	if got := resolveWorkers(-1); got < 1 {
+		t.Errorf("resolveWorkers(-1) = %d, want >= 1", got)
+	}
+}

@@ -40,21 +40,11 @@ func SPEA2(p Problem, cfg NSGAIIConfig) (*Result, error) {
 	}
 	archiveSize := cfg.PopSize
 	rng := stats.NewRNG(cfg.Seed)
+	workers := resolveWorkers(cfg.Workers)
 
 	evals := 0
-	eval := func(x []float64) []float64 {
-		evals++
-		return p.Evaluate(x)
-	}
-
-	pop := make([]Individual, cfg.PopSize)
-	for i := range pop {
-		x := make([]float64, dim)
-		for j := range x {
-			x[j] = rng.Uniform(lo[j], hi[j])
-		}
-		pop[i] = Individual{X: x, Costs: eval(x)}
-	}
+	pop := evalBatch(p, randomPopulation(cfg.PopSize, lo, hi, rng), workers)
+	evals += len(pop)
 	var archive []Individual
 
 	for gen := 0; gen <= cfg.Generations; gen++ {
@@ -115,17 +105,16 @@ func SPEA2(p Problem, cfg NSGAIIConfig) (*Result, error) {
 			}
 			return archive[b]
 		}
-		offspring := make([]Individual, 0, cfg.PopSize)
-		for len(offspring) < cfg.PopSize {
+		childXs := make([][]float64, 0, cfg.PopSize+1)
+		for len(childXs) < cfg.PopSize {
 			p1, p2 := tournament(), tournament()
 			c1, c2 := sbxCrossover(p1.X, p2.X, lo, hi, cfg, rng)
 			polynomialMutate(c1, lo, hi, cfg, rng)
 			polynomialMutate(c2, lo, hi, cfg, rng)
-			offspring = append(offspring,
-				Individual{X: c1, Costs: eval(c1)},
-				Individual{X: c2, Costs: eval(c2)})
+			childXs = append(childXs, c1, c2)
 		}
-		pop = offspring[:cfg.PopSize]
+		evals += len(childXs)
+		pop = evalBatch(p, childXs, workers)[:cfg.PopSize]
 	}
 
 	// Report the non-dominated members of the final archive.

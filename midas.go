@@ -56,7 +56,12 @@ type DREAMConfig = core.Config
 type DREAMEstimator = core.Estimator
 
 // History is an append-only log of plan executions (features + costs).
+// Safe for concurrent appenders and readers.
 type History = core.History
+
+// HistorySnapshot is an immutable point-in-time view of a History;
+// concurrent estimation rounds score every plan against one snapshot.
+type HistorySnapshot = core.Snapshot
 
 // Observation is one execution record.
 type Observation = core.Observation
@@ -78,6 +83,12 @@ const (
 
 // DefaultRequiredR2 is the paper's R²require = 0.8.
 const DefaultRequiredR2 = core.DefaultRequiredR2
+
+// DefaultModelCacheSize bounds the estimator's per-(history, version)
+// model cache: the window search of Algorithm 1 is independent of the
+// plan being estimated, so one fit serves every QEP of a scheduling
+// round. Set DREAMConfig.CacheSize to tune (negative disables).
+const DefaultModelCacheSize = core.DefaultCacheSize
 
 // NewDREAMEstimator validates a config and returns a DREAM estimator.
 func NewDREAMEstimator(cfg DREAMConfig) (*DREAMEstimator, error) {
@@ -329,6 +340,14 @@ type (
 	Policy = ires.Policy
 	// Decision reports one scheduling round.
 	Decision = ires.Decision
+	// SchedulerConfig adds the parallel-estimation knobs: Parallelism
+	// bounds the worker pool that fans plan estimation out (0 =
+	// GOMAXPROCS, 1 = sequential), CacheSize tunes the Modelling
+	// module's per-(history, version) model cache. Decisions are
+	// byte-identical for any setting with deterministic models (the
+	// default; the UniformSample window ablation is the exception —
+	// see Scheduler.Parallelism).
+	SchedulerConfig = ires.SchedulerConfig
 )
 
 // NewDREAMModel builds a DREAM Modelling module.
@@ -346,6 +365,12 @@ var BreakdownMetrics = federation.BreakdownMetrics
 // NewScheduler assembles the pipeline.
 func NewScheduler(fed *Federation, exec Executor, model CostModel, nodeChoices []int, seed int64) (*Scheduler, error) {
 	return ires.NewScheduler(fed, exec, model, nodeChoices, seed)
+}
+
+// NewSchedulerWithConfig assembles the pipeline with explicit
+// parallelism and model-cache knobs.
+func NewSchedulerWithConfig(fed *Federation, exec Executor, model CostModel, cfg SchedulerConfig) (*Scheduler, error) {
+	return ires.NewSchedulerWithConfig(fed, exec, model, cfg)
 }
 
 // ---------------------------------------------------------------------------

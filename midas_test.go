@@ -45,6 +45,54 @@ func TestFacadeFullPipeline(t *testing.T) {
 	}
 }
 
+// TestFacadeParallelScheduler drives the concurrent pipeline through
+// the public API: GOMAXPROCS workers, model cache on, and a history
+// snapshot taken mid-run.
+func TestFacadeParallelScheduler(t *testing.T) {
+	fed, err := NewDefaultFederation(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := Calibrate(fed, 0.004, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := NewScaledExecutor(fed, cal, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewDREAMModel(DREAMConfig{MMax: 3 * (FeatureDim + 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewSchedulerWithConfig(fed, exec, model, SchedulerConfig{
+		Seed:        19,
+		Parallelism: 0, // GOMAXPROCS
+		CacheSize:   DefaultModelCacheSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Bootstrap(QueryQ12, 20); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := sched.Submit(QueryQ12, Policy{Weights: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Outcome.TimeS <= 0 {
+		t.Fatalf("degenerate outcome %+v", dec.Outcome)
+	}
+	var snap *HistorySnapshot = sched.History(QueryQ12).Snapshot()
+	if snap.Len() != 21 { // 20 bootstrap runs + 1 submitted round
+		t.Fatalf("snapshot Len = %d, want 21", snap.Len())
+	}
+	hits, misses := model.Est.CacheStats()
+	if hits+misses == 0 {
+		t.Fatal("model cache never consulted")
+	}
+}
+
 func TestFacadeDREAMAndPersistence(t *testing.T) {
 	h, err := NewHistory(1, "time_s")
 	if err != nil {
