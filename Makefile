@@ -3,7 +3,16 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check lint test test-short bench bench-smoke help
+# Coverage floor (percent) enforced on the packages new code lands in.
+COVER_FLOOR ?= 60
+COVER_PKGS ?= ./internal/server ./internal/core
+
+# The regression-gated serving benchmarks: minimum of COUNT runs is
+# compared by cmd/benchgate in CI.
+SWEEP_PATTERN ?= Q1[23]Sweep
+SWEEP_COUNT ?= 5
+
+.PHONY: all build vet fmt-check lint test test-short bench bench-smoke bench-sweep bench-json cover help
 
 all: build lint test
 
@@ -40,6 +49,25 @@ bench:
 ## bench-smoke: one iteration of every benchmark — proves bench code builds and runs
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## bench-sweep: repeated runs of the regression-gated Q12/Q13 sweep benchmarks
+bench-sweep:
+	$(GO) test -run '^$$' -bench '$(SWEEP_PATTERN)' -benchtime 10x -count $(SWEEP_COUNT) .
+
+## bench-json: one iteration of every benchmark as test2json events (BENCH_*.json artifacts)
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./...
+
+## cover: enforce the coverage floor on the serving and estimation cores
+cover:
+	@set -e; for pkg in $(COVER_PKGS); do \
+		out="$$($(GO) test -cover $$pkg)"; echo "$$out"; \
+		pct="$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p')"; \
+		if [ -z "$$pct" ]; then echo "no coverage reported for $$pkg"; exit 1; fi; \
+		if ! awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN{exit !(p+0 >= f+0)}'; then \
+			echo "FAIL: $$pkg coverage $$pct% is below the $(COVER_FLOOR)% floor"; exit 1; \
+		fi; \
+	done
 
 help:
 	@grep -E '^## ' Makefile | sed 's/^## /  /'

@@ -1,0 +1,191 @@
+// Command benchgate compares two `go test -bench` outputs and fails
+// when a benchmark regressed beyond a threshold — the PR gate that
+// keeps the Q12/Q13 sweep numbers honest. benchstat renders the pretty
+// statistics; benchgate is the deterministic pass/fail.
+//
+// Usage:
+//
+//	benchgate [-threshold 0.25] [-match 'Q1[23]Sweep'] [-summary out.md] old.txt new.txt
+//
+// Each file is standard `go test -bench` text. Repeated runs of one
+// benchmark (-count N) are reduced to their minimum ns/op: the minimum
+// is the least noisy estimate of what the code can do, which is what a
+// regression gate should compare. Benchmarks present in only one file
+// are reported but never fail the gate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		threshold = flag.Float64("threshold", 0.25, "fail when new/old - 1 exceeds this on a matched benchmark")
+		match     = flag.String("match", ".", "regexp of benchmark names the gate applies to")
+		summary   = flag.String("summary", "", "append the markdown comparison to this file (e.g. $GITHUB_STEP_SUMMARY)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchgate [flags] old.txt new.txt\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		return fmt.Errorf("want exactly 2 bench files, got %d", flag.NArg())
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		return fmt.Errorf("bad -match: %w", err)
+	}
+	old, err := parseBenchFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	niw, err := parseBenchFile(flag.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	rows, regressed := compare(old, niw, re, *threshold)
+	md := renderMarkdown(rows, *threshold, re.String())
+	fmt.Print(md)
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteString(md); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
+			len(regressed), *threshold*100, strings.Join(regressed, ", "))
+	}
+	return nil
+}
+
+// benchLine matches `BenchmarkName-8   	   100	   12345 ns/op ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench reduces a `go test -bench` stream to name → min ns/op.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+func parseBenchFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	parsed, err := parseBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(parsed) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines", path)
+	}
+	return parsed, nil
+}
+
+// row is one benchmark's comparison.
+type row struct {
+	name     string
+	old, new float64 // min ns/op; 0 = absent
+	delta    float64 // new/old - 1, when both present
+	gated    bool    // name matched the gate pattern
+	failed   bool
+}
+
+// compare joins the two runs and flags gated regressions beyond the
+// threshold.
+func compare(old, niw map[string]float64, gate *regexp.Regexp, threshold float64) ([]row, []string) {
+	names := make(map[string]bool, len(old)+len(niw))
+	for n := range old {
+		names[n] = true
+	}
+	for n := range niw {
+		names[n] = true
+	}
+	rows := make([]row, 0, len(names))
+	var regressed []string
+	for n := range names {
+		r := row{name: n, old: old[n], new: niw[n], gated: gate.MatchString(n)}
+		if r.old > 0 && r.new > 0 {
+			r.delta = r.new/r.old - 1
+			if r.gated && r.delta > threshold {
+				r.failed = true
+				regressed = append(regressed, n)
+			}
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	sort.Strings(regressed)
+	return rows, regressed
+}
+
+func renderMarkdown(rows []row, threshold float64, pattern string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### benchgate: min ns/op, fail >%.0f%% on /%s/\n\n", threshold*100, pattern)
+	b.WriteString("| benchmark | old ns/op | new ns/op | delta | gate |\n")
+	b.WriteString("|---|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		oldS, newS, deltaS := "—", "—", "—"
+		if r.old > 0 {
+			oldS = fmt.Sprintf("%.0f", r.old)
+		}
+		if r.new > 0 {
+			newS = fmt.Sprintf("%.0f", r.new)
+		}
+		if r.old > 0 && r.new > 0 {
+			deltaS = fmt.Sprintf("%+.1f%%", r.delta*100)
+		}
+		status := ""
+		switch {
+		case r.failed:
+			status = "❌ regressed"
+		case r.gated && r.old > 0 && r.new > 0:
+			status = "✅"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n", r.name, oldS, newS, deltaS, status)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

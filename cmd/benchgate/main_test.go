@@ -1,0 +1,95 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const oldRun = `
+goos: linux
+BenchmarkQ12SweepSequential-8   	       2	  10624482 ns/op
+BenchmarkQ12SweepSequential-8   	       2	   9369944 ns/op
+BenchmarkQ12SweepParallel-8     	       2	     99261 ns/op
+BenchmarkQ12SweepParallel-8     	       2	     67566 ns/op
+BenchmarkTPCHGenerate-8         	     100	   5000000 ns/op	3 B/op
+PASS
+`
+
+const newRun = `
+BenchmarkQ12SweepSequential-4   	       2	   9500000 ns/op
+BenchmarkQ12SweepParallel-4     	       2	    120000 ns/op
+BenchmarkFresh-4                	       2	       100 ns/op
+PASS
+`
+
+func TestParseBenchTakesMin(t *testing.T) {
+	parsed, err := parseBench(strings.NewReader(oldRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parsed["BenchmarkQ12SweepSequential"]; got != 9369944 {
+		t.Fatalf("sequential min = %v", got)
+	}
+	if got := parsed["BenchmarkQ12SweepParallel"]; got != 67566 {
+		t.Fatalf("parallel min = %v", got)
+	}
+	if got := parsed["BenchmarkTPCHGenerate"]; got != 5000000 {
+		t.Fatalf("generate = %v", got)
+	}
+}
+
+func mustParse(t *testing.T, s string) map[string]float64 {
+	t.Helper()
+	parsed, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parsed
+}
+
+func TestCompareFlagsOnlyGatedRegressions(t *testing.T) {
+	old := mustParse(t, oldRun)
+	niw := mustParse(t, newRun)
+
+	// Parallel regressed 67566 → 120000 (+77%); gate on sweeps → fail.
+	rows, regressed := compare(old, niw, regexp.MustCompile(`Q1[23]Sweep`), 0.25)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkQ12SweepParallel" {
+		t.Fatalf("regressed = %v", regressed)
+	}
+	// Sequential improved; benchmarks on one side only never fail.
+	for _, r := range rows {
+		switch r.name {
+		case "BenchmarkQ12SweepSequential":
+			if r.failed || r.delta > 0.02 {
+				t.Fatalf("sequential: %+v", r)
+			}
+		case "BenchmarkFresh", "BenchmarkTPCHGenerate":
+			if r.failed {
+				t.Fatalf("one-sided benchmark failed the gate: %+v", r)
+			}
+		}
+	}
+
+	// Same comparison gated on a pattern the regression misses → pass.
+	if _, regressed := compare(old, niw, regexp.MustCompile(`Sequential`), 0.25); len(regressed) != 0 {
+		t.Fatalf("unexpected regressions: %v", regressed)
+	}
+
+	// A generous threshold passes everything.
+	if _, regressed := compare(old, niw, regexp.MustCompile(`.`), 1.0); len(regressed) != 0 {
+		t.Fatalf("threshold 100%%: %v", regressed)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	old := mustParse(t, oldRun)
+	niw := mustParse(t, newRun)
+	rows, _ := compare(old, niw, regexp.MustCompile(`Q1[23]Sweep`), 0.25)
+	md := renderMarkdown(rows, 0.25, "Q1[23]Sweep")
+	for _, want := range []string{"❌ regressed", "BenchmarkQ12SweepParallel", "| —"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -40,7 +40,7 @@ func main() {
 		hist  = flag.Int("history", 60, "history size for the MRE campaigns")
 		tests = flag.Int("tests", 30, "test queries for the MRE campaigns")
 		sf    = flag.Float64("sf", 0.01, "scale factor for gen/run-query")
-		query = flag.Int("query", 12, "TPC-H query for run-query (12, 13, 14, 17)")
+		query = flag.String("query", "Q12", "TPC-H query for run-query (Q12, Q13, Q14, Q17)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: midasctl [flags] <pricing|table2|table3|table4|fig3|example31|ablations|run-query|gen|all>\n")
@@ -51,9 +51,23 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Reject bad flag values up front, before a campaign burns minutes
+	// only to fail deep inside an experiment.
+	if *reps < 1 || *hist < 1 || *tests < 1 {
+		fmt.Fprintf(os.Stderr, "midasctl: -reps, -history and -tests must be positive\n")
+		os.Exit(2)
+	}
+	if *sf <= 0 {
+		fmt.Fprintf(os.Stderr, "midasctl: -sf must be positive, got %v\n", *sf)
+		os.Exit(2)
+	}
+	q, err := tpch.ParseQueryID(*query)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "midasctl: bad -query: %v\n", err)
+		os.Exit(2)
+	}
 
 	opts := experiments.MREOptions{Reps: *reps, HistorySize: *hist, TestQueries: *tests, Seed: *seed}
-	var err error
 	switch cmd := flag.Arg(0); cmd {
 	case "pricing":
 		err = printPricing()
@@ -70,7 +84,7 @@ func main() {
 	case "ablations":
 		err = printAblations(*seed)
 	case "run-query":
-		err = runQuery(*seed, *sf, tpch.QueryID(*query))
+		err = runQuery(*seed, *sf, q)
 	case "gen":
 		err = printGen(*sf, *seed)
 	case "all":

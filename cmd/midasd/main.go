@@ -1,0 +1,175 @@
+// Command midasd is the long-running federation query service: it
+// hosts one or more named federations behind the HTTP/JSON API of
+// internal/server and serves scheduling rounds until told to stop.
+//
+// Usage:
+//
+//	midasd [flags]
+//
+// With -config, the hosted federations come from a JSON file (either a
+// bare array of specs or {"federations": [...]}); otherwise a single
+// federation is assembled from the flags. SIGINT/SIGTERM drain
+// gracefully: health flips to 503, in-flight requests finish, then the
+// process exits 0.
+//
+// Example:
+//
+//	midasd -addr :8642 -sf 0.1 -bootstrap 20 &
+//	curl -s localhost:8642/healthz
+//	curl -s -X POST localhost:8642/v1/queries \
+//	     -d '{"query": "Q12", "weights": [1, 1]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("midasd: ")
+	log.SetOutput(os.Stderr)
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "midasd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8642", "listen address")
+		configPath = flag.String("config", "", "JSON federation config; overrides the single-federation flags")
+
+		name        = flag.String("name", "default", "federation name (single-federation mode)")
+		topology    = flag.String("topology", "default", "topology: default or threecloud")
+		seed        = flag.Int64("seed", 42, "base random seed")
+		sf          = flag.Float64("sf", 0.1, "simulated data scale (0.1 ≈ 100 MiB)")
+		calibSF     = flag.Float64("calib-sf", 0.004, "calibration scale factor")
+		parallelism = flag.Int("parallelism", 0, "estimation worker pool (0 = GOMAXPROCS)")
+		cacheSize   = flag.Int("cache-size", 0, "model cache size (0 = default, negative disables)")
+		nodeChoices = flag.String("node-choices", "1,2,4", "comma-separated cluster-size menu")
+		bootstrap   = flag.Int("bootstrap", 20, "bootstrap executions per served query")
+		queries     = flag.String("queries", "", "comma-separated query subset (default: all)")
+
+		queueDepth     = flag.Int("queue-depth", 1024, "bounded admission queue depth")
+		requestTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request budget (exceeded → 504)")
+		sweepTimeout   = flag.Duration("sweep-timeout", 60*time.Second, "per-plan-sweep budget")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		return fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+
+	specs, err := federationSpecs(*configPath, *name, *topology, *seed, *sf, *calibSF,
+		*parallelism, *cacheSize, *nodeChoices, *bootstrap, *queries)
+	if err != nil {
+		return err
+	}
+
+	log.Printf("building %d federation(s) (calibration + bootstrap)...", len(specs))
+	began := time.Now()
+	srv, err := server.New(server.Config{
+		Federations:    specs,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *requestTimeout,
+		SweepTimeout:   *sweepTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("federations ready in %.1fs", time.Since(began).Seconds())
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		log.Printf("received %v, draining (budget %v)...", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	log.Printf("drained cleanly")
+	return nil
+}
+
+// federationSpecs resolves the hosted federations from -config or the
+// single-federation flags.
+func federationSpecs(configPath, name, topology string, seed int64, sf, calibSF float64,
+	parallelism, cacheSize int, nodeChoices string, bootstrap int, queries string) ([]server.FederationSpec, error) {
+	if configPath != "" {
+		specs, err := server.LoadSpecsFile(configPath)
+		if err != nil {
+			return nil, err
+		}
+		if len(specs) == 0 {
+			return nil, fmt.Errorf("config %s declares no federations", configPath)
+		}
+		return specs, nil
+	}
+	nodes, err := parseInts(nodeChoices)
+	if err != nil {
+		return nil, fmt.Errorf("bad -node-choices: %w", err)
+	}
+	spec := server.FederationSpec{
+		Name:        name,
+		Topology:    topology,
+		Seed:        seed,
+		SF:          sf,
+		CalibSF:     calibSF,
+		Parallelism: parallelism,
+		CacheSize:   cacheSize,
+		NodeChoices: nodes,
+		Bootstrap:   bootstrap,
+	}
+	if queries != "" {
+		spec.Queries = strings.Split(queries, ",")
+	}
+	return []server.FederationSpec{spec}, nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

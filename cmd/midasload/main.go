@@ -1,0 +1,102 @@
+// Command midasload drives a running midasd with N concurrent
+// closed-loop clients and reports sustained QPS plus latency
+// percentiles — the regression-gated "how fast is serving really"
+// number.
+//
+// Usage:
+//
+//	midasload -addr http://localhost:8642 -clients 200 -duration 10s
+//	midasload -addr http://localhost:8642 -clients 50 -requests 20 -query Q13
+//
+// The run fails (exit 1) when any request errors, so a smoke run
+// doubles as a correctness gate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "midasload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "http://localhost:8642", "midasd base URL")
+		federation = flag.String("federation", "", "federation name (empty on a single-tenant server)")
+		query      = flag.String("query", "Q12", "query to submit")
+		clients    = flag.Int("clients", 50, "concurrent clients")
+		requests   = flag.Int("requests", 0, "requests per client (0 = run for -duration)")
+		duration   = flag.Duration("duration", 10*time.Second, "run length when -requests is 0")
+		weights    = flag.String("weights", "1,1", "policy weights, comma-separated")
+		timeoutMS  = flag.Int64("timeout-ms", 0, "per-request server budget (0 = server default)")
+		allowErrs  = flag.Bool("allow-errors", false, "exit 0 even when requests failed")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		return fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+	w, err := parseFloats(*weights)
+	if err != nil {
+		return fmt.Errorf("bad -weights: %w", err)
+	}
+
+	rep, err := workload.RunLoad(context.Background(), workload.LoadConfig{
+		BaseURL:    strings.TrimRight(*addr, "/"),
+		Federation: *federation,
+		Query:      *query,
+		Clients:    *clients,
+		Requests:   *requests,
+		Duration:   *duration,
+		Weights:    w,
+		TimeoutMS:  *timeoutMS,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(rep)
+	statuses := make([]int, 0, len(rep.StatusCounts))
+	for s := range rep.StatusCounts {
+		statuses = append(statuses, s)
+	}
+	sort.Ints(statuses)
+	for _, s := range statuses {
+		label := "transport error"
+		if s != 0 {
+			label = fmt.Sprintf("HTTP %d %s", s, http.StatusText(s))
+		}
+		fmt.Printf("  %-28s %d\n", label, rep.StatusCounts[s])
+	}
+	if rep.Errors > 0 && !*allowErrs {
+		return fmt.Errorf("%d of %d requests failed", rep.Errors, rep.Requests)
+	}
+	return nil
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -37,6 +37,24 @@ func run(sf float64, seed int64, out, tables string) error {
 	selected := tpch.CSVTables
 	if tables != "" {
 		selected = strings.Split(tables, ",")
+		for i, table := range selected {
+			selected[i] = strings.TrimSpace(table)
+		}
+		// Validate the subset before generating, so a typo fails in
+		// milliseconds instead of after a multi-gigabyte generation —
+		// and never leaves stray empty .csv files behind.
+		known := make(map[string]bool, len(tpch.CSVTables))
+		for _, table := range tpch.CSVTables {
+			known[table] = true
+		}
+		for _, table := range selected {
+			if !known[table] {
+				return fmt.Errorf("unknown table %q (have: %s)", table, strings.Join(tpch.CSVTables, ", "))
+			}
+		}
+	}
+	if sf <= 0 {
+		return fmt.Errorf("-sf must be positive, got %v", sf)
 	}
 	db, err := tpch.Generate(sf, tpch.GenOptions{Seed: seed})
 	if err != nil {
@@ -46,17 +64,8 @@ func run(sf float64, seed int64, out, tables string) error {
 		return err
 	}
 	for _, table := range selected {
-		table = strings.TrimSpace(table)
 		path := filepath.Join(out, table+".csv")
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := db.WriteCSV(table, f); err != nil {
-			f.Close()
-			return fmt.Errorf("table %q: %w", table, err)
-		}
-		if err := f.Close(); err != nil {
+		if err := writeTableCSV(db, table, path); err != nil {
 			return err
 		}
 		rows, err := db.TableRows(table)
@@ -64,6 +73,25 @@ func run(sf float64, seed int64, out, tables string) error {
 			return err
 		}
 		fmt.Printf("wrote %-9s %8d rows → %s\n", table, rows, path)
+	}
+	return nil
+}
+
+// writeTableCSV exports one table, removing the partial file when the
+// export fails so a crashed run cannot be mistaken for a complete one.
+func writeTableCSV(db *tpch.Database, table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.WriteCSV(table, f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("table %q: %w", table, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return err
 	}
 	return nil
 }

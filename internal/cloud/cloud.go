@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/stats"
 )
@@ -185,6 +186,7 @@ type LoadProcess struct {
 	// MinFactor/MaxFactor clamp the factor; defaults 0.4 and 3.0.
 	MinFactor, MaxFactor float64
 
+	mu   sync.Mutex
 	rng  *stats.RNG
 	walk float64
 	tick int
@@ -210,8 +212,11 @@ func NewLoadProcess(seed int64) *LoadProcess {
 }
 
 // Tick advances simulated time one step and returns the current load
-// factor (1.0 = nominal).
+// factor (1.0 = nominal). Safe for concurrent use: a serving layer
+// executes plans from many goroutines against one shared federation.
 func (lp *LoadProcess) Tick() float64 {
+	lp.mu.Lock()
+	defer lp.mu.Unlock()
 	lp.tick++
 	lp.walk += lp.rng.Normal(0, lp.WalkStd)
 	if lp.JumpProb > 0 && lp.rng.Bernoulli(lp.JumpProb) {
@@ -240,6 +245,8 @@ func (lp *LoadProcess) Tick() float64 {
 // Current returns the load factor without advancing time (diurnal and
 // walk state as of the last Tick, without fresh noise).
 func (lp *LoadProcess) Current() float64 {
+	lp.mu.Lock()
+	defer lp.mu.Unlock()
 	diurnal := lp.DiurnalAmplitude * math.Sin(2*math.Pi*float64(lp.tick)/lp.DiurnalPeriod)
 	f := 1 + lp.walk + diurnal
 	if f < lp.MinFactor {

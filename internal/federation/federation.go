@@ -20,6 +20,7 @@ package federation
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/cloud"
 	"repro/internal/engine"
@@ -59,7 +60,8 @@ type Federation struct {
 	// noise (0 disables noise).
 	NoiseStd float64
 
-	rng *stats.RNG
+	rngMu sync.Mutex
+	rng   *stats.RNG
 }
 
 // Config assembles a Federation.
@@ -247,11 +249,14 @@ func (o *Outcome) BreakdownCosts() []float64 {
 	return []float64{o.TimeS, o.MoneyUSD, o.LeftTimeS, o.RightTimeS, o.ShipTimeS, o.FinalTimeS}
 }
 
-// noiseFactor draws one multiplicative noise sample.
+// noiseFactor draws one multiplicative noise sample. Safe for
+// concurrent use: executions from many goroutines share one noise RNG.
 func (f *Federation) noiseFactor() float64 {
 	if f.NoiseStd <= 0 {
 		return 1
 	}
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
 	return f.rng.LogNormal(0, f.NoiseStd)
 }
 

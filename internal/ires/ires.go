@@ -312,6 +312,36 @@ func (s *Scheduler) Submit(q tpch.QueryID, pol Policy) (*Decision, error) {
 // (the expensive step over tens of thousands of equivalent QEPs)
 // observes ctx and aborts early when it is cancelled.
 func (s *Scheduler) SubmitContext(ctx context.Context, q tpch.QueryID, pol Policy) (*Decision, error) {
+	sw, err := s.PlanSweep(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return s.DecideFromSweep(sw, pol)
+}
+
+// Sweep is the policy-independent half of a scheduling round: the
+// enumerated plan space, every plan's estimated cost vector, and the
+// Pareto reduction. A Sweep is immutable once built, so any number of
+// policies can be applied to it concurrently — this is the admission
+// hook a serving layer batches on, since concurrent submissions of the
+// same query can share one sweep and differ only in selection.
+type Sweep struct {
+	Query tpch.QueryID
+	Plans []federation.Plan
+	// Costs is the model cost vector of every plan, in plan order.
+	Costs [][]float64
+	// FrontIdx indexes the Pareto-optimal plans within Plans.
+	FrontIdx []int
+	// FrontCosts and Normalized are the Pareto set's raw cost vectors
+	// and their min-max rescaling (constraints check raw values, the
+	// weighted sum compares normalized ones).
+	FrontCosts, Normalized [][]float64
+}
+
+// PlanSweep enumerates the QEPs of q, estimates each against one
+// history snapshot and reduces to the Pareto set. The expensive fan-out
+// observes ctx.
+func (s *Scheduler) PlanSweep(ctx context.Context, q tpch.QueryID) (*Sweep, error) {
 	h := s.History(q)
 	if h.Len() == 0 {
 		return nil, fmt.Errorf("%w: %v (run Bootstrap first)", ErrNoHistory, q)
@@ -334,12 +364,36 @@ func (s *Scheduler) SubmitContext(ctx context.Context, q tpch.QueryID, pol Polic
 	}
 	// Normalize so seconds and dollars are comparable before the
 	// weighted sum (Algorithm 2's WeightSum over user policy).
-	normalized := moo.NormalizeCosts(frontCosts)
-	best, err := selectFromParetoSet(frontCosts, normalized, pol)
+	return &Sweep{
+		Query:      q,
+		Plans:      plans,
+		Costs:      costs,
+		FrontIdx:   frontIdx,
+		FrontCosts: frontCosts,
+		Normalized: moo.NormalizeCosts(frontCosts),
+	}, nil
+}
+
+// Select applies a policy to the sweep's Pareto set and returns the
+// index (into sw.Plans) of the chosen plan. It does not execute
+// anything and is safe to call concurrently.
+func (sw *Sweep) Select(pol Policy) (int, error) {
+	best, err := selectFromParetoSet(sw.FrontCosts, sw.Normalized, pol)
+	if err != nil {
+		return 0, err
+	}
+	return sw.FrontIdx[best], nil
+}
+
+// DecideFromSweep finishes a scheduling round on a previously computed
+// sweep: select under the policy, execute the winner, record the
+// measurement. Multiple goroutines may decide from one shared sweep.
+func (s *Scheduler) DecideFromSweep(sw *Sweep, pol Policy) (*Decision, error) {
+	idx, err := sw.Select(pol)
 	if err != nil {
 		return nil, err
 	}
-	chosen := plans[frontIdx[best]]
+	chosen := sw.Plans[idx]
 	out, err := s.Exec.Execute(chosen)
 	if err != nil {
 		return nil, err
@@ -348,15 +402,15 @@ func (s *Scheduler) SubmitContext(ctx context.Context, q tpch.QueryID, pol Polic
 	if err != nil {
 		return nil, err
 	}
-	if err := s.Record(q, x, out.Costs()); err != nil {
+	if err := s.Record(sw.Query, x, out.Costs()); err != nil {
 		return nil, err
 	}
 	return &Decision{
 		Plan:       chosen,
-		Estimated:  costs[frontIdx[best]],
+		Estimated:  sw.Costs[idx],
 		Outcome:    out,
-		ParetoSize: len(frontIdx),
-		PlanSpace:  len(plans),
+		ParetoSize: len(sw.FrontIdx),
+		PlanSpace:  len(sw.Plans),
 	}, nil
 }
 

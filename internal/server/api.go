@@ -1,0 +1,107 @@
+package server
+
+// Wire types of the HTTP/JSON API. cmd/midasload and external clients
+// marshal the same structs, so the contract lives in one place.
+
+// QueryRequest is the body of POST /v1/queries: which query to run on
+// which federation, under what policy.
+type QueryRequest struct {
+	// Federation names the target tenant; empty selects the sole
+	// registered federation (an error when several are hosted).
+	Federation string `json:"federation,omitempty"`
+	// Query is the TPC-H query name: "Q12", "q13" or plain "14".
+	Query string `json:"query"`
+	// Weights and Constraints are Algorithm 2's user policy: weighted-
+	// sum preferences over (time, money) and optional per-metric upper
+	// bounds. Empty weights default to {1, 1}.
+	Weights     []float64 `json:"weights,omitempty"`
+	Constraints []float64 `json:"constraints,omitempty"`
+	// Strategy selects the Pareto-set selection rule: "" or "weighted"
+	// (Algorithm 2), "knee", or "lex".
+	Strategy string `json:"strategy,omitempty"`
+	// LexOrder and LexTolerance configure the "lex" strategy.
+	LexOrder     []int   `json:"lex_order,omitempty"`
+	LexTolerance float64 `json:"lex_tolerance,omitempty"`
+	// TimeoutMS caps this request's wait for its plan sweep; 0 uses the
+	// server default. Expiry returns 504. Execution of the chosen plan
+	// begins only while the budget is live but, once begun, runs to
+	// completion (the measurement is recorded either way).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// PlanJSON describes one chosen QEP.
+type PlanJSON struct {
+	Query      string `json:"query"`
+	JoinAtLeft bool   `json:"join_at_left"`
+	NodesLeft  int    `json:"nodes_left"`
+	NodesRight int    `json:"nodes_right"`
+}
+
+// QueryResponse reports one completed scheduling round.
+type QueryResponse struct {
+	Federation string   `json:"federation"`
+	Query      string   `json:"query"`
+	Plan       PlanJSON `json:"plan"`
+	// EstimatedTimeS/EstimatedUSD are the Modelling module's predicted
+	// costs for the chosen plan; MeasuredTimeS/MeasuredUSD what the
+	// execution actually cost.
+	EstimatedTimeS float64 `json:"estimated_time_s"`
+	EstimatedUSD   float64 `json:"estimated_usd"`
+	MeasuredTimeS  float64 `json:"measured_time_s"`
+	MeasuredUSD    float64 `json:"measured_usd"`
+	// ParetoSize and PlanSpace size the Pareto set and the enumerated
+	// QEP space the choice was made from.
+	ParetoSize int `json:"pareto_size"`
+	PlanSpace  int `json:"plan_space"`
+	// Coalesced reports whether this request shared another request's
+	// plan sweep instead of running its own.
+	Coalesced bool `json:"coalesced"`
+	// LatencyMS is the server-side wall time of the round.
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// ObservationJSON is one recorded execution.
+type ObservationJSON struct {
+	X     []float64 `json:"x"`
+	Costs []float64 `json:"costs"`
+}
+
+// HistoryResponse is the body of GET /v1/history/{query}.
+type HistoryResponse struct {
+	Federation   string            `json:"federation"`
+	Query        string            `json:"query"`
+	Len          int               `json:"len"`
+	Metrics      []string          `json:"metrics"`
+	Observations []ObservationJSON `json:"observations"`
+}
+
+// FederationStats is one tenant's slice of GET /v1/stats.
+type FederationStats struct {
+	// Counters over the server's lifetime.
+	Received  int64 `json:"received"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Rejected  int64 `json:"rejected"`
+	Timeouts  int64 `json:"timeouts"`
+	// Coalesced counts requests that joined another request's sweep;
+	// Sweeps the plan sweeps actually run. Completed - Sweeps requests
+	// were served without paying for estimation.
+	Coalesced int64 `json:"coalesced"`
+	Sweeps    int64 `json:"sweeps"`
+	// Latency percentiles (ms) over the most recent completions.
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeS     float64                    `json:"uptime_s"`
+	Draining    bool                       `json:"draining"`
+	Federations map[string]FederationStats `json:"federations"`
+}
+
+// ErrorResponse carries a non-2xx outcome.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ires"
+	"repro/internal/tpch"
+)
+
+// tenant is one hosted federation: a scheduler, the queries it serves,
+// the per-query sweep batcher and its serving stats.
+type tenant struct {
+	name    string
+	sched   QueryScheduler
+	queries map[tpch.QueryID]bool
+	stats   *tenantStats
+
+	mu      sync.Mutex
+	pending map[tpch.QueryID]*sweepBatch
+}
+
+func newTenant(name string, sched QueryScheduler, queries []tpch.QueryID) *tenant {
+	qs := make(map[tpch.QueryID]bool, len(queries))
+	for _, q := range queries {
+		qs[q] = true
+	}
+	return &tenant{
+		name:    name,
+		sched:   sched,
+		queries: qs,
+		stats:   newTenantStats(),
+		pending: make(map[tpch.QueryID]*sweepBatch),
+	}
+}
+
+// sweepBatch is one in-flight plan sweep that any number of concurrent
+// submissions of the same query share. The leader runs the sweep and
+// publishes (sweep, err) before closing done; followers only wait.
+type sweepBatch struct {
+	done  chan struct{}
+	sweep *ires.Sweep
+	err   error
+	// joined counts the followers waiting on this batch (observability
+	// and test synchronization).
+	joined atomic.Int64
+}
+
+// sharedSweep returns a plan sweep for q, coalescing with an in-flight
+// sweep when one exists. The second return reports whether the caller
+// joined another request's sweep (false = this call was the leader).
+//
+// waitCtx bounds only this caller's wait. The sweep itself runs under a
+// context obtained from newSweepCtx *inside the detached goroutine and
+// cancelled only when the sweep returns* — so neither a follower giving
+// up, nor the leading request timing out or its client disconnecting,
+// can cancel work other requests are waiting on.
+func (t *tenant) sharedSweep(waitCtx context.Context, newSweepCtx func() (context.Context, context.CancelFunc), q tpch.QueryID) (*ires.Sweep, bool, error) {
+	t.mu.Lock()
+	if b, ok := t.pending[q]; ok {
+		t.mu.Unlock()
+		b.joined.Add(1)
+		select {
+		case <-b.done:
+			return b.sweep, true, b.err
+		case <-waitCtx.Done():
+			return nil, true, waitCtx.Err()
+		}
+	}
+	b := &sweepBatch{done: make(chan struct{})}
+	t.pending[q] = b
+	t.mu.Unlock()
+
+	// The sweep runs detached: if the leading request times out or its
+	// client disconnects, the batch still completes for the requests
+	// that joined it.
+	t.stats.sweeps.Add(1)
+	go func() {
+		sweepCtx, cancel := newSweepCtx()
+		defer cancel()
+		b.sweep, b.err = t.sched.PlanSweep(sweepCtx, q)
+		t.mu.Lock()
+		delete(t.pending, q)
+		t.mu.Unlock()
+		close(b.done)
+	}()
+	select {
+	case <-b.done:
+		return b.sweep, false, b.err
+	case <-waitCtx.Done():
+		return nil, false, waitCtx.Err()
+	}
+}

@@ -1,0 +1,320 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ires"
+	"repro/internal/tpch"
+)
+
+// TestSharedSweepCoalesces pins the batching contract at the tenant
+// level, where it is deterministic: while one sweep is in flight, every
+// submission of the same query joins it and receives the identical
+// Sweep from a single PlanSweep call.
+func TestSharedSweepCoalesces(t *testing.T) {
+	stub := &stubSched{block: make(chan struct{}), started: make(chan struct{})}
+	tn := newTenant("test", stub, tpch.AllQueries)
+	ctx := context.Background()
+
+	type result struct {
+		sw        *ires.Sweep
+		coalesced bool
+		err       error
+	}
+	const followers = 10
+	results := make(chan result, followers+1)
+	bgSweep := func() (context.Context, context.CancelFunc) {
+		return context.WithCancel(context.Background())
+	}
+	run := func() {
+		sw, co, err := tn.sharedSweep(ctx, bgSweep, tpch.QueryQ12)
+		results <- result{sw, co, err}
+	}
+
+	go run() // leader
+	<-stub.started
+	// The batch stays pending until the sweep finishes, so every
+	// follower launched now must join it; wait until all of them are
+	// verifiably parked on the batch before releasing the sweep.
+	for i := 0; i < followers; i++ {
+		go run()
+	}
+	batch := pendingBatch(t, tn, tpch.QueryQ12)
+	waitFor(t, 5*time.Second, func() bool { return batch.joined.Load() == followers })
+	close(stub.block)
+
+	sweeps := make(map[*ires.Sweep]bool)
+	coalesced := 0
+	for i := 0; i < followers+1; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		sweeps[r.sw] = true
+		if r.coalesced {
+			coalesced++
+		}
+	}
+	if len(sweeps) != 1 {
+		t.Fatalf("got %d distinct sweeps, want 1", len(sweeps))
+	}
+	if got := stub.calls(); got != 1 {
+		t.Fatalf("PlanSweep calls = %d, want 1", got)
+	}
+	if coalesced != followers {
+		t.Fatalf("coalesced = %d, want %d", coalesced, followers)
+	}
+}
+
+// TestLeaderTimeoutKeepsSweepAlive pins the detachment contract: the
+// leading request giving up must not cancel the sweep that coalesced
+// followers are waiting on.
+func TestLeaderTimeoutKeepsSweepAlive(t *testing.T) {
+	stub := &stubSched{block: make(chan struct{}), started: make(chan struct{})}
+	tn := newTenant("test", stub, tpch.AllQueries)
+	bgSweep := func() (context.Context, context.CancelFunc) {
+		return context.WithCancel(context.Background())
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := tn.sharedSweep(leaderCtx, bgSweep, tpch.QueryQ12)
+		leaderDone <- err
+	}()
+	<-stub.started
+
+	followerDone := make(chan error, 1)
+	go func() {
+		sw, coalesced, err := tn.sharedSweep(context.Background(), bgSweep, tpch.QueryQ12)
+		if err == nil && (sw == nil || !coalesced) {
+			err = errors.New("follower did not coalesce onto a live sweep")
+		}
+		followerDone <- err
+	}()
+	batch := pendingBatch(t, tn, tpch.QueryQ12)
+	waitFor(t, 5*time.Second, func() bool { return batch.joined.Load() == 1 })
+
+	// The leader abandons its wait mid-sweep...
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v", err)
+	}
+	// ...and the follower still gets the completed sweep.
+	close(stub.block)
+	if err := <-followerDone; err != nil {
+		t.Fatalf("follower err = %v", err)
+	}
+	if got := stub.calls(); got != 1 {
+		t.Fatalf("PlanSweep calls = %d, want 1", got)
+	}
+}
+
+// pendingBatch returns the tenant's in-flight batch for q.
+func pendingBatch(t *testing.T, tn *tenant, q tpch.QueryID) *sweepBatch {
+	t.Helper()
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	b := tn.pending[q]
+	if b == nil {
+		t.Fatal("no pending batch")
+	}
+	return b
+}
+
+// TestSubmitHammer fires many concurrent POST /v1/queries (the -race
+// detector watches the whole stack) and requires every response to
+// succeed while same-query submissions coalesce into far fewer sweeps.
+func TestSubmitHammer(t *testing.T) {
+	stub := &stubSched{}
+	srv := newTestServer(t, stub, Config{QueueDepth: 4096})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ts.Config.SetKeepAlivesEnabled(true)
+
+	const clients = 64
+	const perClient = 5
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	queries := []string{"Q12", "Q13", "Q14", "Q17"}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, body, err := tryPostQuery(ts.URL, QueryRequest{
+					Query:   queries[c%len(queries)],
+					Weights: []float64{1, 1},
+				})
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					errs.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d: status %d body %s", c, resp.StatusCode, body)
+					errs.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if errs.Load() != 0 {
+		t.Fatalf("%d failed submissions", errs.Load())
+	}
+	st := srv.tenants["test"].stats
+	total := int64(clients * perClient)
+	if st.completed.Load() != total {
+		t.Fatalf("completed = %d, want %d", st.completed.Load(), total)
+	}
+	if st.coalesced.Load()+st.sweeps.Load() != total {
+		t.Fatalf("coalesced(%d) + sweeps(%d) != %d",
+			st.coalesced.Load(), st.sweeps.Load(), total)
+	}
+}
+
+// TestRequestTimeout504 verifies that a submission whose budget expires
+// while its sweep is still running surfaces as 504, and that the
+// timeout is counted.
+func TestRequestTimeout504(t *testing.T) {
+	stub := &stubSched{block: make(chan struct{})}
+	defer close(stub.block)
+	srv := newTestServer(t, stub, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postQuery(t, ts.URL, QueryRequest{Query: "Q12", TimeoutMS: 30})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := srv.tenants["test"].stats.timeouts.Load(); got != 1 {
+		t.Fatalf("timeouts = %d", got)
+	}
+}
+
+// TestQueueFull429 verifies bounded admission: with a depth-1 queue and
+// the only slot held by a blocked request, the next submission is shed
+// with 429 instead of queueing.
+func TestQueueFull429(t *testing.T) {
+	stub := &stubSched{block: make(chan struct{}), started: make(chan struct{})}
+	srv := newTestServer(t, stub, Config{QueueDepth: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	first := make(chan int, 1)
+	go func() {
+		resp, _, err := tryPostQuery(ts.URL, QueryRequest{Query: "Q12"})
+		if err != nil {
+			first <- 0
+			return
+		}
+		first <- resp.StatusCode
+	}()
+	<-stub.started
+
+	resp, body := postQuery(t, ts.URL, QueryRequest{Query: "Q13"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := srv.tenants["test"].stats.rejected.Load(); got != 1 {
+		t.Fatalf("rejected = %d", got)
+	}
+	close(stub.block)
+	if got := <-first; got != http.StatusOK {
+		t.Fatalf("first request status = %d", got)
+	}
+}
+
+// TestDrainCompletesInflight verifies graceful shutdown: requests in
+// flight when Drain begins complete with 200, new submissions and
+// health checks are refused with 503, and Drain returns once the last
+// in-flight request finishes.
+func TestDrainCompletesInflight(t *testing.T) {
+	stub := &stubSched{block: make(chan struct{}), started: make(chan struct{})}
+	srv := newTestServer(t, stub, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp, _, err := tryPostQuery(ts.URL, QueryRequest{Query: "Q12"})
+		if err != nil {
+			inflight <- 0
+			return
+		}
+		inflight <- resp.StatusCode
+	}()
+	<-stub.started
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(context.Background()) }()
+	waitFor(t, 5*time.Second, func() bool { return srv.draining.Load() })
+
+	// New work is refused while draining...
+	resp, _ := postQuery(t, ts.URL, QueryRequest{Query: "Q13"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d", resp.StatusCode)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d", hresp.StatusCode)
+	}
+	var sr StatsResponse
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if !sr.Draining {
+		t.Fatal("stats should report draining")
+	}
+
+	// ...but the in-flight request still completes, and only then does
+	// Drain return.
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned before in-flight completed: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(stub.block)
+	if got := <-inflight; got != http.StatusOK {
+		t.Fatalf("in-flight request status = %d", got)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestDrainTimeout verifies that a drain bounded by an already-expired
+// context reports the requests it abandoned.
+func TestDrainTimeout(t *testing.T) {
+	stub := &stubSched{block: make(chan struct{}), started: make(chan struct{})}
+	defer close(stub.block)
+	srv := newTestServer(t, stub, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	go func() { _, _, _ = tryPostQuery(ts.URL, QueryRequest{Query: "Q12"}) }()
+	<-stub.started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); err == nil {
+		t.Fatal("drain with stuck request should error")
+	}
+}

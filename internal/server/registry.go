@@ -1,0 +1,189 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/ires"
+	"repro/internal/tpch"
+)
+
+// QueryScheduler is the slice of ires.Scheduler the serving layer
+// drives. Narrowing to an interface keeps the admission/batching
+// machinery testable against stub schedulers with controllable latency.
+type QueryScheduler interface {
+	// PlanSweep runs the policy-independent half of a round (enumerate,
+	// estimate, Pareto-reduce); the result is shared across coalesced
+	// submissions.
+	PlanSweep(ctx context.Context, q tpch.QueryID) (*ires.Sweep, error)
+	// DecideFromSweep selects under one request's policy, executes the
+	// winner and records the outcome.
+	DecideFromSweep(sw *ires.Sweep, pol ires.Policy) (*ires.Decision, error)
+	// History exposes the query's execution log for /v1/history.
+	History(q tpch.QueryID) *core.History
+}
+
+var _ QueryScheduler = (*ires.Scheduler)(nil)
+
+// FederationSpec declares one hosted federation: which topology to
+// build, at what simulated data scale, and how to assemble its
+// scheduler. The zero value of every optional field takes a documented
+// default, so {"name":"main"} is a complete spec.
+type FederationSpec struct {
+	// Name keys the tenant in the API ("federation" request field).
+	Name string `json:"name"`
+	// Topology is "default" (the paper's two-site Hive+PostgreSQL
+	// deployment, the default) or "threecloud" (adds Spark-on-Google).
+	Topology string `json:"topology,omitempty"`
+	// Seed drives every stochastic component of the tenant.
+	Seed int64 `json:"seed,omitempty"`
+	// SF is the simulated data scale (default 0.1 ≈ 100 MiB).
+	SF float64 `json:"sf,omitempty"`
+	// CalibSF is the calibration scale (default 0.004).
+	CalibSF float64 `json:"calib_sf,omitempty"`
+	// NodeChoices is the cluster-size menu (default {1, 2, 4}).
+	NodeChoices []int `json:"node_choices,omitempty"`
+	// Parallelism bounds the scheduler's estimation pool (0 =
+	// GOMAXPROCS).
+	Parallelism int `json:"parallelism,omitempty"`
+	// CacheSize tunes the Modelling module's model cache (0 = default).
+	CacheSize int `json:"cache_size,omitempty"`
+	// Bootstrap seeds each query's history with this many random
+	// executions before serving (default 20).
+	Bootstrap int `json:"bootstrap,omitempty"`
+	// Queries restricts which queries the tenant serves (default: all
+	// four studied queries).
+	Queries []string `json:"queries,omitempty"`
+}
+
+func (sp *FederationSpec) withDefaults() FederationSpec {
+	out := *sp
+	if out.Topology == "" {
+		out.Topology = "default"
+	}
+	if out.Seed == 0 {
+		out.Seed = 42
+	}
+	if out.SF == 0 {
+		out.SF = 0.1
+	}
+	if out.CalibSF == 0 {
+		out.CalibSF = 0.004
+	}
+	if len(out.NodeChoices) == 0 {
+		out.NodeChoices = []int{1, 2, 4}
+	}
+	if out.Bootstrap == 0 {
+		out.Bootstrap = 20
+	}
+	return out
+}
+
+// queries resolves the spec's query names.
+func (sp *FederationSpec) queries() ([]tpch.QueryID, error) {
+	if len(sp.Queries) == 0 {
+		return append([]tpch.QueryID(nil), tpch.AllQueries...), nil
+	}
+	out := make([]tpch.QueryID, 0, len(sp.Queries))
+	for _, name := range sp.Queries {
+		q, err := tpch.ParseQueryID(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// buildTenant assembles the spec's scheduler: topology, calibration,
+// scaled executor, DREAM model, then a bootstrap of every served query.
+func buildTenant(spec FederationSpec) (*tenant, error) {
+	sp := spec.withDefaults()
+	if sp.Name == "" {
+		return nil, fmt.Errorf("server: federation spec without a name")
+	}
+	queries, err := sp.queries()
+	if err != nil {
+		return nil, fmt.Errorf("server: federation %q: %w", sp.Name, err)
+	}
+	var fed *federation.Federation
+	switch sp.Topology {
+	case "default":
+		fed, err = federation.DefaultTopology(sp.Seed)
+	case "threecloud":
+		fed, err = federation.ThreeCloudTopology(sp.Seed)
+	default:
+		err = fmt.Errorf("unknown topology %q (default, threecloud)", sp.Topology)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: federation %q: %w", sp.Name, err)
+	}
+	cal, err := federation.Calibrate(fed, sp.CalibSF, sp.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("server: federation %q: calibrate: %w", sp.Name, err)
+	}
+	exec, err := federation.NewScaledExecutor(fed, cal, sp.SF)
+	if err != nil {
+		return nil, fmt.Errorf("server: federation %q: %w", sp.Name, err)
+	}
+	model, err := ires.NewDREAMModel(core.Config{MMax: 3 * (federation.FeatureDim + 2)})
+	if err != nil {
+		return nil, fmt.Errorf("server: federation %q: %w", sp.Name, err)
+	}
+	sched, err := ires.NewSchedulerWithConfig(fed, exec, model, ires.SchedulerConfig{
+		NodeChoices: sp.NodeChoices,
+		Seed:        sp.Seed,
+		Parallelism: sp.Parallelism,
+		CacheSize:   sp.CacheSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: federation %q: %w", sp.Name, err)
+	}
+	for _, q := range queries {
+		if err := sched.Bootstrap(q, sp.Bootstrap); err != nil {
+			return nil, fmt.Errorf("server: federation %q: bootstrap %v: %w", sp.Name, q, err)
+		}
+	}
+	return newTenant(sp.Name, sched, queries), nil
+}
+
+// LoadSpecs reads a JSON federation config: either a bare array of
+// specs or {"federations": [...]}.
+func LoadSpecs(r io.Reader) ([]FederationSpec, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	// The first token decides the shape, so a malformed file reports
+	// the error of the parse that was actually intended.
+	if trimmed := bytes.TrimLeft(raw, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
+		var specs []FederationSpec
+		if err := json.Unmarshal(raw, &specs); err != nil {
+			return nil, fmt.Errorf("server: parsing federation config: %w", err)
+		}
+		return specs, nil
+	}
+	var wrapped struct {
+		Federations []FederationSpec `json:"federations"`
+	}
+	if err := json.Unmarshal(raw, &wrapped); err != nil {
+		return nil, fmt.Errorf("server: parsing federation config: %w", err)
+	}
+	return wrapped.Federations, nil
+}
+
+// LoadSpecsFile reads LoadSpecs from a path.
+func LoadSpecsFile(path string) ([]FederationSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSpecs(f)
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadSpecsWrappedAndBare(t *testing.T) {
+	wrapped := `{"federations": [{"name": "a", "sf": 0.2}, {"name": "b", "topology": "threecloud"}]}`
+	specs, err := LoadSpecs(strings.NewReader(wrapped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Name != "a" || specs[0].SF != 0.2 || specs[1].Topology != "threecloud" {
+		t.Fatalf("wrapped parse: %+v", specs)
+	}
+
+	bare := `[{"name": "solo", "queries": ["Q12", "Q14"]}]`
+	specs, err = LoadSpecs(strings.NewReader(bare))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || len(specs[0].Queries) != 2 {
+		t.Fatalf("bare parse: %+v", specs)
+	}
+
+	if _, err := LoadSpecs(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage config should error")
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	sp := (&FederationSpec{Name: "x"}).withDefaults()
+	if sp.Topology != "default" || sp.SF != 0.1 || sp.CalibSF != 0.004 || sp.Bootstrap != 20 {
+		t.Fatalf("defaults: %+v", sp)
+	}
+	qs, err := sp.queries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 4 {
+		t.Fatalf("default queries: %v", qs)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := buildTenant(FederationSpec{}); err == nil {
+		t.Fatal("nameless spec should error")
+	}
+	if _, err := buildTenant(FederationSpec{Name: "x", Topology: "mars"}); err == nil {
+		t.Fatal("unknown topology should error")
+	}
+	if _, err := buildTenant(FederationSpec{Name: "x", Queries: []string{"Q1"}}); err == nil {
+		t.Fatal("unstudied query should error")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config should error")
+	}
+	if _, err := NewWithSchedulers(Config{}, nil, nil); err == nil {
+		t.Fatal("no schedulers should error")
+	}
+}

@@ -1,0 +1,444 @@
+// Package server exposes the IReS scheduler pipeline as a long-running
+// federation query service — the serving layer of the reproduction's
+// "heavy traffic" story. It hosts a registry of named federations (each
+// with its own scheduler and histories), admits requests through a
+// bounded queue, and batches concurrent submissions of the same query
+// so they share one plan sweep through the snapshot/cache estimation
+// pipeline: the expensive, policy-independent half of a round is paid
+// once per batch, while selection and execution stay per-request.
+//
+// Endpoints:
+//
+//	POST /v1/queries          submit a query + policy, get the decision
+//	GET  /v1/history/{query}  recorded executions of one query
+//	GET  /v1/stats            counters and latency percentiles
+//	GET  /healthz             liveness (503 while draining)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ires"
+	"repro/internal/tpch"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Federations declares the hosted tenants; at least one.
+	Federations []FederationSpec
+	// QueueDepth bounds concurrently admitted requests per server;
+	// excess submissions are rejected with 429 (default 1024).
+	QueueDepth int
+	// RequestTimeout caps one submission end to end unless the request
+	// carries its own shorter timeout_ms (default 30s). Expiry → 504.
+	RequestTimeout time.Duration
+	// SweepTimeout caps one plan sweep. Sweeps run detached from the
+	// requesting client so coalesced followers can still use them
+	// (default 60s).
+	SweepTimeout time.Duration
+}
+
+func (c *Config) setDefaults() {
+	// Zero and negative both take the default: a negative depth would
+	// panic make(chan), and a negative timeout would fail every request
+	// instantly — neither is a configuration anyone means.
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.SweepTimeout <= 0 {
+		c.SweepTimeout = 60 * time.Second
+	}
+}
+
+// Server hosts the federations and implements the HTTP API.
+type Server struct {
+	cfg     Config
+	tenants map[string]*tenant
+	sole    string // tenant name when exactly one is hosted
+
+	// admit is a counting semaphore bounding admitted requests.
+	admit chan struct{}
+
+	start time.Time
+
+	// draining mirrors the drain state for lock-free handler reads; the
+	// authoritative transition happens under drainMu together with the
+	// in-flight count, so no request can slip past a drain.
+	draining  atomic.Bool
+	drainMu   sync.Mutex
+	inflightN int
+	// idle is non-nil while a drain waits for in-flight requests; it is
+	// closed when the last one finishes.
+	idle chan struct{}
+
+	// lifeCtx outlives any single request; sweeps run under it so a
+	// disconnecting client cannot cancel a batch others joined.
+	lifeCtx  context.Context
+	lifeStop context.CancelFunc
+}
+
+// beginRequest registers an in-flight request unless the server is
+// draining.
+func (s *Server) beginRequest() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflightN++
+	return true
+}
+
+// endRequest retires an in-flight request, waking a waiting drain when
+// it was the last one.
+func (s *Server) endRequest() {
+	s.drainMu.Lock()
+	s.inflightN--
+	if s.inflightN == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.drainMu.Unlock()
+}
+
+// New builds the tenants declared in cfg (topology, calibration,
+// bootstrap — this is the slow part) and returns a ready Server.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Federations) == 0 {
+		return nil, errors.New("server: no federations configured")
+	}
+	tenants := make(map[string]*tenant, len(cfg.Federations))
+	for i := range cfg.Federations {
+		t, err := buildTenant(cfg.Federations[i])
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := tenants[t.name]; dup {
+			return nil, fmt.Errorf("server: duplicate federation name %q", t.name)
+		}
+		tenants[t.name] = t
+	}
+	return newServer(cfg, tenants), nil
+}
+
+// NewWithSchedulers wires pre-built schedulers directly into a Server —
+// the assembly hook tests and embedders use to skip calibration and
+// bootstrap. Each scheduler serves the given queries under its map key.
+func NewWithSchedulers(cfg Config, scheds map[string]QueryScheduler, queries []tpch.QueryID) (*Server, error) {
+	if len(scheds) == 0 {
+		return nil, errors.New("server: no schedulers")
+	}
+	tenants := make(map[string]*tenant, len(scheds))
+	for name, sched := range scheds {
+		tenants[name] = newTenant(name, sched, queries)
+	}
+	return newServer(cfg, tenants), nil
+}
+
+func newServer(cfg Config, tenants map[string]*tenant) *Server {
+	cfg.setDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		tenants:  tenants,
+		admit:    make(chan struct{}, cfg.QueueDepth),
+		start:    time.Now(),
+		lifeCtx:  ctx,
+		lifeStop: stop,
+	}
+	if len(tenants) == 1 {
+		for name := range tenants {
+			s.sole = name
+		}
+	}
+	return s
+}
+
+// Handler returns the API routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/queries", s.handleSubmit)
+	mux.HandleFunc("GET /v1/history/{query}", s.handleHistory)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// Drain stops admitting work and waits for in-flight requests to
+// complete, or for ctx to expire. New submissions — and health checks —
+// get 503 immediately, so load balancers rotate the instance out while
+// accepted work finishes.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	var idle chan struct{}
+	if s.inflightN > 0 {
+		if s.idle == nil {
+			s.idle = make(chan struct{})
+		}
+		idle = s.idle
+	}
+	s.drainMu.Unlock()
+	if idle != nil {
+		select {
+		case <-idle:
+		case <-ctx.Done():
+			s.lifeStop()
+			return fmt.Errorf("server: drain aborted with requests in flight: %w", ctx.Err())
+		}
+	}
+	s.lifeStop()
+	return nil
+}
+
+// tenantFor resolves the request's federation name.
+func (s *Server) tenantFor(name string) (*tenant, error) {
+	if name == "" {
+		if s.sole != "" {
+			return s.tenants[s.sole], nil
+		}
+		return nil, fmt.Errorf("server: %d federations hosted, request must name one", len(s.tenants))
+	}
+	t, ok := s.tenants[name]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown federation %q", name)
+	}
+	return t, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// policyOf translates the wire policy to the scheduler's.
+func policyOf(req *QueryRequest) (ires.Policy, error) {
+	pol := ires.Policy{
+		Weights:      req.Weights,
+		Constraints:  req.Constraints,
+		LexOrder:     req.LexOrder,
+		LexTolerance: req.LexTolerance,
+	}
+	switch req.Strategy {
+	case "", "weighted":
+		pol.Strategy = ires.WeightedSumSelection
+	case "knee":
+		pol.Strategy = ires.KneeSelection
+	case "lex":
+		pol.Strategy = ires.LexicographicSelection
+	default:
+		return pol, fmt.Errorf("unknown strategy %q (weighted, knee, lex)", req.Strategy)
+	}
+	return pol, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	t, err := s.tenantFor(req.Federation)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	q, err := tpch.ParseQueryID(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !t.queries[q] {
+		writeError(w, http.StatusBadRequest, "federation %q does not serve %v", t.name, q)
+		return
+	}
+	pol, err := policyOf(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	t.stats.received.Add(1)
+
+	// Admission: the queue bounds how many submissions may be in flight
+	// at once; beyond that the server sheds load instead of queueing
+	// unboundedly.
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		t.stats.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "admission queue full (depth %d)", s.cfg.QueueDepth)
+		return
+	}
+	defer func() { <-s.admit }()
+
+	// Register with the drain accounting; a drain that began after the
+	// entry check wins here, so no request starts work the drained
+	// lifeCtx would immediately cancel.
+	if !s.beginRequest() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.endRequest()
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	began := time.Now()
+	dec, coalesced, err := s.submit(ctx, t, q, pol)
+	latency := time.Since(began)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			t.stats.timeouts.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "timed out after %v", timeout)
+			return
+		}
+		if errors.Is(err, context.Canceled) {
+			// The client went away; nobody reads this response, but the
+			// abandonment should not be counted as a server failure.
+			t.stats.timeouts.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "request cancelled")
+			return
+		}
+		t.stats.failed.Add(1)
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	t.stats.completed.Add(1)
+	if coalesced {
+		t.stats.coalesced.Add(1)
+	}
+	t.stats.observe(float64(latency) / float64(time.Millisecond))
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Federation: t.name,
+		Query:      q.String(),
+		Plan: PlanJSON{
+			Query:      dec.Plan.Query.String(),
+			JoinAtLeft: dec.Plan.JoinAtLeft,
+			NodesLeft:  dec.Plan.NodesLeft,
+			NodesRight: dec.Plan.NodesRight,
+		},
+		EstimatedTimeS: dec.Estimated[0],
+		EstimatedUSD:   dec.Estimated[1],
+		MeasuredTimeS:  dec.Outcome.TimeS,
+		MeasuredUSD:    dec.Outcome.MoneyUSD,
+		ParetoSize:     dec.ParetoSize,
+		PlanSpace:      dec.PlanSpace,
+		Coalesced:      coalesced,
+		LatencyMS:      float64(latency) / float64(time.Millisecond),
+	})
+}
+
+// newSweepCtx hands a sweep its own budget, rooted in the server's
+// lifetime rather than any request's: only the sweep goroutine itself
+// cancels it.
+func (s *Server) newSweepCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(s.lifeCtx, s.cfg.SweepTimeout)
+}
+
+// submit runs one admitted round: share a sweep, then select + execute
+// under this request's policy.
+func (s *Server) submit(ctx context.Context, t *tenant, q tpch.QueryID, pol ires.Policy) (*ires.Decision, bool, error) {
+	sw, coalesced, err := t.sharedSweep(ctx, s.newSweepCtx, q)
+	if err != nil {
+		return nil, coalesced, err
+	}
+	// The sweep may have been shared; the expiry of *this* request is
+	// checked before paying for an execution.
+	if err := ctx.Err(); err != nil {
+		return nil, coalesced, err
+	}
+	dec, err := t.sched.DecideFromSweep(sw, pol)
+	if err != nil {
+		return nil, coalesced, err
+	}
+	return dec, coalesced, nil
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenantFor(r.URL.Query().Get("federation"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	q, err := tpch.ParseQueryID(r.PathValue("query"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !t.queries[q] {
+		writeError(w, http.StatusBadRequest, "federation %q does not serve %v", t.name, q)
+		return
+	}
+	snap := t.sched.History(q).Snapshot()
+	limit := snap.Len()
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", s)
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	resp := HistoryResponse{
+		Federation:   t.name,
+		Query:        q.String(),
+		Len:          snap.Len(),
+		Metrics:      snap.Metrics(),
+		Observations: make([]ObservationJSON, 0, limit),
+	}
+	// Most recent first: a serving dashboard cares about now.
+	for i := snap.Len() - 1; i >= snap.Len()-limit; i-- {
+		obs := snap.At(i)
+		resp.Observations = append(resp.Observations, ObservationJSON{X: obs.X, Costs: obs.Costs})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		UptimeS:     time.Since(s.start).Seconds(),
+		Draining:    s.draining.Load(),
+		Federations: make(map[string]FederationStats, len(s.tenants)),
+	}
+	for name, t := range s.tenants {
+		resp.Federations[name] = t.stats.snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// latencyWindow bounds the per-tenant latency reservoir; percentiles
+// are computed over the most recent observations, which is what a
+// serving dashboard wants anyway.
+const latencyWindow = 1 << 14
+
+// tenantStats aggregates one federation's serving counters and latency
+// distribution. All methods are safe for concurrent use.
+type tenantStats struct {
+	received  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	rejected  atomic.Int64
+	timeouts  atomic.Int64
+	coalesced atomic.Int64
+	sweeps    atomic.Int64
+
+	mu   sync.Mutex
+	ring []float64 // most recent completion latencies, ms
+	next int
+	n    int // filled entries, ≤ len(ring)
+}
+
+func newTenantStats() *tenantStats {
+	return &tenantStats{ring: make([]float64, latencyWindow)}
+}
+
+// observe records one completion latency in milliseconds.
+func (t *tenantStats) observe(ms float64) {
+	t.mu.Lock()
+	t.ring[t.next] = ms
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// latencyQuantiles renders p50/p90/p99 of a sample; an empty sample
+// reports zeros rather than an error.
+func latencyQuantiles(sample []float64) (p50, p90, p99 float64) {
+	qs, err := stats.Quantiles(sample, 0.50, 0.90, 0.99)
+	if err != nil {
+		return 0, 0, 0
+	}
+	return qs[0], qs[1], qs[2]
+}
+
+// snapshot renders the stats for /v1/stats.
+func (t *tenantStats) snapshot() FederationStats {
+	t.mu.Lock()
+	sample := make([]float64, t.n)
+	copy(sample, t.ring[:t.n])
+	t.mu.Unlock()
+	p50, p90, p99 := latencyQuantiles(sample)
+	return FederationStats{
+		Received:  t.received.Load(),
+		Completed: t.completed.Load(),
+		Failed:    t.failed.Load(),
+		Rejected:  t.rejected.Load(),
+		Timeouts:  t.timeouts.Load(),
+		Coalesced: t.coalesced.Load(),
+		Sweeps:    t.sweeps.Load(),
+		P50MS:     p50,
+		P90MS:     p90,
+		P99MS:     p99,
+	}
+}

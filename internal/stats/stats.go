@@ -154,26 +154,48 @@ func RMSE(actual, predicted []float64) (float64, error) {
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
 // interpolation between order statistics.
 func Quantile(xs []float64, q float64) (float64, error) {
-	if len(xs) == 0 {
-		return 0, ErrEmpty
+	out, err := Quantiles(xs, q)
+	if err != nil {
+		return 0, err
 	}
-	if q < 0 || q > 1 {
-		return 0, errors.New("stats: quantile out of [0,1]")
+	return out[0], nil
+}
+
+// Quantiles returns several q-quantiles of xs with a single sort — the
+// shape a latency report wants (p50/p90/p99 from one sample).
+func Quantiles(xs []float64, qs ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	for _, q := range qs {
+		if q < 0 || q > 1 {
+			return nil, errors.New("stats: quantile out of [0,1]")
+		}
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out, nil
+}
+
+// quantileSorted interpolates the q-quantile of an already-sorted
+// sample.
+func quantileSorted(sorted []float64, q float64) float64 {
 	if len(sorted) == 1 {
-		return sorted[0], nil
+		return sorted[0]
 	}
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return sorted[lo], nil
+		return sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Online accumulates count, mean and variance incrementally using

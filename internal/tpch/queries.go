@@ -1,7 +1,9 @@
 package tpch
 
 import (
+	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -243,6 +245,22 @@ func (q QueryID) Tables() (string, string) {
 		return "lineitem", "part"
 	}
 	return "", ""
+}
+
+// ParseQueryID resolves a textual query name ("Q12", "q12" or "12") to
+// a studied QueryID.
+func ParseQueryID(s string) (QueryID, error) {
+	t := strings.TrimPrefix(strings.TrimPrefix(strings.TrimSpace(s), "Q"), "q")
+	n, err := strconv.Atoi(t)
+	if err != nil {
+		return 0, fmt.Errorf("tpch: unknown query %q", s)
+	}
+	for _, q := range AllQueries {
+		if QueryID(n) == q {
+			return q, nil
+		}
+	}
+	return 0, fmt.Errorf("tpch: unknown query %q (studied: Q12, Q13, Q14, Q17)", s)
 }
 
 // String implements fmt.Stringer.

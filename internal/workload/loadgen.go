@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// This file extends the evaluation harness with a closed-loop HTTP load
+// generator for the midasd serving layer: N concurrent clients each
+// submit queries back to back, and the run is summarized as sustained
+// QPS plus latency percentiles — the measured number behind the
+// ROADMAP's "fast as the hardware allows".
+
+// LoadConfig parameterizes one load-generation run.
+type LoadConfig struct {
+	// BaseURL of the midasd instance, e.g. "http://localhost:8642".
+	BaseURL string
+	// Federation and Query name what to submit (Federation may stay
+	// empty on a single-tenant server; Query defaults to "Q12").
+	Federation string
+	Query      string
+	// Clients is the number of concurrent closed-loop clients
+	// (default 8).
+	Clients int
+	// Requests caps submissions per client; 0 runs until Duration.
+	Requests int
+	// Duration bounds the run when Requests is 0 (default 10s).
+	Duration time.Duration
+	// Weights is the submitted policy (default {1, 1}).
+	Weights []float64
+	// TimeoutMS rides along on every request body.
+	TimeoutMS int64
+	// HTTPTimeout caps one HTTP round trip (default 60s).
+	HTTPTimeout time.Duration
+}
+
+func (c *LoadConfig) setDefaults() error {
+	if c.BaseURL == "" {
+		return errors.New("workload: load config needs a BaseURL")
+	}
+	if c.Query == "" {
+		c.Query = "Q12"
+	}
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.Clients < 1 {
+		return fmt.Errorf("workload: non-positive client count %d", c.Clients)
+	}
+	if c.Requests < 0 {
+		return fmt.Errorf("workload: negative request count %d", c.Requests)
+	}
+	if c.Requests == 0 && c.Duration == 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.HTTPTimeout == 0 {
+		c.HTTPTimeout = 60 * time.Second
+	}
+	if len(c.Weights) == 0 {
+		c.Weights = []float64{1, 1}
+	}
+	return nil
+}
+
+// LoadReport summarizes one run.
+type LoadReport struct {
+	Clients  int
+	Requests int
+	// Errors counts transport failures and non-200 responses; a clean
+	// run has zero.
+	Errors int
+	// Coalesced counts responses served from a shared plan sweep.
+	Coalesced int
+	Elapsed   time.Duration
+	// QPS is completed requests per second of wall time.
+	QPS float64
+	// Latency percentiles over successful requests, milliseconds.
+	P50MS, P90MS, P99MS, MaxMS float64
+	// StatusCounts tallies responses by HTTP status (0 = transport
+	// error).
+	StatusCounts map[int]int
+}
+
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"%d clients, %d requests in %.2fs: %.1f QPS, p50 %.1fms, p90 %.1fms, p99 %.1fms, max %.1fms, %d errors, %d coalesced",
+		r.Clients, r.Requests, r.Elapsed.Seconds(), r.QPS,
+		r.P50MS, r.P90MS, r.P99MS, r.MaxMS, r.Errors, r.Coalesced)
+}
+
+// clientResult is one worker's tally.
+type clientResult struct {
+	latencies []float64
+	statuses  map[int]int
+	coalesced int
+}
+
+// RunLoad drives the configured clients against the server and blocks
+// until the run completes (or ctx cancels it early).
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(server.QueryRequest{
+		Federation: cfg.Federation,
+		Query:      cfg.Query,
+		Weights:    cfg.Weights,
+		TimeoutMS:  cfg.TimeoutMS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	url := cfg.BaseURL + "/v1/queries"
+	client := &http.Client{
+		Timeout: cfg.HTTPTimeout,
+		Transport: &http.Transport{
+			// A closed-loop generator holds one connection per client.
+			MaxIdleConns:        cfg.Clients,
+			MaxIdleConnsPerHost: cfg.Clients,
+		},
+	}
+
+	// Duration bounds the run only in open-ended mode: a fixed-count
+	// run (-requests) must complete its count, not be silently cut.
+	if cfg.Requests == 0 && cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	results := make([]clientResult, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(res *clientResult) {
+			defer wg.Done()
+			res.statuses = make(map[int]int)
+			for n := 0; cfg.Requests == 0 || n < cfg.Requests; n++ {
+				if ctx.Err() != nil {
+					return
+				}
+				began := time.Now()
+				status, coalesced := submitOnce(ctx, client, url, body)
+				// A shot cut down by the run deadline is not a server
+				// error; drop it rather than misreport.
+				if status == 0 && ctx.Err() != nil {
+					return
+				}
+				res.statuses[status]++
+				if status == http.StatusOK {
+					res.latencies = append(res.latencies, float64(time.Since(began))/float64(time.Millisecond))
+					if coalesced {
+						res.coalesced++
+					}
+				}
+			}
+		}(&results[c])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := &LoadReport{
+		Clients:      cfg.Clients,
+		Elapsed:      elapsed,
+		StatusCounts: make(map[int]int),
+	}
+	var all []float64
+	for i := range results {
+		res := &results[i]
+		for status, n := range res.statuses {
+			report.StatusCounts[status] += n
+			report.Requests += n
+			if status != http.StatusOK {
+				report.Errors += n
+			}
+		}
+		report.Coalesced += res.coalesced
+		all = append(all, res.latencies...)
+	}
+	if elapsed > 0 {
+		report.QPS = float64(len(all)) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		if qs, err := stats.Quantiles(all, 0.50, 0.90, 0.99, 1); err == nil {
+			report.P50MS, report.P90MS, report.P99MS, report.MaxMS = qs[0], qs[1], qs[2], qs[3]
+		}
+	}
+	return report, nil
+}
+
+// submitOnce fires one POST and reports (status, coalesced); status 0
+// means the request never produced an HTTP response.
+func submitOnce(ctx context.Context, client *http.Client, url string, body []byte) (int, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, false
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return 0, false
+	}
+	return resp.StatusCode, qr.Coalesced
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// fakeMidasd is a minimal stand-in for the daemon: it answers
+// /v1/queries like the real server would, without paying for a
+// federation build.
+func fakeMidasd(t *testing.T, fail *atomic.Bool) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/queries" || r.Method != http.MethodPost {
+			http.NotFound(w, r)
+			return
+		}
+		var req server.QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		if fail != nil && fail.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(server.QueryResponse{
+			Query:     req.Query,
+			Coalesced: true,
+			Plan:      server.PlanJSON{Query: req.Query, NodesLeft: 1, NodesRight: 1},
+		})
+	}))
+}
+
+func TestRunLoadCounts(t *testing.T) {
+	ts := fakeMidasd(t, nil)
+	defer ts.Close()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:  ts.URL,
+		Clients:  4,
+		Requests: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 20 || rep.Errors != 0 {
+		t.Fatalf("requests/errors = %d/%d, want 20/0", rep.Requests, rep.Errors)
+	}
+	if rep.Coalesced != 20 {
+		t.Fatalf("coalesced = %d", rep.Coalesced)
+	}
+	if rep.QPS <= 0 || rep.P50MS <= 0 || rep.MaxMS < rep.P99MS {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	if rep.StatusCounts[http.StatusOK] != 20 {
+		t.Fatalf("status counts: %v", rep.StatusCounts)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRunLoadCountsErrors(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	ts := fakeMidasd(t, &fail)
+	defer ts.Close()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:  ts.URL,
+		Clients:  2,
+		Requests: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 6 || rep.StatusCounts[http.StatusInternalServerError] != 6 {
+		t.Fatalf("errors = %d, statuses %v", rep.Errors, rep.StatusCounts)
+	}
+}
+
+func TestRunLoadDurationMode(t *testing.T) {
+	ts := fakeMidasd(t, nil)
+	defer ts.Close()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:  ts.URL,
+		Clients:  2,
+		Duration: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("duration mode made no requests")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d (deadline cut-offs must not count)", rep.Errors)
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	if _, err := RunLoad(context.Background(), LoadConfig{}); err == nil {
+		t.Fatal("missing BaseURL should error")
+	}
+	if _, err := RunLoad(context.Background(), LoadConfig{BaseURL: "http://x", Clients: -1}); err == nil {
+		t.Fatal("negative clients should error")
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/moo"
 	"repro/internal/regression"
+	"repro/internal/server"
 	"repro/internal/tpch"
 	"repro/internal/workload"
 )
@@ -372,6 +373,44 @@ func NewScheduler(fed *Federation, exec Executor, model CostModel, nodeChoices [
 func NewSchedulerWithConfig(fed *Federation, exec Executor, model CostModel, cfg SchedulerConfig) (*Scheduler, error) {
 	return ires.NewSchedulerWithConfig(fed, exec, model, cfg)
 }
+
+// ---------------------------------------------------------------------------
+// Serving layer
+
+type (
+	// Sweep is the policy-independent half of a scheduling round; a
+	// serving layer shares one sweep across concurrent submissions of
+	// the same query (see Scheduler.PlanSweep / DecideFromSweep).
+	Sweep = ires.Sweep
+	// QueryServer hosts named federations behind the HTTP/JSON API
+	// (POST /v1/queries, GET /v1/history/{query}, /v1/stats, /healthz)
+	// with bounded admission, same-query sweep batching and graceful
+	// drain. cmd/midasd is the standalone daemon.
+	QueryServer = server.Server
+	// ServerConfig assembles a QueryServer.
+	ServerConfig = server.Config
+	// ServerFederationSpec declares one hosted federation.
+	ServerFederationSpec = server.FederationSpec
+	// QueryRequest / QueryResponse are the wire types of
+	// POST /v1/queries; cmd/midasload speaks the same contract.
+	QueryRequest  = server.QueryRequest
+	QueryResponse = server.QueryResponse
+	// LoadConfig / LoadReport parameterize and summarize one load-
+	// generation run against a serving instance.
+	LoadConfig = workload.LoadConfig
+	LoadReport = workload.LoadReport
+)
+
+// NewQueryServer builds the configured federations (calibration +
+// bootstrap; the slow part) and returns a ready server.
+func NewQueryServer(cfg ServerConfig) (*QueryServer, error) { return server.New(cfg) }
+
+// LoadFederationSpecs reads a JSON federation config file.
+var LoadFederationSpecs = server.LoadSpecsFile
+
+// RunLoad drives N concurrent closed-loop clients against a serving
+// instance and reports sustained QPS and latency percentiles.
+var RunLoad = workload.RunLoad
 
 // ---------------------------------------------------------------------------
 // Evaluation harness
