@@ -5,7 +5,7 @@ GO ?= go
 
 # Coverage floor (percent) enforced on the packages new code lands in.
 COVER_FLOOR ?= 60
-COVER_PKGS ?= ./internal/server ./internal/core
+COVER_PKGS ?= ./internal/server ./internal/core ./internal/histstore
 
 # The regression-gated serving benchmarks: minimum of COUNT runs is
 # compared by cmd/benchgate in CI.

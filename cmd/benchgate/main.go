@@ -79,7 +79,7 @@ func run() error {
 	}
 	if len(regressed) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
-			len(regressed), *threshold*100, strings.Join(regressed, ", "))
+			len(regressed), *threshold*100, strings.Join(regressed, "; "))
 	}
 	return nil
 }
@@ -151,7 +151,11 @@ func compare(old, niw map[string]float64, gate *regexp.Regexp, threshold float64
 			r.delta = r.new/r.old - 1
 			if r.gated && r.delta > threshold {
 				r.failed = true
-				regressed = append(regressed, n)
+				// Name the culprit with its numbers: the failure line is
+				// what a PR author sees first, and "which benchmark, by
+				// how much" should not require opening the artifact.
+				regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%, %.0f → %.0f ns/op)",
+					n, r.delta*100, r.old, r.new))
 			}
 		}
 		rows = append(rows, r)

@@ -52,10 +52,16 @@ func TestCompareFlagsOnlyGatedRegressions(t *testing.T) {
 	old := mustParse(t, oldRun)
 	niw := mustParse(t, newRun)
 
-	// Parallel regressed 67566 → 120000 (+77%); gate on sweeps → fail.
+	// Parallel regressed 67566 → 120000 (+77%); gate on sweeps → fail,
+	// and the failure names the benchmark with its delta and numbers.
 	rows, regressed := compare(old, niw, regexp.MustCompile(`Q1[23]Sweep`), 0.25)
-	if len(regressed) != 1 || regressed[0] != "BenchmarkQ12SweepParallel" {
+	if len(regressed) != 1 || !strings.HasPrefix(regressed[0], "BenchmarkQ12SweepParallel ") {
 		t.Fatalf("regressed = %v", regressed)
+	}
+	for _, want := range []string{"+77.6%", "67566", "120000 ns/op"} {
+		if !strings.Contains(regressed[0], want) {
+			t.Fatalf("regression detail missing %q: %s", want, regressed[0])
+		}
 	}
 	// Sequential improved; benchmarks on one side only never fail.
 	for _, r := range rows {

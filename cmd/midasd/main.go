@@ -12,9 +12,17 @@
 // gracefully: health flips to 503, in-flight requests finish, then the
 // process exits 0.
 //
+// With -data-dir, every query history is durable: recorded executions
+// are written ahead to a per-query WAL under that directory, compacted
+// into snapshots every -checkpoint-interval (and at drain, and via
+// POST /v1/admin/checkpoint), and replayed on the next boot — a
+// restarted daemon estimates from exactly the history it had, instead
+// of re-paying cold-start bootstrap sweeps. -wal-fsync trades append
+// throughput for durability against machine (not just process) crashes.
+//
 // Example:
 //
-//	midasd -addr :8642 -sf 0.1 -bootstrap 20 &
+//	midasd -addr :8642 -sf 0.1 -bootstrap 20 -data-dir /var/lib/midasd &
 //	curl -s localhost:8642/healthz
 //	curl -s -X POST localhost:8642/v1/queries \
 //	     -d '{"query": "Q12", "weights": [1, 1]}'
@@ -67,6 +75,10 @@ func run() error {
 		requestTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request budget (exceeded → 504)")
 		sweepTimeout   = flag.Duration("sweep-timeout", 60*time.Second, "per-plan-sweep budget")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+
+		dataDir            = flag.String("data-dir", "", "root directory for durable query histories (empty = in-memory only)")
+		checkpointInterval = flag.Duration("checkpoint-interval", time.Minute, "periodic WAL→snapshot compaction; 0 disables the timer (requires -data-dir)")
+		walFsync           = flag.Bool("wal-fsync", false, "fsync the history WAL after every recorded execution (requires -data-dir)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -80,13 +92,28 @@ func run() error {
 		return err
 	}
 
-	log.Printf("building %d federation(s) (calibration + bootstrap)...", len(specs))
+	if *dataDir == "" && (*walFsync || *checkpointInterval != time.Minute) {
+		log.Printf("warning: -wal-fsync/-checkpoint-interval have no effect without -data-dir")
+	}
+	var storeCfg server.StoreConfig
+	if *dataDir != "" {
+		storeCfg = server.StoreConfig{
+			Dir:                *dataDir,
+			CheckpointInterval: *checkpointInterval,
+			Fsync:              *walFsync,
+		}
+		log.Printf("durable histories under %s (checkpoint every %v, fsync %v)",
+			*dataDir, *checkpointInterval, *walFsync)
+	}
+
+	log.Printf("building %d federation(s) (calibration + recovery + bootstrap)...", len(specs))
 	began := time.Now()
 	srv, err := server.New(server.Config{
 		Federations:    specs,
 		QueueDepth:     *queueDepth,
 		RequestTimeout: *requestTimeout,
 		SweepTimeout:   *sweepTimeout,
+		Store:          storeCfg,
 	})
 	if err != nil {
 		return err

@@ -47,6 +47,21 @@ type Observation struct {
 	Costs []float64
 }
 
+// HistorySink receives every observation appended to a History, in
+// append order, before the observation becomes visible in memory — the
+// seam a durable store (internal/histstore) plugs into without core
+// knowing anything about disks. RecordObservation is called with the
+// History's internal lock held, so implementations must not call back
+// into the History; they should do their own (brief) synchronization
+// and I/O and return.
+type HistorySink interface {
+	// RecordObservation persists one validated observation. An error
+	// aborts the append: the observation is NOT added to the in-memory
+	// history, preserving write-ahead semantics (durable state is never
+	// behind a state the caller observed).
+	RecordObservation(o Observation) error
+}
+
 // History is an append-only, time-ordered log of observations for one
 // operator or query template. Index 0 is the oldest observation.
 //
@@ -62,6 +77,7 @@ type History struct {
 	mu      sync.RWMutex
 	obs     []Observation
 	version uint64
+	sink    HistorySink
 }
 
 // NewHistory creates a history for the given feature dimension and
@@ -104,7 +120,21 @@ func (h *History) Version() uint64 {
 	return h.version
 }
 
-// Append records a completed execution.
+// SetSink attaches (or, with nil, detaches) a durability sink. Every
+// subsequent Append writes through the sink before the observation
+// becomes visible in memory, and the sink sees observations in exactly
+// the order the history holds them. Attach the sink before handing the
+// History to appenders; observations appended earlier are not replayed
+// into it.
+func (h *History) SetSink(sink HistorySink) {
+	h.mu.Lock()
+	h.sink = sink
+	h.mu.Unlock()
+}
+
+// Append records a completed execution. With a sink attached the
+// observation is persisted first (write-ahead): a sink error aborts the
+// append and the in-memory history is unchanged.
 func (h *History) Append(o Observation) error {
 	if len(o.X) != h.dim {
 		return fmt.Errorf("core: observation has %d features, history wants %d", len(o.X), h.dim)
@@ -117,9 +147,14 @@ func (h *History) Append(o Observation) error {
 	c := make([]float64, len(o.Costs))
 	copy(c, o.Costs)
 	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sink != nil {
+		if err := h.sink.RecordObservation(Observation{X: x, Costs: c}); err != nil {
+			return fmt.Errorf("core: history sink: %w", err)
+		}
+	}
 	h.obs = append(h.obs, Observation{X: x, Costs: c})
 	h.version++
-	h.mu.Unlock()
 	return nil
 }
 

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// recordingSink captures appended observations; failAfter > 0 makes the
+// sink error once that many observations were recorded.
+type recordingSink struct {
+	obs       []Observation
+	failAfter int
+}
+
+var errSinkFull = errors.New("sink full")
+
+func (s *recordingSink) RecordObservation(o Observation) error {
+	if s.failAfter > 0 && len(s.obs) >= s.failAfter {
+		return errSinkFull
+	}
+	s.obs = append(s.obs, o)
+	return nil
+}
+
+func TestHistorySinkSeesAppendsInOrder(t *testing.T) {
+	h := mustHistory(t, 1, "t")
+	sink := &recordingSink{}
+	h.SetSink(sink)
+	for i := 0; i < 5; i++ {
+		if err := h.Append(Observation{X: []float64{float64(i)}, Costs: []float64{float64(i) * 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sink.obs) != 5 {
+		t.Fatalf("sink saw %d observations, want 5", len(sink.obs))
+	}
+	for i, o := range sink.obs {
+		if o.X[0] != float64(i) || o.Costs[0] != float64(i)*2 {
+			t.Fatalf("sink observation %d out of order: %+v", i, o)
+		}
+	}
+	// Detach: further appends bypass the sink.
+	h.SetSink(nil)
+	if err := h.Append(Observation{X: []float64{9}, Costs: []float64{9}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.obs) != 5 {
+		t.Fatalf("detached sink still saw appends: %d", len(sink.obs))
+	}
+}
+
+func TestHistorySinkErrorAbortsAppend(t *testing.T) {
+	h := mustHistory(t, 1, "t")
+	h.SetSink(&recordingSink{failAfter: 2})
+	var err error
+	for i := 0; i < 3; i++ {
+		err = h.Append(Observation{X: []float64{1}, Costs: []float64{1}})
+	}
+	if !errors.Is(err, errSinkFull) {
+		t.Fatalf("append error = %v, want errSinkFull", err)
+	}
+	// Write-ahead: the failed append is not in memory, and the version
+	// only advanced for the durable ones.
+	if h.Len() != 2 {
+		t.Fatalf("history len = %d after sink failure, want 2", h.Len())
+	}
+	if h.Version() != 2 {
+		t.Fatalf("history version = %d, want 2", h.Version())
+	}
+	// Invalid observations are rejected before they reach the sink.
+	sink := &recordingSink{}
+	h.SetSink(sink)
+	if err := h.Append(Observation{X: []float64{1, 2}, Costs: []float64{1}}); err == nil {
+		t.Fatal("bad observation accepted")
+	}
+	if len(sink.obs) != 0 {
+		t.Fatal("invalid observation reached the sink")
+	}
+}

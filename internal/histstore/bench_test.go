@@ -1,0 +1,111 @@
+package histstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+)
+
+// benchObs mirrors the serving layer's observation shape: the
+// federation feature vector and the (time, money) cost pair.
+func benchObs(i int) core.Observation {
+	x := make([]float64, federation.FeatureDim)
+	for j := range x {
+		x[j] = float64(i + j)
+	}
+	return core.Observation{X: x, Costs: []float64{float64(i), float64(i) / 2}}
+}
+
+// BenchmarkWALAppend measures one durable append through the full
+// History → sink → frame → write path, without fsync (the serving
+// default the <10% sweep-overhead budget is set against).
+func BenchmarkWALAppend(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	h, err := s.OpenHistory("bench", federation.FeatureDim, federation.Metrics)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Append(benchObs(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppendFsync is the durable-against-power-loss variant.
+func BenchmarkWALAppendFsync(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{Fsync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	h, err := s.OpenHistory("bench", federation.FeatureDim, federation.Metrics)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Append(benchObs(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecovery measures a cold open replaying snapshot + WAL at a
+// few realistic history sizes (half snapshotted, half in the WAL).
+func BenchmarkRecovery(b *testing.B) {
+	for _, size := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			dir := b.TempDir()
+			s, err := Open(dir, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := s.OpenHistory("bench", federation.FeatureDim, federation.Metrics)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < size/2; i++ {
+				if err := h.Append(benchObs(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := s.Checkpoint("bench", h.Snapshot()); err != nil {
+				b.Fatal(err)
+			}
+			for i := size / 2; i < size; i++ {
+				if err := h.Append(benchObs(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s2, err := Open(dir, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				h2, err := s2.OpenHistory("bench", federation.FeatureDim, federation.Metrics)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if h2.Len() != size {
+					b.Fatalf("recovered %d, want %d", h2.Len(), size)
+				}
+				if err := s2.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,435 @@
+// Package histstore is the durable execution-history store: the state
+// DREAM's estimation quality is made of, kept alive across restarts,
+// crashes and drains.
+//
+// A Store owns one root directory and shards it by history name (the
+// serving layer uses one Store per federation and one shard per query).
+// Each shard is
+//
+//	<root>/<name>/snapshot.json   compacting snapshot (the legacy
+//	                              History.Save format, see
+//	                              internal/core/persist.go)
+//	<root>/<name>/wal.log         CRC-framed append-only WAL of the
+//	                              observations since that snapshot
+//
+// Appends flow in through core.HistorySink: OpenHistory returns a
+// *core.History wired so every Append lands in the WAL before it
+// becomes visible in memory (write-ahead). Checkpoint atomically
+// replaces the snapshot with a newer point-in-time view and compacts
+// the WAL down to the uncovered suffix.
+//
+// Recovery is deterministic and torn-tail-tolerant: replay = snapshot +
+// WAL suffix, with frames already covered by the snapshot skipped by
+// sequence number and the log truncated at the first corrupt frame. A
+// recovered history holds byte-identical observations in identical
+// order to the history that wrote it, so DREAM's window fit — and every
+// estimate derived from it — is identical too.
+package histstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+)
+
+const (
+	snapshotName = "snapshot.json"
+	walName      = "wal.log"
+	tmpSuffix    = ".tmp"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// Fsync syncs the WAL file after every appended record: durable
+	// against machine crashes at a large per-append cost. Without it
+	// (the default) an append survives any process crash — the write
+	// has left the process before Append returns — but sits in the OS
+	// page cache until the kernel flushes it.
+	Fsync bool
+}
+
+// Store is a root directory of named, independently recoverable
+// history shards. All methods are safe for concurrent use.
+type Store struct {
+	root string
+	opts Options
+
+	mu     sync.Mutex
+	shards map[string]*shard
+}
+
+// Open creates (if needed) the root directory and returns a Store over
+// it. Shards are recovered lazily, on first OpenHistory.
+func Open(root string, opts Options) (*Store, error) {
+	if root == "" {
+		return nil, errors.New("histstore: empty root directory")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("histstore: %w", err)
+	}
+	return &Store{root: root, opts: opts, shards: make(map[string]*shard)}, nil
+}
+
+// Root reports the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// shardDir maps a shard name to its directory; names are path-escaped
+// so any query or tenant name is a single safe path element.
+func (s *Store) shardDir(name string) string {
+	return filepath.Join(s.root, url.PathEscape(name))
+}
+
+// OpenHistory opens (recovering, if durable state exists) or creates
+// the named shard and returns its live history: appends to the returned
+// History are written ahead to the shard's WAL, and the observations
+// recovered from snapshot + WAL are already in it. Repeated calls with
+// the same name return the same *core.History. dim and metrics must
+// match any previously persisted state.
+func (s *Store) OpenHistory(name string, dim int, metrics []string) (*core.History, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sh, ok := s.shards[name]; ok {
+		return sh.hist, nil
+	}
+	sh, err := s.openShard(name, dim, metrics)
+	if err != nil {
+		return nil, err
+	}
+	s.shards[name] = sh
+	return sh.hist, nil
+}
+
+func (s *Store) openShard(name string, dim int, metrics []string) (*shard, error) {
+	dir := s.shardDir(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("histstore: shard %q: %w", name, err)
+	}
+	// Leftover temp files are failed checkpoints; the durable state
+	// they were meant to replace is still intact.
+	_ = os.Remove(filepath.Join(dir, snapshotName+tmpSuffix))
+	_ = os.Remove(filepath.Join(dir, walName+tmpSuffix))
+
+	h, snapCount, err := loadSnapshot(filepath.Join(dir, snapshotName), dim, metrics)
+	if err != nil {
+		return nil, fmt.Errorf("histstore: shard %q: %w", name, err)
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("histstore: shard %q: %w", name, err)
+	}
+	validEnd, err := scanWAL(wal, func(seq uint64, o core.Observation) error {
+		if seq < snapCount {
+			// Covered by the snapshot: a checkpoint renamed the new
+			// snapshot but crashed before compacting the WAL.
+			return nil
+		}
+		// These frames passed their CRC, so a sequence gap or a shape
+		// the history rejects is not a torn write — it is a store
+		// opened with the wrong configuration (or a genuine bug), and
+		// truncating would destroy good data. Fail the open instead.
+		if seq != uint64(h.Len()) {
+			return fmt.Errorf("wal sequence %d, history has %d observations", seq, h.Len())
+		}
+		return h.Append(o)
+	})
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("histstore: shard %q: replaying wal: %w", name, err)
+	}
+	// Drop the torn tail (a crash mid-write) so the next append starts
+	// on a clean frame boundary.
+	if fi, statErr := wal.Stat(); statErr == nil && fi.Size() > validEnd {
+		if err := wal.Truncate(validEnd); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("histstore: shard %q: truncating torn wal tail: %w", name, err)
+		}
+	}
+	if _, err := wal.Seek(validEnd, io.SeekStart); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("histstore: shard %q: %w", name, err)
+	}
+	sh := &shard{
+		dir:       dir,
+		opts:      s.opts,
+		hist:      h,
+		wal:       wal,
+		nextSeq:   uint64(h.Len()),
+		snapCount: snapCount,
+	}
+	h.SetSink(sh)
+	return sh, nil
+}
+
+// loadSnapshot reads the shard snapshot if present (validating its
+// shape against the requested one) or starts an empty history.
+func loadSnapshot(path string, dim int, metrics []string) (*core.History, uint64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		h, err := core.NewHistory(dim, metrics...)
+		return h, 0, err
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	h, err := core.LoadHistory(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	if h.Dim() != dim {
+		return nil, 0, fmt.Errorf("snapshot has dim %d, want %d", h.Dim(), dim)
+	}
+	hm := h.Metrics()
+	if len(hm) != len(metrics) {
+		return nil, 0, fmt.Errorf("snapshot has %d metrics, want %d", len(hm), len(metrics))
+	}
+	for i := range hm {
+		if hm[i] != metrics[i] {
+			return nil, 0, fmt.Errorf("snapshot metric %d is %q, want %q", i, hm[i], metrics[i])
+		}
+	}
+	return h, uint64(h.Len()), nil
+}
+
+// Checkpoint compacts the named shard: the snapshot file is atomically
+// replaced with snap (write temp, fsync, rename) and the WAL is
+// rewritten down to the records snap does not cover. snap must be a
+// snapshot of the history OpenHistory returned for this shard. A crash
+// at any point leaves a recoverable shard: replay skips WAL records the
+// surviving snapshot already covers.
+func (s *Store) Checkpoint(name string, snap *core.Snapshot) error {
+	s.mu.Lock()
+	sh := s.shards[name]
+	s.mu.Unlock()
+	if sh == nil {
+		return fmt.Errorf("histstore: checkpoint of unopened shard %q", name)
+	}
+	return sh.checkpoint(snap)
+}
+
+// CheckpointAll compacts every open shard against its history's current
+// snapshot.
+func (s *Store) CheckpointAll() error {
+	s.mu.Lock()
+	shards := make([]*shard, 0, len(s.shards))
+	for _, sh := range s.shards {
+		shards = append(shards, sh)
+	}
+	s.mu.Unlock()
+	for _, sh := range shards {
+		if err := sh.checkpoint(sh.hist.Snapshot()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImportLegacy installs a document written by core.History.Save as the
+// named shard's base snapshot — the one-way migration path off the
+// legacy whole-file JSON format. The shard must not be open and must
+// not already hold durable state.
+func (s *Store) ImportLegacy(name string, r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, open := s.shards[name]; open {
+		return fmt.Errorf("histstore: legacy import into open shard %q", name)
+	}
+	dir := s.shardDir(name)
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err == nil {
+		return fmt.Errorf("histstore: shard %q already has a snapshot", name)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, walName)); err == nil && fi.Size() > 0 {
+		return fmt.Errorf("histstore: shard %q already has WAL records", name)
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("histstore: legacy import: %w", err)
+	}
+	if _, err := core.LoadHistory(bytes.NewReader(raw)); err != nil {
+		return fmt.Errorf("histstore: legacy import: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("histstore: legacy import: %w", err)
+	}
+	tmp := filepath.Join(dir, snapshotName+tmpSuffix)
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("histstore: legacy import: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotName)); err != nil {
+		return fmt.Errorf("histstore: legacy import: %w", err)
+	}
+	return nil
+}
+
+// Close closes every open shard's WAL handle. Appends to histories
+// opened through the store fail afterwards (and, per the write-ahead
+// contract, leave the in-memory history unchanged). Checkpoint first:
+// Close does not compact.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for name, sh := range s.shards {
+		sh.mu.Lock()
+		if err := sh.wal.Close(); err != nil && first == nil {
+			first = err
+		}
+		sh.mu.Unlock()
+		delete(s.shards, name)
+	}
+	return first
+}
+
+// shard is one named history's durable state. It implements
+// core.HistorySink, so the History it recovered writes every new
+// observation through it.
+type shard struct {
+	dir  string
+	opts Options
+	hist *core.History
+
+	mu        sync.Mutex
+	wal       *os.File
+	buf       []byte // frame scratch, reused across appends
+	nextSeq   uint64 // sequence of the next record to append
+	snapCount uint64 // observations covered by snapshot.json
+	// broken, once set, fails every subsequent append and checkpoint:
+	// the WAL handle can no longer be trusted to reach durable storage
+	// (e.g. the post-compaction reopen failed, leaving the handle on
+	// the replaced inode), and acknowledging writes would silently
+	// break the write-ahead contract.
+	broken error
+}
+
+// RecordObservation implements core.HistorySink: frame the observation
+// and append it to the WAL (write-ahead — the caller only makes the
+// observation visible in memory after this returns nil). It is called
+// with the owning History's lock held, which makes WAL order identical
+// to in-memory order by construction.
+func (sh *shard) RecordObservation(o core.Observation) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.broken != nil {
+		return fmt.Errorf("histstore: shard unusable: %w", sh.broken)
+	}
+	sh.buf = appendFrame(sh.buf[:0], sh.nextSeq, o)
+	if _, err := sh.wal.Write(sh.buf); err != nil {
+		return fmt.Errorf("histstore: wal append: %w", err)
+	}
+	if sh.opts.Fsync {
+		if err := sh.wal.Sync(); err != nil {
+			return fmt.Errorf("histstore: wal fsync: %w", err)
+		}
+	}
+	sh.nextSeq++
+	return nil
+}
+
+func (sh *shard) checkpoint(snap *core.Snapshot) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.broken != nil {
+		return fmt.Errorf("histstore: shard unusable: %w", sh.broken)
+	}
+	count := uint64(snap.Len())
+	if count < sh.snapCount {
+		// A snapshot older than the durable one cannot move the shard
+		// forward; keep what is on disk.
+		return nil
+	}
+	if count == sh.snapCount && sh.nextSeq == sh.snapCount {
+		return nil // nothing new since the last checkpoint
+	}
+	snapPath := filepath.Join(sh.dir, snapshotName)
+	tmp := snapPath + tmpSuffix
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("histstore: checkpoint: %w", err)
+	}
+	if err := core.SaveSnapshot(snap, f); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("histstore: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, snapPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("histstore: checkpoint: %w", err)
+	}
+	// From here on the new snapshot is the durable truth; compact the
+	// WAL down to the suffix it does not cover. Appends are blocked on
+	// sh.mu, so the file cannot grow under the rewrite.
+	if err := sh.rewriteWAL(count); err != nil {
+		return err
+	}
+	sh.snapCount = count
+	return nil
+}
+
+// rewriteWAL replaces the WAL with only the frames whose sequence is
+// not covered by the snapshot, via write-temp + rename.
+func (sh *shard) rewriteWAL(covered uint64) error {
+	walPath := filepath.Join(sh.dir, walName)
+	src, err := os.Open(walPath)
+	if err != nil {
+		return fmt.Errorf("histstore: compacting wal: %w", err)
+	}
+	tmpPath := walPath + tmpSuffix
+	dst, err := os.Create(tmpPath)
+	if err != nil {
+		src.Close()
+		return fmt.Errorf("histstore: compacting wal: %w", err)
+	}
+	var buf []byte
+	_, err = scanWAL(src, func(seq uint64, o core.Observation) error {
+		if seq < covered {
+			return nil
+		}
+		buf = appendFrame(buf[:0], seq, o)
+		_, werr := dst.Write(buf)
+		return werr
+	})
+	src.Close()
+	if err == nil {
+		err = dst.Sync()
+	}
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("histstore: compacting wal: %w", err)
+	}
+	if err := os.Rename(tmpPath, walPath); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("histstore: compacting wal: %w", err)
+	}
+	// The old handle still points at the replaced (now unlinked) inode;
+	// reopen. If the reopen fails the shard is unusable: writes through
+	// the stale handle would be acknowledged yet land in a deleted
+	// file, so mark it broken and fail loudly instead.
+	wal, err := os.OpenFile(walPath, os.O_RDWR, 0o644)
+	if err != nil {
+		sh.broken = fmt.Errorf("reopening compacted wal: %w", err)
+		return fmt.Errorf("histstore: %w", sh.broken)
+	}
+	if _, err := wal.Seek(0, io.SeekEnd); err != nil {
+		wal.Close()
+		sh.broken = fmt.Errorf("seeking compacted wal: %w", err)
+		return fmt.Errorf("histstore: %w", sh.broken)
+	}
+	sh.wal.Close()
+	sh.wal = wal
+	return nil
+}

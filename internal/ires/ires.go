@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -200,6 +201,22 @@ type Policy struct {
 	LexTolerance float64
 }
 
+// HistoryStore is the durable-history seam: a scheduler given one
+// constructs its per-query histories through the store (recovering
+// whatever the store already holds) instead of fresh in memory, and
+// checkpoints them back through it. internal/histstore implements this
+// with a per-query WAL + snapshot shard; the interface keeps ires free
+// of any storage dependency.
+type HistoryStore interface {
+	// OpenHistory returns the named history, recovered from durable
+	// state when present and wired so subsequent appends are persisted.
+	// Repeated opens of one name return the same *core.History.
+	OpenHistory(name string, dim int, metrics []string) (*core.History, error)
+	// Checkpoint durably compacts the named history to the given
+	// point-in-time snapshot.
+	Checkpoint(name string, snap *core.Snapshot) error
+}
+
 // Scheduler is the MIDAS/IReS pipeline instance.
 type Scheduler struct {
 	Fed   *federation.Federation
@@ -216,6 +233,11 @@ type Scheduler struct {
 	// evaluation order; pin Parallelism to 1 to keep that ablation
 	// reproducible.
 	Parallelism int
+	// Store, when non-nil, owns every query history: OpenHistory
+	// recovers prior observations and persists new ones. Set it before
+	// the first query is touched (histories already created in memory
+	// are not migrated). Nil keeps the paper's in-memory behavior.
+	Store HistoryStore
 
 	histMu    sync.Mutex
 	histories map[tpch.QueryID]*core.History
@@ -240,32 +262,89 @@ func NewScheduler(fed *federation.Federation, exec federation.Executor, model Co
 	}, nil
 }
 
-// History returns (creating if needed) the execution history of a query.
-func (s *Scheduler) History(q tpch.QueryID) *core.History {
+// OpenHistory returns (creating — or, with a Store, recovering — if
+// needed) the execution history of a query. With a Store attached this
+// can fail on unreadable or mismatched durable state; callers that wire
+// a store should open every query they serve at boot so recovery errors
+// surface there and not mid-request.
+func (s *Scheduler) OpenHistory(q tpch.QueryID) (*core.History, error) {
 	s.histMu.Lock()
 	defer s.histMu.Unlock()
 	h, ok := s.histories[q]
-	if !ok {
-		var err error
+	if ok {
+		return h, nil
+	}
+	var err error
+	if s.Store != nil {
+		h, err = s.Store.OpenHistory(q.String(), federation.FeatureDim, federation.Metrics)
+	} else {
 		h, err = core.NewHistory(federation.FeatureDim, federation.Metrics...)
-		if err != nil {
-			// FeatureDim and Metrics are package constants; this cannot
-			// fail at runtime.
-			panic(err)
-		}
-		s.histories[q] = h
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ires: opening history for %v: %w", q, err)
+	}
+	s.histories[q] = h
+	return h, nil
+}
+
+// History returns the execution history of a query, creating it if
+// needed. Without a Store this cannot fail; with one, an unrecoverable
+// shard panics — use OpenHistory (at boot) when a store is attached.
+func (s *Scheduler) History(q tpch.QueryID) *core.History {
+	h, err := s.OpenHistory(q)
+	if err != nil {
+		panic(err)
 	}
 	return h
 }
 
+// Checkpoint durably compacts every query history opened so far through
+// the attached Store; without one it is a no-op. Each history is
+// checkpointed at its own current snapshot, so it is safe to call while
+// requests append concurrently.
+func (s *Scheduler) Checkpoint() error {
+	if s.Store == nil {
+		return nil
+	}
+	s.histMu.Lock()
+	type entry struct {
+		q tpch.QueryID
+		h *core.History
+	}
+	entries := make([]entry, 0, len(s.histories))
+	for q, h := range s.histories {
+		entries = append(entries, entry{q, h})
+	}
+	s.histMu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].q < entries[j].q })
+	// Every query is attempted even when one fails: a sick shard must
+	// not keep healthy shards' WALs from compacting. The first error
+	// is reported.
+	var first error
+	for _, e := range entries {
+		if err := s.Store.Checkpoint(e.q.String(), e.h.Snapshot()); err != nil && first == nil {
+			first = fmt.Errorf("ires: checkpointing %v: %w", e.q, err)
+		}
+	}
+	return first
+}
+
 // Record appends one completed execution to the query's history.
 func (s *Scheduler) Record(q tpch.QueryID, x []float64, costs []float64) error {
-	return s.History(q).Append(core.Observation{X: x, Costs: costs})
+	h, err := s.OpenHistory(q)
+	if err != nil {
+		return err
+	}
+	return h.Append(core.Observation{X: x, Costs: costs})
 }
 
 // Bootstrap executes n randomly chosen plans of q to seed the history,
 // the warm-up IReS performs before its models are usable.
 func (s *Scheduler) Bootstrap(q tpch.QueryID, n int) error {
+	// Surface durable-state errors before paying for any execution.
+	if _, err := s.OpenHistory(q); err != nil {
+		return err
+	}
 	plans, err := s.Fed.EnumeratePlans(q, s.NodeChoices)
 	if err != nil {
 		return err
@@ -342,7 +421,10 @@ type Sweep struct {
 // history snapshot and reduces to the Pareto set. The expensive fan-out
 // observes ctx.
 func (s *Scheduler) PlanSweep(ctx context.Context, q tpch.QueryID) (*Sweep, error) {
-	h := s.History(q)
+	h, err := s.OpenHistory(q)
+	if err != nil {
+		return nil, err
+	}
 	if h.Len() == 0 {
 		return nil, fmt.Errorf("%w: %v (run Bootstrap first)", ErrNoHistory, q)
 	}

@@ -153,7 +153,10 @@ func (r *GAResult) Select(pol Policy) (federation.Plan, error) {
 // OptimizeGA runs the NSGA-II path once for query q, returning the
 // Pareto plan set for later policy selections.
 func (s *Scheduler) OptimizeGA(q tpch.QueryID, cfg moo.NSGAIIConfig) (*GAResult, error) {
-	h := s.History(q)
+	h, err := s.OpenHistory(q)
+	if err != nil {
+		return nil, err
+	}
 	if h.Len() == 0 {
 		return nil, fmt.Errorf("%w: %v", ErrNoHistory, q)
 	}
@@ -223,7 +226,10 @@ func (s *Scheduler) OptimizeWSM(q tpch.QueryID, pol Policy) (*WSMResult, error) 
 // OptimizeWSMContext is OptimizeWSM with cancellation: the per-plan
 // estimation sweep observes ctx and aborts early when it is cancelled.
 func (s *Scheduler) OptimizeWSMContext(ctx context.Context, q tpch.QueryID, pol Policy) (*WSMResult, error) {
-	h := s.History(q)
+	h, err := s.OpenHistory(q)
+	if err != nil {
+		return nil, err
+	}
 	if h.Len() == 0 {
 		return nil, fmt.Errorf("%w: %v", ErrNoHistory, q)
 	}

@@ -38,6 +38,10 @@ type SchedulerConfig struct {
 	// model cache when the model supports it (DREAM variants do).
 	// 0 keeps the model's own configuration; negative disables caching.
 	CacheSize int
+	// Store injects a durable history store (see HistoryStore): query
+	// histories are recovered from it at first touch and every recorded
+	// execution is persisted through it. Nil keeps histories in memory.
+	Store HistoryStore
 }
 
 // ModelCacheSizer is implemented by Modelling modules whose underlying
@@ -54,6 +58,7 @@ func NewSchedulerWithConfig(fed *federation.Federation, exec federation.Executor
 		return nil, err
 	}
 	s.Parallelism = cfg.Parallelism
+	s.Store = cfg.Store
 	if cfg.CacheSize != 0 {
 		if ms, ok := model.(ModelCacheSizer); ok {
 			ms.SetModelCacheSize(cfg.CacheSize)

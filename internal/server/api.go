@@ -66,13 +66,25 @@ type ObservationJSON struct {
 	Costs []float64 `json:"costs"`
 }
 
-// HistoryResponse is the body of GET /v1/history/{query}.
+// HistoryResponse is the body of GET /v1/history/{query}. Observations
+// are most recent first, paged by ?limit= (default 500) and ?offset=
+// (entries to skip from the newest end); Len is always the full
+// history length, so offset+len(observations) < Len means more pages
+// remain (also flagged by Truncated).
 type HistoryResponse struct {
 	Federation   string            `json:"federation"`
 	Query        string            `json:"query"`
 	Len          int               `json:"len"`
+	Offset       int               `json:"offset"`
+	Truncated    bool              `json:"truncated"`
 	Metrics      []string          `json:"metrics"`
 	Observations []ObservationJSON `json:"observations"`
+}
+
+// CheckpointResponse is the body of POST /v1/admin/checkpoint: per
+// federation, "ok" or the checkpoint error.
+type CheckpointResponse struct {
+	Federations map[string]string `json:"federations"`
 }
 
 // FederationStats is one tenant's slice of GET /v1/stats.
@@ -88,6 +100,13 @@ type FederationStats struct {
 	// were served without paying for estimation.
 	Coalesced int64 `json:"coalesced"`
 	Sweeps    int64 `json:"sweeps"`
+	// HistoryTruncated counts /v1/history responses that dropped
+	// observations to the page limit.
+	HistoryTruncated int64 `json:"history_truncated"`
+	// Checkpoints and CheckpointFailures count durable history
+	// compactions (periodic, admin-triggered and drain-time).
+	Checkpoints        int64 `json:"checkpoints"`
+	CheckpointFailures int64 `json:"checkpoint_failures"`
 	// Latency percentiles (ms) over the most recent completions.
 	P50MS float64 `json:"p50_ms"`
 	P90MS float64 `json:"p90_ms"`

@@ -5,17 +5,23 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/histstore"
 	"repro/internal/ires"
 	"repro/internal/tpch"
 )
 
 // tenant is one hosted federation: a scheduler, the queries it serves,
-// the per-query sweep batcher and its serving stats.
+// the per-query sweep batcher, its serving stats and (when durable)
+// its history store.
 type tenant struct {
 	name    string
 	sched   QueryScheduler
 	queries map[tpch.QueryID]bool
 	stats   *tenantStats
+	// store is the tenant's durable history root; nil when running in
+	// memory. The scheduler owns the flow of data through it — the
+	// tenant only closes it at drain.
+	store *histstore.Store
 
 	mu      sync.Mutex
 	pending map[tpch.QueryID]*sweepBatch
@@ -33,6 +39,30 @@ func newTenant(name string, sched QueryScheduler, queries []tpch.QueryID) *tenan
 		stats:   newTenantStats(),
 		pending: make(map[tpch.QueryID]*sweepBatch),
 	}
+}
+
+// checkpoint compacts the tenant's histories to durable snapshots when
+// its scheduler supports it; schedulers without the Checkpointer
+// capability (or without a store) have nothing to compact.
+func (t *tenant) checkpoint() error {
+	cp, ok := t.sched.(Checkpointer)
+	if !ok {
+		return nil
+	}
+	if err := cp.Checkpoint(); err != nil {
+		t.stats.checkpointErr.Add(1)
+		return err
+	}
+	t.stats.checkpoints.Add(1)
+	return nil
+}
+
+// closeStore releases the tenant's WAL handles at drain.
+func (t *tenant) closeStore() error {
+	if t.store == nil {
+		return nil
+	}
+	return t.store.Close()
 }
 
 // sweepBatch is one in-flight plan sweep that any number of concurrent

@@ -6,10 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/url"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/federation"
+	"repro/internal/histstore"
 	"repro/internal/ires"
 	"repro/internal/tpch"
 )
@@ -102,8 +105,12 @@ func (sp *FederationSpec) queries() ([]tpch.QueryID, error) {
 }
 
 // buildTenant assembles the spec's scheduler: topology, calibration,
-// scaled executor, DREAM model, then a bootstrap of every served query.
-func buildTenant(spec FederationSpec) (*tenant, error) {
+// scaled executor, DREAM model, and — with a store configured — the
+// tenant's durable history root. Every served query is then opened
+// (recovering whatever the store holds) and bootstrapped only up to
+// the shortfall: a warm-started tenant whose recovered history already
+// meets the bootstrap target executes nothing before serving.
+func buildTenant(spec FederationSpec, storeCfg StoreConfig) (*tenant, error) {
 	sp := spec.withDefaults()
 	if sp.Name == "" {
 		return nil, fmt.Errorf("server: federation spec without a name")
@@ -136,21 +143,51 @@ func buildTenant(spec FederationSpec) (*tenant, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: federation %q: %w", sp.Name, err)
 	}
-	sched, err := ires.NewSchedulerWithConfig(fed, exec, model, ires.SchedulerConfig{
+	schedCfg := ires.SchedulerConfig{
 		NodeChoices: sp.NodeChoices,
 		Seed:        sp.Seed,
 		Parallelism: sp.Parallelism,
 		CacheSize:   sp.CacheSize,
-	})
+	}
+	var store *histstore.Store
+	if storeCfg.Dir != "" {
+		// One store root per tenant; the name is path-escaped so any
+		// federation name is a single safe directory element.
+		root := filepath.Join(storeCfg.Dir, url.PathEscape(sp.Name))
+		store, err = histstore.Open(root, histstore.Options{Fsync: storeCfg.Fsync})
+		if err != nil {
+			return nil, fmt.Errorf("server: federation %q: opening history store: %w", sp.Name, err)
+		}
+		schedCfg.Store = store
+	}
+	// From here on a failed build must release the store's WAL handles.
+	fail := func(err error) (*tenant, error) {
+		if store != nil {
+			store.Close()
+		}
+		return nil, err
+	}
+	sched, err := ires.NewSchedulerWithConfig(fed, exec, model, schedCfg)
 	if err != nil {
-		return nil, fmt.Errorf("server: federation %q: %w", sp.Name, err)
+		return fail(fmt.Errorf("server: federation %q: %w", sp.Name, err))
 	}
 	for _, q := range queries {
-		if err := sched.Bootstrap(q, sp.Bootstrap); err != nil {
-			return nil, fmt.Errorf("server: federation %q: bootstrap %v: %w", sp.Name, q, err)
+		// Opening here recovers durable state, so corruption fails the
+		// boot (not a request), and a warm start only bootstraps the
+		// shortfall below the target.
+		h, err := sched.OpenHistory(q)
+		if err != nil {
+			return fail(fmt.Errorf("server: federation %q: %w", sp.Name, err))
+		}
+		if need := sp.Bootstrap - h.Len(); need > 0 {
+			if err := sched.Bootstrap(q, need); err != nil {
+				return fail(fmt.Errorf("server: federation %q: bootstrap %v: %w", sp.Name, q, err))
+			}
 		}
 	}
-	return newTenant(sp.Name, sched, queries), nil
+	t := newTenant(sp.Name, sched, queries)
+	t.store = store
+	return t, nil
 }
 
 // LoadSpecs reads a JSON federation config: either a bare array of

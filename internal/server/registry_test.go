@@ -44,13 +44,13 @@ func TestSpecDefaults(t *testing.T) {
 }
 
 func TestSpecValidation(t *testing.T) {
-	if _, err := buildTenant(FederationSpec{}); err == nil {
+	if _, err := buildTenant(FederationSpec{}, StoreConfig{}); err == nil {
 		t.Fatal("nameless spec should error")
 	}
-	if _, err := buildTenant(FederationSpec{Name: "x", Topology: "mars"}); err == nil {
+	if _, err := buildTenant(FederationSpec{Name: "x", Topology: "mars"}, StoreConfig{}); err == nil {
 		t.Fatal("unknown topology should error")
 	}
-	if _, err := buildTenant(FederationSpec{Name: "x", Queries: []string{"Q1"}}); err == nil {
+	if _, err := buildTenant(FederationSpec{Name: "x", Queries: []string{"Q1"}}, StoreConfig{}); err == nil {
 		t.Fatal("unstudied query should error")
 	}
 	if _, err := New(Config{}); err == nil {

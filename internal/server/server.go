@@ -7,11 +7,19 @@
 // pipeline: the expensive, policy-independent half of a round is paid
 // once per batch, while selection and execution stay per-request.
 //
+// With Config.Store.Dir set, every tenant's histories are durable: one
+// histstore root per federation, observations written ahead to a WAL as
+// they are recorded, snapshots compacted on a timer, on demand and at
+// drain, and schedulers warm-started from the recovered histories on
+// boot — a restarted midasd estimates from exactly the history it had
+// when it stopped.
+//
 // Endpoints:
 //
 //	POST /v1/queries          submit a query + policy, get the decision
-//	GET  /v1/history/{query}  recorded executions of one query
+//	GET  /v1/history/{query}  recorded executions of one query (paged)
 //	GET  /v1/stats            counters and latency percentiles
+//	POST /v1/admin/checkpoint compact histories to durable snapshots
 //	GET  /healthz             liveness (503 while draining)
 package server
 
@@ -30,6 +38,30 @@ import (
 	"repro/internal/tpch"
 )
 
+// defaultHistoryLimit caps GET /v1/history responses when the client
+// does not pass ?limit= — large enough for any dashboard, small enough
+// that a long-lived tenant's full log cannot be serialized by accident.
+// Responses that drop observations set "truncated" and are counted in
+// /v1/stats.
+const defaultHistoryLimit = 500
+
+// StoreConfig declares where (and how) tenant histories persist.
+type StoreConfig struct {
+	// Dir is the root data directory; each federation gets its own
+	// subdirectory of per-query WAL+snapshot shards. Empty disables
+	// persistence entirely — histories live and die in memory, the
+	// pre-durability behavior.
+	Dir string
+	// CheckpointInterval compacts every tenant's WALs into snapshots on
+	// this period. 0 disables the timer; checkpoints still run at drain
+	// and via POST /v1/admin/checkpoint, and the WAL alone already makes
+	// every recorded execution durable.
+	CheckpointInterval time.Duration
+	// Fsync syncs the WAL after every recorded execution (histstore
+	// Options.Fsync): durable against machine crashes, much slower.
+	Fsync bool
+}
+
 // Config assembles a Server.
 type Config struct {
 	// Federations declares the hosted tenants; at least one.
@@ -44,6 +76,9 @@ type Config struct {
 	// requesting client so coalesced followers can still use them
 	// (default 60s).
 	SweepTimeout time.Duration
+	// Store makes tenant histories durable; the zero value keeps them
+	// in memory.
+	Store StoreConfig
 }
 
 func (c *Config) setDefaults() {
@@ -86,6 +121,10 @@ type Server struct {
 	// disconnecting client cannot cancel a batch others joined.
 	lifeCtx  context.Context
 	lifeStop context.CancelFunc
+
+	// cpDone is closed when the periodic checkpoint loop exits; nil
+	// when no loop was started.
+	cpDone chan struct{}
 }
 
 // beginRequest registers an in-flight request unless the server is
@@ -119,12 +158,22 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("server: no federations configured")
 	}
 	tenants := make(map[string]*tenant, len(cfg.Federations))
+	// A failed build releases the WAL handles of every tenant already
+	// built, so a caller retrying New does not leak file descriptors.
+	closeBuilt := func() {
+		for _, t := range tenants {
+			_ = t.closeStore()
+		}
+	}
 	for i := range cfg.Federations {
-		t, err := buildTenant(cfg.Federations[i])
+		t, err := buildTenant(cfg.Federations[i], cfg.Store)
 		if err != nil {
+			closeBuilt()
 			return nil, err
 		}
 		if _, dup := tenants[t.name]; dup {
+			_ = t.closeStore()
+			closeBuilt()
 			return nil, fmt.Errorf("server: duplicate federation name %q", t.name)
 		}
 		tenants[t.name] = t
@@ -162,7 +211,47 @@ func newServer(cfg Config, tenants map[string]*tenant) *Server {
 			s.sole = name
 		}
 	}
+	if cfg.Store.CheckpointInterval > 0 {
+		s.cpDone = make(chan struct{})
+		go s.checkpointLoop()
+	}
 	return s
+}
+
+// Checkpointer is the optional scheduler capability behind periodic,
+// admin and drain-time checkpoints; ires.Scheduler implements it (a
+// no-op without an attached store). Stub schedulers without it simply
+// have nothing to compact.
+type Checkpointer interface {
+	Checkpoint() error
+}
+
+// checkpointLoop compacts every tenant's histories on the configured
+// period until the server's lifetime context ends.
+func (s *Server) checkpointLoop() {
+	defer close(s.cpDone)
+	tick := time.NewTicker(s.cfg.Store.CheckpointInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.lifeCtx.Done():
+			return
+		case <-tick.C:
+			s.checkpointAll()
+		}
+	}
+}
+
+// checkpointAll checkpoints every tenant, returning the first error
+// (every tenant is attempted regardless).
+func (s *Server) checkpointAll() error {
+	var first error
+	for _, t := range s.tenants {
+		if err := t.checkpoint(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Handler returns the API routes.
@@ -171,6 +260,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/queries", s.handleSubmit)
 	mux.HandleFunc("GET /v1/history/{query}", s.handleHistory)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -194,12 +284,75 @@ func (s *Server) Drain(ctx context.Context) error {
 		select {
 		case <-idle:
 		case <-ctx.Done():
-			s.lifeStop()
+			// Best-effort final checkpoint even on an aborted drain:
+			// snapshot-based compaction is safe under the appends the
+			// straggling requests may still make, and the WAL covers
+			// whatever lands after it. Stores stay open for those
+			// stragglers; the process is exiting anyway.
+			s.stopCheckpointLoop()
+			_ = s.checkpointAll()
 			return fmt.Errorf("server: drain aborted with requests in flight: %w", ctx.Err())
 		}
 	}
+	// Stop the periodic checkpoint loop before the final checkpoint so
+	// a late tick cannot race the store close below and record spurious
+	// failures on a clean shutdown.
+	s.stopCheckpointLoop()
+	// Final checkpoint: a cleanly drained instance restarts from a
+	// compact snapshot with an empty WAL.
+	err := s.checkpointAll()
+	for _, t := range s.tenants {
+		if cerr := t.closeStore(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// stopCheckpointLoop cancels the server lifetime context and waits for
+// the periodic checkpoint loop (if any) to exit.
+func (s *Server) stopCheckpointLoop() {
 	s.lifeStop()
-	return nil
+	if s.cpDone != nil {
+		<-s.cpDone
+	}
+}
+
+// handleCheckpoint (POST /v1/admin/checkpoint) compacts histories to
+// durable snapshots on demand — the hook operators hit before risky
+// deploys. With ?federation= only that tenant is checkpointed.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// The drain itself runs the final checkpoint; after it the
+		// stores are closed and a checkpoint would only report errors.
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	name := r.URL.Query().Get("federation")
+	var tenants []*tenant
+	if name == "" {
+		for _, t := range s.tenants {
+			tenants = append(tenants, t)
+		}
+	} else {
+		t, ok := s.tenants[name]
+		if !ok {
+			writeError(w, http.StatusNotFound, "server: unknown federation %q", name)
+			return
+		}
+		tenants = []*tenant{t}
+	}
+	resp := CheckpointResponse{Federations: make(map[string]string, len(tenants))}
+	status := http.StatusOK
+	for _, t := range tenants {
+		if err := t.checkpoint(); err != nil {
+			resp.Federations[t.name] = err.Error()
+			status = http.StatusInternalServerError
+		} else {
+			resp.Federations[t.name] = "ok"
+		}
+	}
+	writeJSON(w, status, resp)
 }
 
 // tenantFor resolves the request's federation name.
@@ -397,28 +550,50 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := t.sched.History(q).Snapshot()
-	limit := snap.Len()
+	// Paged, most recent first: a serving dashboard cares about now,
+	// and a warm multi-thousand-observation history must not be
+	// serialized whole by default. offset skips the newest entries, so
+	// offset+limit walks back in time page by page.
+	limit := defaultHistoryLimit
 	if s := r.URL.Query().Get("limit"); s != "" {
 		n, err := strconv.Atoi(s)
 		if err != nil || n < 0 {
 			writeError(w, http.StatusBadRequest, "bad limit %q", s)
 			return
 		}
-		if n < limit {
-			limit = n
+		limit = n
+	}
+	offset := 0
+	if s := r.URL.Query().Get("offset"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad offset %q", s)
+			return
 		}
+		offset = n
+	}
+	total := snap.Len()
+	if offset > total {
+		offset = total
+	}
+	page := total - offset // observations at or before the offset
+	if limit < page {
+		page = limit
 	}
 	resp := HistoryResponse{
 		Federation:   t.name,
 		Query:        q.String(),
-		Len:          snap.Len(),
+		Len:          total,
+		Offset:       offset,
 		Metrics:      snap.Metrics(),
-		Observations: make([]ObservationJSON, 0, limit),
+		Observations: make([]ObservationJSON, 0, page),
 	}
-	// Most recent first: a serving dashboard cares about now.
-	for i := snap.Len() - 1; i >= snap.Len()-limit; i-- {
+	for i := total - 1 - offset; i >= total-offset-page; i-- {
 		obs := snap.At(i)
 		resp.Observations = append(resp.Observations, ObservationJSON{X: obs.X, Costs: obs.Costs})
+	}
+	if resp.Truncated = page < total-offset; resp.Truncated {
+		t.stats.histTruncated.Add(1)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -15,13 +15,16 @@ const latencyWindow = 1 << 14
 // tenantStats aggregates one federation's serving counters and latency
 // distribution. All methods are safe for concurrent use.
 type tenantStats struct {
-	received  atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	rejected  atomic.Int64
-	timeouts  atomic.Int64
-	coalesced atomic.Int64
-	sweeps    atomic.Int64
+	received      atomic.Int64
+	completed     atomic.Int64
+	failed        atomic.Int64
+	rejected      atomic.Int64
+	timeouts      atomic.Int64
+	coalesced     atomic.Int64
+	sweeps        atomic.Int64
+	histTruncated atomic.Int64
+	checkpoints   atomic.Int64
+	checkpointErr atomic.Int64
 
 	mu   sync.Mutex
 	ring []float64 // most recent completion latencies, ms
@@ -62,15 +65,18 @@ func (t *tenantStats) snapshot() FederationStats {
 	t.mu.Unlock()
 	p50, p90, p99 := latencyQuantiles(sample)
 	return FederationStats{
-		Received:  t.received.Load(),
-		Completed: t.completed.Load(),
-		Failed:    t.failed.Load(),
-		Rejected:  t.rejected.Load(),
-		Timeouts:  t.timeouts.Load(),
-		Coalesced: t.coalesced.Load(),
-		Sweeps:    t.sweeps.Load(),
-		P50MS:     p50,
-		P90MS:     p90,
-		P99MS:     p99,
+		Received:           t.received.Load(),
+		Completed:          t.completed.Load(),
+		Failed:             t.failed.Load(),
+		Rejected:           t.rejected.Load(),
+		Timeouts:           t.timeouts.Load(),
+		Coalesced:          t.coalesced.Load(),
+		Sweeps:             t.sweeps.Load(),
+		HistoryTruncated:   t.histTruncated.Load(),
+		Checkpoints:        t.checkpoints.Load(),
+		CheckpointFailures: t.checkpointErr.Load(),
+		P50MS:              p50,
+		P90MS:              p90,
+		P99MS:              p99,
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/federation"
+	"repro/internal/histstore"
 	"repro/internal/ires"
 	"repro/internal/ml"
 	"repro/internal/moo"
@@ -102,8 +103,45 @@ func NewHistory(dim int, metrics ...string) (*History, error) {
 	return core.NewHistory(dim, metrics...)
 }
 
-// LoadHistory reads a history previously written with History.Save.
+// LoadHistory reads a history previously written with History.Save —
+// the legacy whole-file format, still readable as the one-way import
+// path into a durable store (DurableHistoryStore.ImportLegacy). New
+// code should keep histories in a store instead of Save/Load files.
 var LoadHistory = core.LoadHistory
+
+// ---------------------------------------------------------------------------
+// Durable history store (WAL + snapshots)
+
+type (
+	// HistoryStore is the scheduler's durable-history seam: set
+	// SchedulerConfig.Store (or ServerConfig.Store for midasd-style
+	// serving) and query histories are recovered from it on first
+	// touch and persisted through it on every recorded execution.
+	HistoryStore = ires.HistoryStore
+	// DurableHistoryStore implements HistoryStore on disk: one shard
+	// per history holding a CRC-framed append-only WAL plus a
+	// compacting snapshot, with deterministic, torn-tail-tolerant
+	// crash recovery. See internal/histstore.
+	DurableHistoryStore = histstore.Store
+	// HistoryStoreOptions tunes a DurableHistoryStore (WAL fsync).
+	HistoryStoreOptions = histstore.Options
+	// HistorySink is core's write-ahead tee: every History.Append
+	// flows through the attached sink before becoming visible.
+	HistorySink = core.HistorySink
+	// ServerStoreConfig makes a QueryServer's tenant histories durable
+	// (ServerConfig.Store): data directory, checkpoint interval, WAL
+	// fsync. cmd/midasd exposes these as -data-dir,
+	// -checkpoint-interval and -wal-fsync.
+	ServerStoreConfig = server.StoreConfig
+)
+
+// OpenHistoryStore opens (creating the directory if needed) a durable
+// history store rooted at dir. Histories opened through the store are
+// recovered from its snapshot + WAL and warm-start any scheduler they
+// are wired into.
+func OpenHistoryStore(dir string, opts HistoryStoreOptions) (*DurableHistoryStore, error) {
+	return histstore.Open(dir, opts)
+}
 
 // ---------------------------------------------------------------------------
 // Regression and baseline learners
@@ -341,13 +379,15 @@ type (
 	Policy = ires.Policy
 	// Decision reports one scheduling round.
 	Decision = ires.Decision
-	// SchedulerConfig adds the parallel-estimation knobs: Parallelism
-	// bounds the worker pool that fans plan estimation out (0 =
-	// GOMAXPROCS, 1 = sequential), CacheSize tunes the Modelling
-	// module's per-(history, version) model cache. Decisions are
-	// byte-identical for any setting with deterministic models (the
-	// default; the UniformSample window ablation is the exception —
-	// see Scheduler.Parallelism).
+	// SchedulerConfig adds the parallel-estimation and durability
+	// knobs: Parallelism bounds the worker pool that fans plan
+	// estimation out (0 = GOMAXPROCS, 1 = sequential), CacheSize tunes
+	// the Modelling module's per-(history, version) model cache, and
+	// Store injects a durable HistoryStore the scheduler recovers from
+	// and records through. Decisions are byte-identical for any
+	// setting with deterministic models (the default; the
+	// UniformSample window ablation is the exception — see
+	// Scheduler.Parallelism), including across a store-backed restart.
 	SchedulerConfig = ires.SchedulerConfig
 )
 
