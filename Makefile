@@ -5,14 +5,14 @@ GO ?= go
 
 # Coverage floor (percent) enforced on the packages new code lands in.
 COVER_FLOOR ?= 60
-COVER_PKGS ?= ./internal/server ./internal/core ./internal/histstore
+COVER_PKGS ?= ./internal/server ./internal/core ./internal/histstore ./internal/metrics
 
 # The regression-gated serving benchmarks: minimum of COUNT runs is
 # compared by cmd/benchgate in CI.
 SWEEP_PATTERN ?= Q1[23]Sweep
 SWEEP_COUNT ?= 5
 
-.PHONY: all build vet fmt-check lint test test-short bench bench-smoke bench-sweep bench-json cover help
+.PHONY: all build vet fmt-check lint linkcheck test test-short bench bench-smoke bench-sweep bench-json cover help
 
 all: build lint test
 
@@ -33,6 +33,10 @@ fmt-check:
 
 ## lint: vet + gofmt check
 lint: vet fmt-check
+
+## linkcheck: validate markdown cross-links and anchors (offline, no external URLs)
+linkcheck:
+	$(GO) run ./cmd/linkcheck README.md DESIGN.md docs
 
 ## test: full test suite with the race detector
 test:

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGithubAnchor(t *testing.T) {
+	for heading, want := range map[string]string{
+		"Quick start":                     "quick-start",
+		"Serving: `midasd` + `midasload`": "serving-midasd--midasload",
+		"Metrics: reading GET /metrics":   "metrics-reading-get-metrics",
+		"What's_here":                     "whats_here",
+	} {
+		if got := githubAnchor(heading); got != want {
+			t.Errorf("githubAnchor(%q) = %q, want %q", heading, got, want)
+		}
+	}
+}
+
+func TestCheckFileFindsBreakage(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "other.md", "# Real Heading\ntext\n")
+	md := write(t, dir, "doc.md", strings.Join([]string{
+		"# Doc",
+		"[good file](other.md)",
+		"[good anchor](other.md#real-heading)",
+		"[self anchor](#doc)",
+		"[external](https://example.com/definitely-404)",
+		"[missing file](nope.md)",
+		"[missing anchor](other.md#not-there)",
+		"```",
+		"[inside fence](also-nope.md)",
+		"```",
+		"", //
+	}, "\n"))
+
+	probs, err := checkFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 2 {
+		t.Fatalf("got %d problems, want 2:\n%s", len(probs), strings.Join(probs, "\n"))
+	}
+	if !strings.Contains(probs[0], "nope.md") {
+		t.Errorf("first problem should be the missing file: %s", probs[0])
+	}
+	if !strings.Contains(probs[1], "#not-there") {
+		t.Errorf("second problem should be the missing anchor: %s", probs[1])
+	}
+}
+
+func TestDuplicateHeadingsDedupe(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "dup.md", "# Same\ntext\n# Same\n")
+	md := write(t, dir, "doc.md", "[second](dup.md#same-1)\n[first](dup.md#same)\n")
+	probs, err := checkFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 0 {
+		t.Fatalf("deduped anchors should resolve: %v", probs)
+	}
+}
+
+// TestRepoRootEscapeSkippedButInsideChecked pins the boundary rule in
+// a tree that has a repo marker: a link climbing out of the repo (the
+// CI badge form) is skipped, while a broken link inside the repo is
+// still reported — including when the checker is invoked with a
+// relative path, the way CI runs it.
+func TestRepoRootEscapeSkippedButInsideChecked(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "go.mod", "module tmp\n")
+	write(t, dir, "doc.md", "[badge](../../actions/workflows/ci.yml/badge.svg)\n[broken](missing.md)\n")
+
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = os.Chdir(wd) }()
+
+	probs, err := checkFile("doc.md") // relative, as in CI
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 1 || !strings.Contains(probs[0], "missing.md") {
+		t.Fatalf("want exactly the in-repo breakage, got %v", probs)
+	}
+}
+
+func TestCollectWalksDirectories(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.md", "# A\n")
+	write(t, dir, "sub/b.md", "# B\n")
+	write(t, dir, "sub/ignore.txt", "not markdown")
+	files, err := collect([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("collected %v, want 2 markdown files", files)
+	}
+}
+
+// TestRepoDocsAreClean runs the checker over the repository's actual
+// documentation — the same invocation CI performs.
+func TestRepoDocsAreClean(t *testing.T) {
+	root := "../.."
+	var all []string
+	for _, target := range []string{"README.md", "DESIGN.md", "docs"} {
+		path := filepath.Join(root, target)
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("doc target missing: %v", err)
+		}
+		files, err := collect([]string{path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, files...)
+	}
+	for _, f := range all {
+		probs, err := checkFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range probs {
+			t.Error(p)
+		}
+	}
+}

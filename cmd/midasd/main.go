@@ -20,12 +20,22 @@
 // of re-paying cold-start bootstrap sweeps. -wal-fsync trades append
 // throughput for durability against machine (not just process) crashes.
 //
+// Observability: the daemon logs structured JSON (log/slog) to stderr
+// — request-scoped lines carry federation, query, decision, status and
+// duration, and -log-level debug turns per-request logging on — and
+// serves Prometheus metrics at GET /metrics (request latency
+// histograms, sweep/model-cache counters, WAL health; see
+// docs/operations.md for how to read them). -debug-addr additionally
+// exposes net/http/pprof and a second /metrics on a separate,
+// firewall-able listener.
+//
 // Example:
 //
 //	midasd -addr :8642 -sf 0.1 -bootstrap 20 -data-dir /var/lib/midasd &
 //	curl -s localhost:8642/healthz
 //	curl -s -X POST localhost:8642/v1/queries \
 //	     -d '{"query": "Q12", "weights": [1, 1]}'
+//	curl -s localhost:8642/metrics | grep midas_request_duration
 package main
 
 import (
@@ -33,8 +43,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -46,12 +57,25 @@ import (
 )
 
 func main() {
-	log.SetFlags(log.LstdFlags)
-	log.SetPrefix("midasd: ")
-	log.SetOutput(os.Stderr)
 	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "midasd: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// parseLogLevel maps the -log-level flag to a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown -log-level %q (debug, info, warn, error)", s)
 	}
 }
 
@@ -79,12 +103,21 @@ func run() error {
 		dataDir            = flag.String("data-dir", "", "root directory for durable query histories (empty = in-memory only)")
 		checkpointInterval = flag.Duration("checkpoint-interval", time.Minute, "periodic WAL→snapshot compaction; 0 disables the timer (requires -data-dir)")
 		walFsync           = flag.Bool("wal-fsync", false, "fsync the history WAL after every recorded execution (requires -data-dir)")
+
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug enables per-request lines)")
+		debugAddr = flag.String("debug-addr", "", "optional second listener with net/http/pprof and /metrics (keep it private)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		flag.Usage()
 		return fmt.Errorf("unexpected arguments: %v", flag.Args())
 	}
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	specs, err := federationSpecs(*configPath, *name, *topology, *seed, *sf, *calibSF,
 		*parallelism, *cacheSize, *nodeChoices, *bootstrap, *queries)
@@ -93,7 +126,7 @@ func run() error {
 	}
 
 	if *dataDir == "" && (*walFsync || *checkpointInterval != time.Minute) {
-		log.Printf("warning: -wal-fsync/-checkpoint-interval have no effect without -data-dir")
+		logger.Warn("-wal-fsync/-checkpoint-interval have no effect without -data-dir")
 	}
 	var storeCfg server.StoreConfig
 	if *dataDir != "" {
@@ -102,11 +135,11 @@ func run() error {
 			CheckpointInterval: *checkpointInterval,
 			Fsync:              *walFsync,
 		}
-		log.Printf("durable histories under %s (checkpoint every %v, fsync %v)",
-			*dataDir, *checkpointInterval, *walFsync)
+		logger.Info("durable histories enabled",
+			"data_dir", *dataDir, "checkpoint_interval", checkpointInterval.String(), "wal_fsync", *walFsync)
 	}
 
-	log.Printf("building %d federation(s) (calibration + recovery + bootstrap)...", len(specs))
+	logger.Info("building federations (calibration + recovery + bootstrap)", "count", len(specs))
 	began := time.Now()
 	srv, err := server.New(server.Config{
 		Federations:    specs,
@@ -114,16 +147,17 @@ func run() error {
 		RequestTimeout: *requestTimeout,
 		SweepTimeout:   *sweepTimeout,
 		Store:          storeCfg,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err
 	}
-	log.Printf("federations ready in %.1fs", time.Since(began).Seconds())
+	logger.Info("federations ready", "elapsed_s", time.Since(began).Seconds())
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s", *addr)
+		logger.Info("serving", "addr", *addr)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
@@ -131,13 +165,26 @@ func run() error {
 		errCh <- nil
 	}()
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: debugMux(srv)}
+		go func() {
+			logger.Info("debug listener (pprof + metrics)", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				// The debug listener is an operator convenience; losing
+				// it should not take the serving process down.
+				logger.Warn("debug listener failed", "error", err.Error())
+			}
+		}()
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
 		return err
 	case sig := <-stop:
-		log.Printf("received %v, draining (budget %v)...", sig, *drainTimeout)
+		logger.Info("draining", "signal", sig.String(), "budget", drainTimeout.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -146,11 +193,28 @@ func run() error {
 	if err := httpSrv.Shutdown(ctx); err != nil && drainErr == nil {
 		drainErr = err
 	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(ctx)
+	}
 	if drainErr != nil {
 		return drainErr
 	}
-	log.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
+}
+
+// debugMux assembles the -debug-addr handler: the pprof suite plus a
+// second /metrics, so profiling and scraping can live on a private
+// listener while the serving port stays exposed.
+func debugMux(srv *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", srv.Metrics().Handler())
+	return mux
 }
 
 // federationSpecs resolves the hosted federations from -config or the

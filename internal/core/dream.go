@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/regression"
 	"repro/internal/stats"
@@ -274,6 +275,14 @@ type Estimator struct {
 
 	cacheMu sync.Mutex
 	cache   *fitCache // nil when caching is disabled
+
+	// Observation-only instrumentation counters (see Stats): they are
+	// written with atomics on the side of the fit path and never read
+	// by it, so they cannot perturb any estimate.
+	windowSearches atomic.Uint64
+	refitsTotal    atomic.Uint64
+	lastWindowSize atomic.Int64
+	lastConverged  atomic.Bool
 }
 
 // NewEstimator validates the configuration and returns an estimator.
@@ -317,6 +326,43 @@ func (e *Estimator) CacheStats() (hits, misses uint64) {
 		return 0, 0
 	}
 	return e.cache.stats()
+}
+
+// EstimatorStats is a point-in-time view of the estimator's
+// observation-only instrumentation — the numbers an operator watches
+// to see Algorithm 1 working (and drifting) in a live process.
+type EstimatorStats struct {
+	// WindowSearches counts completed runs of the window-growth loop;
+	// with the model cache on, this is the number of distinct history
+	// versions estimated against.
+	WindowSearches uint64
+	// Refits counts MLR fits across all searches — the paper's
+	// Example 3.1 computational-cost signal, cumulative.
+	Refits uint64
+	// LastWindowSize is the final m of the most recent window search.
+	// Under drift the search needs more observations to reach the
+	// required R², so this growing toward Mmax is the operator's
+	// leading signal that execution conditions are moving.
+	LastWindowSize int
+	// LastConverged reports whether that search reached RequiredR2 on
+	// every metric before exhausting the window.
+	LastConverged bool
+	// CacheHits and CacheMisses mirror CacheStats.
+	CacheHits, CacheMisses uint64
+}
+
+// Stats returns the estimator's instrumentation counters. It is safe
+// for concurrent use and never blocks an in-flight estimate.
+func (e *Estimator) Stats() EstimatorStats {
+	hits, misses := e.CacheStats()
+	return EstimatorStats{
+		WindowSearches: e.windowSearches.Load(),
+		Refits:         e.refitsTotal.Load(),
+		LastWindowSize: int(e.lastWindowSize.Load()),
+		LastConverged:  e.lastConverged.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+	}
 }
 
 // MetricEstimate is the per-metric output of Algorithm 1.
@@ -476,6 +522,10 @@ func (e *Estimator) searchWindow(s *Snapshot, minM int) (*windowFit, error) {
 		m = e.grow(m, mmax)
 	}
 	fit.windowSize = m
+	e.windowSearches.Add(1)
+	e.refitsTotal.Add(uint64(fit.refits))
+	e.lastWindowSize.Store(int64(m))
+	e.lastConverged.Store(fit.converged)
 	return fit, nil
 }
 

@@ -35,8 +35,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 const (
@@ -53,6 +55,16 @@ type Options struct {
 	// has left the process before Append returns — but sits in the OS
 	// page cache until the kernel flushes it.
 	Fsync bool
+	// Metrics, when non-nil, registers the store's health instruments
+	// (WAL append latency, checkpoint duration and failures, recovery
+	// time and recovered observation counts) on the given registry,
+	// labeled store=MetricsStore. Purely observational: a metered store
+	// persists and recovers byte-identical state to an unmetered one.
+	Metrics *metrics.Registry
+	// MetricsStore is the value of the "store" label on every series
+	// this store emits; empty defaults to the base name of the root
+	// directory (the serving layer's per-tenant directory name).
+	MetricsStore string
 }
 
 // Store is a root directory of named, independently recoverable
@@ -60,9 +72,53 @@ type Options struct {
 type Store struct {
 	root string
 	opts Options
+	obs  *storeObs // nil when Options.Metrics is unset
 
 	mu     sync.Mutex
 	shards map[string]*shard
+}
+
+// storeObs bundles the store's bound instruments, shared by every
+// shard.
+type storeObs struct {
+	walAppendSeconds   *metrics.Histogram
+	checkpointSeconds  *metrics.Histogram
+	checkpoints        *metrics.Counter
+	checkpointFailures *metrics.Counter
+	recoverySeconds    *metrics.Histogram
+	recoveredObs       *metrics.Counter
+	tornTails          *metrics.Counter
+}
+
+// newStoreObs registers the store's instruments; see Options.Metrics.
+func newStoreObs(reg *metrics.Registry, store string) *storeObs {
+	// Appends are ~1 µs, checkpoints and recoveries span ms to seconds;
+	// two bucket ladders keep both ends readable.
+	appendBuckets := metrics.ExponentialBuckets(1e-6, 4, 12) // 1 µs .. ~4 s
+	fileOpBuckets := metrics.ExponentialBuckets(1e-4, 4, 10) // 100 µs .. ~26 s
+	return &storeObs{
+		walAppendSeconds: reg.HistogramVec("midas_histstore_wal_append_seconds",
+			"Latency of one write-ahead WAL append (including fsync when enabled).",
+			appendBuckets, "store").With(store),
+		checkpointSeconds: reg.HistogramVec("midas_histstore_checkpoint_seconds",
+			"Duration of one shard checkpoint (snapshot replace + WAL compaction).",
+			fileOpBuckets, "store").With(store),
+		checkpoints: reg.CounterVec("midas_histstore_checkpoints_total",
+			"Completed shard checkpoints (no-op checkpoints included).",
+			"store").With(store),
+		checkpointFailures: reg.CounterVec("midas_histstore_checkpoint_failures_total",
+			"Shard checkpoints that failed.",
+			"store").With(store),
+		recoverySeconds: reg.HistogramVec("midas_histstore_recovery_seconds",
+			"Duration of one shard open (snapshot load + WAL replay).",
+			fileOpBuckets, "store").With(store),
+		recoveredObs: reg.CounterVec("midas_histstore_recovered_observations_total",
+			"Observations recovered from durable state across shard opens.",
+			"store").With(store),
+		tornTails: reg.CounterVec("midas_histstore_torn_tails_total",
+			"WAL tails truncated at a torn or corrupt frame during recovery.",
+			"store").With(store),
+	}
 }
 
 // Open creates (if needed) the root directory and returns a Store over
@@ -74,7 +130,15 @@ func Open(root string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("histstore: %w", err)
 	}
-	return &Store{root: root, opts: opts, shards: make(map[string]*shard)}, nil
+	s := &Store{root: root, opts: opts, shards: make(map[string]*shard)}
+	if opts.Metrics != nil {
+		label := opts.MetricsStore
+		if label == "" {
+			label = filepath.Base(root)
+		}
+		s.obs = newStoreObs(opts.Metrics, label)
+	}
+	return s, nil
 }
 
 // Root reports the store's root directory.
@@ -106,7 +170,8 @@ func (s *Store) OpenHistory(name string, dim int, metrics []string) (*core.Histo
 	return sh.hist, nil
 }
 
-func (s *Store) openShard(name string, dim int, metrics []string) (*shard, error) {
+func (s *Store) openShard(name string, dim int, metricNames []string) (*shard, error) {
+	began := time.Now()
 	dir := s.shardDir(name)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("histstore: shard %q: %w", name, err)
@@ -116,7 +181,7 @@ func (s *Store) openShard(name string, dim int, metrics []string) (*shard, error
 	_ = os.Remove(filepath.Join(dir, snapshotName+tmpSuffix))
 	_ = os.Remove(filepath.Join(dir, walName+tmpSuffix))
 
-	h, snapCount, err := loadSnapshot(filepath.Join(dir, snapshotName), dim, metrics)
+	h, snapCount, err := loadSnapshot(filepath.Join(dir, snapshotName), dim, metricNames)
 	if err != nil {
 		return nil, fmt.Errorf("histstore: shard %q: %w", name, err)
 	}
@@ -150,6 +215,9 @@ func (s *Store) openShard(name string, dim int, metrics []string) (*shard, error
 			wal.Close()
 			return nil, fmt.Errorf("histstore: shard %q: truncating torn wal tail: %w", name, err)
 		}
+		if s.obs != nil {
+			s.obs.tornTails.Inc()
+		}
 	}
 	if _, err := wal.Seek(validEnd, io.SeekStart); err != nil {
 		wal.Close()
@@ -158,12 +226,17 @@ func (s *Store) openShard(name string, dim int, metrics []string) (*shard, error
 	sh := &shard{
 		dir:       dir,
 		opts:      s.opts,
+		obs:       s.obs,
 		hist:      h,
 		wal:       wal,
 		nextSeq:   uint64(h.Len()),
 		snapCount: snapCount,
 	}
 	h.SetSink(sh)
+	if s.obs != nil {
+		s.obs.recoverySeconds.Observe(time.Since(began).Seconds())
+		s.obs.recoveredObs.Add(float64(h.Len()))
+	}
 	return sh, nil
 }
 
@@ -293,6 +366,7 @@ func (s *Store) Close() error {
 type shard struct {
 	dir  string
 	opts Options
+	obs  *storeObs // nil when the store is unmetered
 	hist *core.History
 
 	mu        sync.Mutex
@@ -319,6 +393,10 @@ func (sh *shard) RecordObservation(o core.Observation) error {
 	if sh.broken != nil {
 		return fmt.Errorf("histstore: shard unusable: %w", sh.broken)
 	}
+	var began time.Time
+	if sh.obs != nil {
+		began = time.Now()
+	}
 	sh.buf = appendFrame(sh.buf[:0], sh.nextSeq, o)
 	if _, err := sh.wal.Write(sh.buf); err != nil {
 		return fmt.Errorf("histstore: wal append: %w", err)
@@ -329,12 +407,26 @@ func (sh *shard) RecordObservation(o core.Observation) error {
 		}
 	}
 	sh.nextSeq++
+	if sh.obs != nil {
+		sh.obs.walAppendSeconds.Observe(time.Since(began).Seconds())
+	}
 	return nil
 }
 
-func (sh *shard) checkpoint(snap *core.Snapshot) error {
+func (sh *shard) checkpoint(snap *core.Snapshot) (err error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if sh.obs != nil {
+		began := time.Now()
+		defer func() {
+			if err != nil {
+				sh.obs.checkpointFailures.Inc()
+				return
+			}
+			sh.obs.checkpoints.Inc()
+			sh.obs.checkpointSeconds.Observe(time.Since(began).Seconds())
+		}()
+	}
 	if sh.broken != nil {
 		return fmt.Errorf("histstore: shard unusable: %w", sh.broken)
 	}

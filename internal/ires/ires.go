@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/federation"
@@ -242,6 +243,10 @@ type Scheduler struct {
 	histMu    sync.Mutex
 	histories map[tpch.QueryID]*core.History
 	rng       *stats.RNG
+
+	// obs is the scheduler's observation-only instrumentation; nil
+	// unless InstrumentScheduler was called (see metrics.go).
+	obs *schedulerObs
 }
 
 // NewScheduler assembles a scheduler.
@@ -420,7 +425,17 @@ type Sweep struct {
 // PlanSweep enumerates the QEPs of q, estimates each against one
 // history snapshot and reduces to the Pareto set. The expensive fan-out
 // observes ctx.
-func (s *Scheduler) PlanSweep(ctx context.Context, q tpch.QueryID) (*Sweep, error) {
+func (s *Scheduler) PlanSweep(ctx context.Context, q tpch.QueryID) (sw *Sweep, err error) {
+	if s.obs != nil {
+		began := time.Now()
+		defer func() {
+			planCount := 0
+			if sw != nil {
+				planCount = len(sw.Plans)
+			}
+			s.observeSweep(q.String(), began, planCount, err)
+		}()
+	}
 	h, err := s.OpenHistory(q)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,112 @@
+package ires
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Scheduler instrumentation. Everything here is observation-only: the
+// instruments record what the pipeline did (sweep wall time, plans
+// scored, Algorithm 1's window behavior) after the fact and are never
+// read back by any decision path, so a metered scheduler produces
+// byte-identical decisions to an unmetered one — the determinism tests
+// in parallel_test.go run against an instrumented scheduler to pin
+// that down.
+
+// EstimatorStatser is implemented by Modelling modules that expose
+// their core estimator's instrumentation (the DREAM variants do); the
+// scheduler uses it to publish window-size and model-cache metrics at
+// scrape time without touching the estimate path.
+type EstimatorStatser interface {
+	EstimatorStats() core.EstimatorStats
+}
+
+// EstimatorStats implements EstimatorStatser.
+func (m *DREAMModel) EstimatorStats() core.EstimatorStats { return m.Est.Stats() }
+
+// EstimatorStats implements EstimatorStatser.
+func (m *CompositeDREAMModel) EstimatorStats() core.EstimatorStats { return m.Est.Stats() }
+
+// schedulerObs holds the scheduler's bound instruments; nil on an
+// uninstrumented scheduler.
+type schedulerObs struct {
+	federation     string
+	sweepSeconds   *metrics.HistogramVec // {federation, query}
+	plansEstimated *metrics.CounterVec   // {federation, query}
+	sweepErrors    *metrics.CounterVec   // {federation, query}
+}
+
+// InstrumentScheduler registers the scheduler's metrics on reg, with
+// every series labeled by the given federation name (the serving
+// layer's tenant name; any non-empty string works for embedders).
+// DREAM-backed models additionally publish window-search, fitted
+// window-size and model-cache series read from the estimator at scrape
+// time. Call at assembly time, before the scheduler serves requests,
+// and at most once per (registry, federation) pair.
+func (s *Scheduler) InstrumentScheduler(reg *metrics.Registry, federation string) {
+	if reg == nil {
+		return
+	}
+	if federation == "" {
+		federation = "default"
+	}
+	s.obs = &schedulerObs{
+		federation: federation,
+		sweepSeconds: reg.HistogramVec("midas_sweep_duration_seconds",
+			"Wall time of one plan sweep (enumerate, estimate every QEP, Pareto-reduce).",
+			nil, "federation", "query"),
+		plansEstimated: reg.CounterVec("midas_plans_estimated_total",
+			"Query execution plans scored by the Modelling module.",
+			"federation", "query"),
+		sweepErrors: reg.CounterVec("midas_sweep_errors_total",
+			"Plan sweeps that failed (cancelled, timed out, or estimation error).",
+			"federation", "query"),
+	}
+	if es, ok := s.Model.(EstimatorStatser); ok {
+		reg.CounterFunc("midas_window_searches_total",
+			"Completed Algorithm 1 window searches (one per estimated history version when the model cache is on).",
+			func() float64 { return float64(es.EstimatorStats().WindowSearches) },
+			"federation", federation)
+		reg.CounterFunc("midas_window_refits_total",
+			"Cumulative MLR fits performed by Algorithm 1's window growth.",
+			func() float64 { return float64(es.EstimatorStats().Refits) },
+			"federation", federation)
+		reg.GaugeFunc("midas_window_size",
+			"Final window size m of the most recent Algorithm 1 search; growth toward Mmax signals execution-condition drift.",
+			func() float64 { return float64(es.EstimatorStats().LastWindowSize) },
+			"federation", federation)
+		reg.GaugeFunc("midas_window_converged",
+			"1 when the most recent window search reached the required R2 on every metric, else 0.",
+			func() float64 {
+				if es.EstimatorStats().LastConverged {
+					return 1
+				}
+				return 0
+			},
+			"federation", federation)
+		reg.CounterFunc("midas_model_cache_hits_total",
+			"Window fits served from the per-(history, version) model cache.",
+			func() float64 { return float64(es.EstimatorStats().CacheHits) },
+			"federation", federation)
+		reg.CounterFunc("midas_model_cache_misses_total",
+			"Window fits that required a fresh Algorithm 1 search.",
+			func() float64 { return float64(es.EstimatorStats().CacheMisses) },
+			"federation", federation)
+	}
+}
+
+// observeSweep records one finished (or failed) sweep.
+func (s *Scheduler) observeSweep(query string, began time.Time, planCount int, err error) {
+	o := s.obs
+	if o == nil {
+		return
+	}
+	if err != nil {
+		o.sweepErrors.With(o.federation, query).Inc()
+		return
+	}
+	o.sweepSeconds.With(o.federation, query).Observe(time.Since(began).Seconds())
+	o.plansEstimated.With(o.federation, query).Add(float64(planCount))
+}

@@ -1,0 +1,78 @@
+package ires
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/tpch"
+)
+
+// TestInstrumentedDecisionsIdentical is the observation-only contract
+// of the scheduler's metrics: a fully instrumented scheduler must make
+// byte-identical decisions to a bare one, round for round, while its
+// instruments actually fill in.
+func TestInstrumentedDecisionsIdentical(t *testing.T) {
+	choices := []int{1, 2, 4}
+	reg := metrics.NewRegistry()
+	bare := buildStack(t, 42, SchedulerConfig{NodeChoices: choices, Seed: 42})
+	metered := buildStack(t, 42, SchedulerConfig{
+		NodeChoices: choices, Seed: 42,
+		Metrics: reg, MetricsFederation: "t",
+	})
+
+	if err := bare.Bootstrap(tpch.QueryQ12, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := metered.Bootstrap(tpch.QueryQ12, 25); err != nil {
+		t.Fatal(err)
+	}
+	pol := Policy{Weights: []float64{1, 1}}
+	for round := 0; round < 5; round++ {
+		a, err := bare.Submit(tpch.QueryQ12, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := metered.Submit(tpch.QueryQ12, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderDecision(a) != renderDecision(b) {
+			t.Fatalf("round %d: instrumented decision diverged:\nbare:    %s\nmetered: %s",
+				round, renderDecision(a), renderDecision(b))
+		}
+	}
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := metrics.ParseText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v", err)
+	}
+	if got := sc.Values[`midas_sweep_duration_seconds_count{federation="t",query="Q12"}`]; got != 5 {
+		t.Errorf("sweep count = %v, want 5", got)
+	}
+	if got := sc.Values[`midas_plans_estimated_total{federation="t",query="Q12"}`]; got <= 0 {
+		t.Errorf("plans estimated = %v, want > 0", got)
+	}
+	if got := sc.Values[`midas_window_size{federation="t"}`]; got <= 0 {
+		t.Errorf("window size gauge = %v, want > 0", got)
+	}
+	hits := sc.Values[`midas_model_cache_hits_total{federation="t"}`]
+	misses := sc.Values[`midas_model_cache_misses_total{federation="t"}`]
+	if misses <= 0 || hits <= 0 {
+		t.Errorf("model cache series empty: hits %v misses %v", hits, misses)
+	}
+}
+
+// TestInstrumentSchedulerNilRegistry: a nil registry is a no-op, not a
+// panic.
+func TestInstrumentSchedulerNilRegistry(t *testing.T) {
+	s := buildStack(t, 7, SchedulerConfig{NodeChoices: []int{1, 2}, Seed: 7})
+	s.InstrumentScheduler(nil, "x")
+	if s.obs != nil {
+		t.Fatal("nil registry should leave the scheduler uninstrumented")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/federation"
+	"repro/internal/metrics"
 )
 
 // The paper's Example 3.1 counts 18,200 equivalent QEPs for one query
@@ -42,6 +43,14 @@ type SchedulerConfig struct {
 	// histories are recovered from it at first touch and every recorded
 	// execution is persisted through it. Nil keeps histories in memory.
 	Store HistoryStore
+	// Metrics, when non-nil, registers the scheduler's observation-only
+	// instruments (sweep duration, plans estimated, DREAM window and
+	// model-cache series) on the given registry, labeled with
+	// MetricsFederation. See Scheduler.InstrumentScheduler.
+	Metrics *metrics.Registry
+	// MetricsFederation is the value of the "federation" label on every
+	// metric series this scheduler emits (empty = "default").
+	MetricsFederation string
 }
 
 // ModelCacheSizer is implemented by Modelling modules whose underlying
@@ -63,6 +72,9 @@ func NewSchedulerWithConfig(fed *federation.Federation, exec federation.Executor
 		if ms, ok := model.(ModelCacheSizer); ok {
 			ms.SetModelCacheSize(cfg.CacheSize)
 		}
+	}
+	if cfg.Metrics != nil {
+		s.InstrumentScheduler(cfg.Metrics, cfg.MetricsFederation)
 	}
 	return s, nil
 }

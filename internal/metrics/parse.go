@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Scrape is a parsed Prometheus text-format exposition: every sample
+// line keyed by its full series identity (name plus rendered label
+// set, e.g. `midas_requests_total{federation="main"}`), plus the
+// declared TYPE per family. The parser exists so tests — and operators
+// poking at /metrics with Go tooling — can assert on scrapes without a
+// Prometheus dependency; it validates the line grammar strictly and
+// rejects samples for families that declared no TYPE.
+type Scrape struct {
+	// Values maps series identity to sample value.
+	Values map[string]float64
+	// Types maps family name to the declared TYPE.
+	Types map[string]Kind
+	// Order lists series identities in exposition order.
+	Order []string
+}
+
+// ParseText parses a Prometheus text-format exposition. It is strict
+// about the grammar this package renders (HELP/TYPE comments, sample
+// lines with optional labels) and fails on anything malformed — the
+// point is to prove a scrape is well-formed, not to accept arbitrary
+// input.
+func ParseText(r io.Reader) (*Scrape, error) {
+	sc := &Scrape{
+		Values: make(map[string]float64),
+		Types:  make(map[string]Kind),
+	}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.SplitN(rest, " ", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("metrics: line %d: malformed TYPE comment", lineNo)
+			}
+			kind, err := parseKind(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+			}
+			sc.Types[parts[0]] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or free comment
+		}
+		id, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		base := seriesFamily(id)
+		if _, ok := sc.Types[base]; !ok {
+			return nil, fmt.Errorf("metrics: line %d: sample %q without TYPE", lineNo, id)
+		}
+		if _, dup := sc.Values[id]; dup {
+			return nil, fmt.Errorf("metrics: line %d: duplicate series %q", lineNo, id)
+		}
+		sc.Values[id] = value
+		sc.Order = append(sc.Order, id)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "counter":
+		return KindCounter, nil
+	case "gauge":
+		return KindGauge, nil
+	case "histogram":
+		return KindHistogram, nil
+	default:
+		return 0, fmt.Errorf("unknown metric type %q", s)
+	}
+}
+
+// seriesFamily strips labels and the histogram sample suffixes so a
+// series maps back to its TYPE-declaring family.
+func seriesFamily(id string) string {
+	name := id
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			return name[:len(name)-len(suffix)]
+		}
+	}
+	return name
+}
+
+// parseSample splits one sample line into series identity and value.
+func parseSample(line string) (string, float64, error) {
+	// The value is the field after the last space outside braces; this
+	// package never renders timestamps.
+	cut := strings.LastIndexByte(line, ' ')
+	if cut < 0 {
+		return "", 0, fmt.Errorf("sample %q has no value", line)
+	}
+	id, raw := line[:cut], line[cut+1:]
+	if id == "" {
+		return "", 0, fmt.Errorf("sample %q has no name", line)
+	}
+	if err := checkSeriesID(id); err != nil {
+		return "", 0, err
+	}
+	var value float64
+	switch raw {
+	case "+Inf":
+		value = math.Inf(+1)
+	case "-Inf":
+		value = math.Inf(-1)
+	default:
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return "", 0, fmt.Errorf("sample %q: bad value: %w", line, err)
+		}
+		value = v
+	}
+	return id, value, nil
+}
+
+// checkSeriesID validates `name` or `name{k="v",...}`.
+func checkSeriesID(id string) error {
+	name := id
+	labels := ""
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		if !strings.HasSuffix(id, "}") {
+			return fmt.Errorf("series %q: unterminated label set", id)
+		}
+		name, labels = id[:i], id[i+1:len(id)-1]
+	}
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("series %q: invalid metric name", id)
+	}
+	rest := labels
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return fmt.Errorf("series %q: malformed labels", id)
+		}
+		if !labelRE.MatchString(rest[:eq]) && rest[:eq] != "le" {
+			return fmt.Errorf("series %q: invalid label name %q", id, rest[:eq])
+		}
+		// Scan the quoted value respecting escapes.
+		i := eq + 2
+		for {
+			if i >= len(rest) {
+				return fmt.Errorf("series %q: unterminated label value", id)
+			}
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		rest = rest[i+1:]
+		if rest == "" {
+			break
+		}
+		if rest[0] != ',' {
+			return fmt.Errorf("series %q: malformed label separator", id)
+		}
+		rest = rest[1:]
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry in the Prometheus text exposition
+// format (version 0.0.4): per family a # HELP and # TYPE line, then
+// one sample line per series — histograms expand to the cumulative
+// _bucket series plus _sum and _count. Families render in sorted name
+// order and series in sorted label order, so consecutive scrapes of an
+// idle registry are byte-identical (which the tests rely on).
+
+// WritePrometheus renders every registered instrument to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	families := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		families = append(families, r.families[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range families {
+		f.render(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the registry as a GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func (f *family) render(b *strings.Builder) {
+	f.mu.Lock()
+	keys := make([]string, len(f.keys))
+	copy(keys, f.keys)
+	sort.Strings(keys)
+	all := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		all = append(all, f.series[k])
+	}
+	f.mu.Unlock()
+	if len(all) == 0 {
+		return
+	}
+
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	for _, s := range all {
+		switch {
+		case s.fn != nil:
+			writeSample(b, f.name, f.labelNames, s.labelValues, "", "", s.fn())
+		case s.counter != nil:
+			writeSample(b, f.name, f.labelNames, s.labelValues, "", "", s.counter.Value())
+		case s.gauge != nil:
+			writeSample(b, f.name, f.labelNames, s.labelValues, "", "", s.gauge.Value())
+		case s.histogram != nil:
+			h := s.histogram
+			// Load the per-bucket counts first, then render the
+			// cumulative sums: a racing Observe can only make _count
+			// lag the buckets' total, never exceed it.
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				writeSample(b, f.name+"_bucket", f.labelNames, s.labelValues,
+					"le", formatBound(bound), float64(cum))
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			writeSample(b, f.name+"_bucket", f.labelNames, s.labelValues, "le", "+Inf", float64(cum))
+			writeSample(b, f.name+"_sum", f.labelNames, s.labelValues, "", "", h.Sum())
+			writeSample(b, f.name+"_count", f.labelNames, s.labelValues, "", "", float64(cum))
+		}
+	}
+}
+
+// writeSample renders one line: name{labels,extra} value. extraName
+// carries the histogram "le" label.
+func writeSample(b *strings.Builder, name string, labelNames, labelValues []string, extraName, extraValue string, v float64) {
+	b.WriteString(name)
+	if len(labelNames) > 0 || extraName != "" {
+		b.WriteByte('{')
+		first := true
+		for i, ln := range labelNames {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(ln)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(labelValues[i]))
+			b.WriteByte('"')
+		}
+		if extraName != "" {
+			if !first {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraName)
+			b.WriteString(`="`)
+			b.WriteString(extraValue)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// formatBound renders a bucket upper bound for the le label.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/histstore"
 	"repro/internal/ires"
+	"repro/internal/metrics"
 	"repro/internal/tpch"
 )
 
@@ -39,6 +40,12 @@ func newTenant(name string, sched QueryScheduler, queries []tpch.QueryID) *tenan
 		stats:   newTenantStats(),
 		pending: make(map[tpch.QueryID]*sweepBatch),
 	}
+}
+
+// registerMetrics publishes the tenant's serving counters on reg,
+// labeled with the federation name.
+func (t *tenant) registerMetrics(reg *metrics.Registry) {
+	t.stats.register(reg, t.name)
 }
 
 // checkpoint compacts the tenant's histories to durable snapshots when

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// scrape fetches and parses GET /metrics.
+func scrape(t *testing.T, url string) *Scrape {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := metrics.ParseText(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v\n%s", err, raw)
+	}
+	return sc
+}
+
+// Scrape aliases the parser's result for test readability.
+type Scrape = metrics.Scrape
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newTestServer(t, &stubSched{}, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, body := postQuery(t, ts.URL, QueryRequest{Query: "Q12", Weights: []float64{1, 1}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit = %d, body %s", resp.StatusCode, body)
+		}
+	}
+	sc := scrape(t, ts.URL)
+
+	// The serving counters mirror /v1/stats.
+	if got := sc.Values[`midas_requests_received_total{federation="test"}`]; got != 3 {
+		t.Errorf("received = %v, want 3", got)
+	}
+	if got := sc.Values[`midas_requests_completed_total{federation="test"}`]; got != 3 {
+		t.Errorf("completed = %v, want 3", got)
+	}
+	// The per-query latency histogram exists and is coherent.
+	if got := sc.Values[`midas_request_duration_seconds_count{federation="test",query="Q12"}`]; got != 3 {
+		t.Errorf("latency count = %v, want 3", got)
+	}
+	if sc.Types["midas_request_duration_seconds"] != metrics.KindHistogram {
+		t.Errorf("latency TYPE = %v, want histogram", sc.Types["midas_request_duration_seconds"])
+	}
+	// Cumulative buckets are monotone and end at _count.
+	var prev float64
+	var bucketCount int
+	for _, id := range sc.Order {
+		if !strings.HasPrefix(id, `midas_request_duration_seconds_bucket{federation="test",query="Q12"`) {
+			continue
+		}
+		v := sc.Values[id]
+		if v < prev {
+			t.Errorf("bucket %s = %v below previous %v", id, v, prev)
+		}
+		prev = v
+		bucketCount++
+	}
+	if bucketCount == 0 {
+		t.Fatalf("no latency buckets rendered")
+	}
+	if prev != sc.Values[`midas_request_duration_seconds_count{federation="test",query="Q12"}`] {
+		t.Errorf("+Inf bucket %v != count", prev)
+	}
+	// Admission gauges render.
+	if got := sc.Values["midas_admission_queue_capacity"]; got != 1024 {
+		t.Errorf("queue capacity = %v, want default 1024", got)
+	}
+}
+
+// TestMetricsCountersMonotoneUnderLoad hammers the server from many
+// goroutines while scraping concurrently: every scrape must parse, and
+// counters across consecutive scrapes must never decrease.
+func TestMetricsCountersMonotoneUnderLoad(t *testing.T) {
+	srv := newTestServer(t, &stubSched{}, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const writers, perWriter, scrapes = 8, 25, 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, _, err := tryPostQuery(ts.URL, QueryRequest{Query: "Q12", Weights: []float64{1, 1}}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	counters := []string{
+		`midas_requests_received_total{federation="test"}`,
+		`midas_requests_completed_total{federation="test"}`,
+		`midas_request_duration_seconds_count{federation="test",query="Q12"}`,
+		`midas_sweeps_started_total{federation="test"}`,
+	}
+	prev := make(map[string]float64)
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < scrapes; i++ {
+			sc := scrape(t, ts.URL)
+			for _, c := range counters {
+				if v := sc.Values[c]; v < prev[c] {
+					t.Errorf("scrape %d: %s went backwards: %v -> %v", i, c, prev[c], v)
+				} else {
+					prev[c] = v
+				}
+			}
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+
+	// Settled state: every submission is accounted for exactly once.
+	sc := scrape(t, ts.URL)
+	want := float64(writers * perWriter)
+	if got := sc.Values[`midas_requests_received_total{federation="test"}`]; got != want {
+		t.Errorf("received = %v, want %v", got, want)
+	}
+	if got := sc.Values[`midas_requests_completed_total{federation="test"}`]; got != want {
+		t.Errorf("completed = %v, want %v", got, want)
+	}
+	if got := sc.Values[`midas_request_duration_seconds_count{federation="test",query="Q12"}`]; got != want {
+		t.Errorf("latency observations = %v, want %v", got, want)
+	}
+	// Coalesced + sweeps cover every completion (a request either led a
+	// sweep or joined one).
+	coalesced := sc.Values[`midas_requests_coalesced_total{federation="test"}`]
+	if coalesced < 0 || coalesced > want {
+		t.Errorf("coalesced = %v outside [0, %v]", coalesced, want)
+	}
+}
+
+// TestMetricsMirrorsStats: the JSON stats endpoint and the Prometheus
+// endpoint read the same atomics, so their counts must agree when the
+// server is quiescent.
+func TestMetricsMirrorsStats(t *testing.T) {
+	srv := newTestServer(t, &stubSched{}, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 5; i++ {
+		postQuery(t, ts.URL, QueryRequest{Query: "Q13", Weights: []float64{1, 1}})
+	}
+	sc := scrape(t, ts.URL)
+	stats := srv.tenants["test"].stats.snapshot()
+	if got := sc.Values[`midas_requests_completed_total{federation="test"}`]; got != float64(stats.Completed) {
+		t.Errorf("metrics completed %v != stats %d", got, stats.Completed)
+	}
+	if got := sc.Values[`midas_sweeps_started_total{federation="test"}`]; got != float64(stats.Sweeps) {
+		t.Errorf("metrics sweeps %v != stats %d", got, stats.Sweeps)
+	}
+}

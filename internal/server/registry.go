@@ -14,6 +14,7 @@ import (
 	"repro/internal/federation"
 	"repro/internal/histstore"
 	"repro/internal/ires"
+	"repro/internal/metrics"
 	"repro/internal/tpch"
 )
 
@@ -110,7 +111,7 @@ func (sp *FederationSpec) queries() ([]tpch.QueryID, error) {
 // (recovering whatever the store holds) and bootstrapped only up to
 // the shortfall: a warm-started tenant whose recovered history already
 // meets the bootstrap target executes nothing before serving.
-func buildTenant(spec FederationSpec, storeCfg StoreConfig) (*tenant, error) {
+func buildTenant(spec FederationSpec, storeCfg StoreConfig, reg *metrics.Registry) (*tenant, error) {
 	sp := spec.withDefaults()
 	if sp.Name == "" {
 		return nil, fmt.Errorf("server: federation spec without a name")
@@ -144,17 +145,23 @@ func buildTenant(spec FederationSpec, storeCfg StoreConfig) (*tenant, error) {
 		return nil, fmt.Errorf("server: federation %q: %w", sp.Name, err)
 	}
 	schedCfg := ires.SchedulerConfig{
-		NodeChoices: sp.NodeChoices,
-		Seed:        sp.Seed,
-		Parallelism: sp.Parallelism,
-		CacheSize:   sp.CacheSize,
+		NodeChoices:       sp.NodeChoices,
+		Seed:              sp.Seed,
+		Parallelism:       sp.Parallelism,
+		CacheSize:         sp.CacheSize,
+		Metrics:           reg,
+		MetricsFederation: sp.Name,
 	}
 	var store *histstore.Store
 	if storeCfg.Dir != "" {
 		// One store root per tenant; the name is path-escaped so any
 		// federation name is a single safe directory element.
 		root := filepath.Join(storeCfg.Dir, url.PathEscape(sp.Name))
-		store, err = histstore.Open(root, histstore.Options{Fsync: storeCfg.Fsync})
+		store, err = histstore.Open(root, histstore.Options{
+			Fsync:        storeCfg.Fsync,
+			Metrics:      reg,
+			MetricsStore: sp.Name,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("server: federation %q: opening history store: %w", sp.Name, err)
 		}

@@ -44,17 +44,24 @@ func TestSpecDefaults(t *testing.T) {
 }
 
 func TestSpecValidation(t *testing.T) {
-	if _, err := buildTenant(FederationSpec{}, StoreConfig{}); err == nil {
+	if _, err := buildTenant(FederationSpec{}, StoreConfig{}, nil); err == nil {
 		t.Fatal("nameless spec should error")
 	}
-	if _, err := buildTenant(FederationSpec{Name: "x", Topology: "mars"}, StoreConfig{}); err == nil {
+	if _, err := buildTenant(FederationSpec{Name: "x", Topology: "mars"}, StoreConfig{}, nil); err == nil {
 		t.Fatal("unknown topology should error")
 	}
-	if _, err := buildTenant(FederationSpec{Name: "x", Queries: []string{"Q1"}}, StoreConfig{}); err == nil {
+	if _, err := buildTenant(FederationSpec{Name: "x", Queries: []string{"Q1"}}, StoreConfig{}, nil); err == nil {
 		t.Fatal("unstudied query should error")
 	}
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("empty config should error")
+	}
+	// Duplicate names must surface as an error before any tenant (and
+	// its per-federation metric series) is built — not as a duplicate-
+	// collector panic from the second twin's registration.
+	if _, err := New(Config{Federations: []FederationSpec{{Name: "twin"}, {Name: "twin"}}}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate federation") {
+		t.Fatalf("duplicate names: got %v, want duplicate-federation error", err)
 	}
 	if _, err := NewWithSchedulers(Config{}, nil, nil); err == nil {
 		t.Fatal("no schedulers should error")

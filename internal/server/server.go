@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/ires"
+	"repro/internal/metrics"
 	"repro/internal/tpch"
 )
 
@@ -79,6 +81,19 @@ type Config struct {
 	// Store makes tenant histories durable; the zero value keeps them
 	// in memory.
 	Store StoreConfig
+	// Metrics is the registry every layer under this server publishes
+	// into — request latency histograms, sweep and model-cache series,
+	// histstore WAL health — and the registry GET /metrics renders. Nil
+	// creates a fresh registry (so /metrics always works); pass one to
+	// embed the server's metrics in a larger process. A registry backs
+	// at most one Server: instruments are registered per tenant name,
+	// and registering the same tenant twice panics.
+	Metrics *metrics.Registry
+	// Logger receives the server's structured logs (request-scoped
+	// completions at Debug, lifecycle at Info, failures at Warn). Nil
+	// discards everything, the zero-cost default for embedders;
+	// cmd/midasd wires a JSON handler.
+	Logger *slog.Logger
 }
 
 func (c *Config) setDefaults() {
@@ -94,6 +109,12 @@ func (c *Config) setDefaults() {
 	if c.SweepTimeout <= 0 {
 		c.SweepTimeout = 60 * time.Second
 	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 }
 
 // Server hosts the federations and implements the HTTP API.
@@ -104,6 +125,12 @@ type Server struct {
 
 	// admit is a counting semaphore bounding admitted requests.
 	admit chan struct{}
+
+	// reqSeconds is the per-(federation, query) request latency
+	// histogram; log is the structured logger (never nil after
+	// setDefaults).
+	reqSeconds *metrics.HistogramVec
+	log        *slog.Logger
 
 	start time.Time
 
@@ -157,6 +184,24 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Federations) == 0 {
 		return nil, errors.New("server: no federations configured")
 	}
+	// Defaults are resolved before tenant builds so the metrics
+	// registry exists for the scheduler and store instruments to land
+	// in.
+	cfg.setDefaults()
+	// Duplicate names must be rejected before any tenant is built:
+	// building the second twin would re-register its per-federation
+	// metric series and panic instead of returning this error.
+	seen := make(map[string]bool, len(cfg.Federations))
+	for i := range cfg.Federations {
+		name := cfg.Federations[i].Name
+		if name == "" {
+			continue // buildTenant reports the nameless-spec error
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("server: duplicate federation name %q", name)
+		}
+		seen[name] = true
+	}
 	tenants := make(map[string]*tenant, len(cfg.Federations))
 	// A failed build releases the WAL handles of every tenant already
 	// built, so a caller retrying New does not leak file descriptors.
@@ -166,7 +211,7 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	for i := range cfg.Federations {
-		t, err := buildTenant(cfg.Federations[i], cfg.Store)
+		t, err := buildTenant(cfg.Federations[i], cfg.Store, cfg.Metrics)
 		if err != nil {
 			closeBuilt()
 			return nil, err
@@ -202,6 +247,7 @@ func newServer(cfg Config, tenants map[string]*tenant) *Server {
 		cfg:      cfg,
 		tenants:  tenants,
 		admit:    make(chan struct{}, cfg.QueueDepth),
+		log:      cfg.Logger,
 		start:    time.Now(),
 		lifeCtx:  ctx,
 		lifeStop: stop,
@@ -211,11 +257,55 @@ func newServer(cfg Config, tenants map[string]*tenant) *Server {
 			s.sole = name
 		}
 	}
+	s.registerMetrics()
 	if cfg.Store.CheckpointInterval > 0 {
 		s.cpDone = make(chan struct{})
 		go s.checkpointLoop()
 	}
 	return s
+}
+
+// Metrics returns the registry backing GET /metrics — the hook for
+// embedders that want to add their own instruments or scrape without
+// HTTP.
+func (s *Server) Metrics() *metrics.Registry { return s.cfg.Metrics }
+
+// registerMetrics wires the serving-layer instruments: admission and
+// drain gauges, the per-(federation, query) latency histogram, and one
+// set of counter collectors per tenant reading the same atomics
+// /v1/stats reports (so the two surfaces can never disagree).
+func (s *Server) registerMetrics() {
+	reg := s.cfg.Metrics
+	reg.GaugeFunc("midas_admission_queue_depth",
+		"Requests currently holding an admission slot.",
+		func() float64 { return float64(len(s.admit)) })
+	reg.GaugeFunc("midas_admission_queue_capacity",
+		"Admission queue depth limit (ServerConfig.QueueDepth); beyond it submissions get 429.",
+		func() float64 { return float64(cap(s.admit)) })
+	reg.GaugeFunc("midas_inflight_requests",
+		"Admitted requests between drain registration and completion.",
+		func() float64 {
+			s.drainMu.Lock()
+			defer s.drainMu.Unlock()
+			return float64(s.inflightN)
+		})
+	reg.GaugeFunc("midas_draining",
+		"1 while the server drains (healthz 503, submissions rejected), else 0.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("midas_uptime_seconds",
+		"Seconds since the server was assembled.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reqSeconds = reg.HistogramVec("midas_request_duration_seconds",
+		"Server-side wall time of one completed scheduling round.",
+		nil, "federation", "query")
+	for _, t := range s.tenants {
+		t.registerMetrics(reg)
+	}
 }
 
 // Checkpointer is the optional scheduler capability behind periodic,
@@ -247,8 +337,11 @@ func (s *Server) checkpointLoop() {
 func (s *Server) checkpointAll() error {
 	var first error
 	for _, t := range s.tenants {
-		if err := t.checkpoint(); err != nil && first == nil {
-			first = err
+		if err := t.checkpoint(); err != nil {
+			s.log.Warn("checkpoint failed", "federation", t.name, "error", err.Error())
+			if first == nil {
+				first = err
+			}
 		}
 	}
 	return first
@@ -262,6 +355,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
 	return mux
 }
 
@@ -272,6 +366,7 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) Drain(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.draining.Store(true)
+	s.log.Info("drain started", "inflight", s.inflightN)
 	var idle chan struct{}
 	if s.inflightN > 0 {
 		if s.idle == nil {
@@ -306,6 +401,7 @@ func (s *Server) Drain(ctx context.Context) error {
 			err = cerr
 		}
 	}
+	s.log.Info("drain complete", "clean", err == nil)
 	return err
 }
 
@@ -440,6 +536,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case s.admit <- struct{}{}:
 	default:
 		t.stats.rejected.Add(1)
+		// Debug, not Info: under sustained overload a line per shed
+		// request would turn the log into its own incident.
+		s.log.LogAttrs(r.Context(), slog.LevelDebug, "request rejected",
+			slog.String("federation", t.name), slog.String("query", q.String()),
+			slog.Int("status", http.StatusTooManyRequests))
 		writeError(w, http.StatusTooManyRequests, "admission queue full (depth %d)", s.cfg.QueueDepth)
 		return
 	}
@@ -469,6 +570,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			t.stats.timeouts.Add(1)
+			s.logRequest(r.Context(), t.name, q, "", coalesced, latency, http.StatusGatewayTimeout, err)
 			writeError(w, http.StatusGatewayTimeout, "timed out after %v", timeout)
 			return
 		}
@@ -476,10 +578,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// The client went away; nobody reads this response, but the
 			// abandonment should not be counted as a server failure.
 			t.stats.timeouts.Add(1)
+			s.logRequest(r.Context(), t.name, q, "", coalesced, latency, http.StatusGatewayTimeout, err)
 			writeError(w, http.StatusGatewayTimeout, "request cancelled")
 			return
 		}
 		t.stats.failed.Add(1)
+		s.logRequest(r.Context(), t.name, q, "", coalesced, latency, http.StatusInternalServerError, err)
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -488,6 +592,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		t.stats.coalesced.Add(1)
 	}
 	t.stats.observe(float64(latency) / float64(time.Millisecond))
+	s.reqSeconds.With(t.name, q.String()).Observe(latency.Seconds())
+	s.logRequest(r.Context(), t.name, q, dec.Plan.String(), coalesced, latency, http.StatusOK, nil)
 	writeJSON(w, http.StatusOK, QueryResponse{
 		Federation: t.name,
 		Query:      q.String(),
@@ -506,6 +612,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Coalesced:      coalesced,
 		LatencyMS:      float64(latency) / float64(time.Millisecond),
 	})
+}
+
+// logRequest emits one request-scoped structured log line. Successful
+// rounds log at Debug (per-request logging at serving rates is opt-in
+// via the log level), shed/expired ones at Info, server faults at
+// Warn. The attrs are the request's whole story: tenant, query, the
+// decision taken, whether it rode a shared sweep, and wall time.
+func (s *Server) logRequest(ctx context.Context, federation string, q tpch.QueryID, decision string, coalesced bool, latency time.Duration, status int, err error) {
+	level := slog.LevelDebug
+	switch {
+	case status == http.StatusInternalServerError:
+		level = slog.LevelWarn
+	case status != http.StatusOK:
+		level = slog.LevelInfo
+	}
+	if !s.log.Enabled(ctx, level) {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("federation", federation),
+		slog.String("query", q.String()),
+		slog.Int("status", status),
+		slog.Bool("coalesced", coalesced),
+		slog.Float64("duration_ms", float64(latency)/float64(time.Millisecond)),
+	}
+	if decision != "" {
+		attrs = append(attrs, slog.String("decision", decision))
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	s.log.LogAttrs(ctx, level, "request", attrs...)
 }
 
 // newSweepCtx hands a sweep its own budget, rooted in the server's

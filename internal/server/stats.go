@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
@@ -34,6 +35,47 @@ type tenantStats struct {
 
 func newTenantStats() *tenantStats {
 	return &tenantStats{ring: make([]float64, latencyWindow)}
+}
+
+// register publishes the counters as scrape-time collectors reading
+// the very atomics /v1/stats reports — one source of truth, two
+// renderings.
+func (t *tenantStats) register(reg *metrics.Registry, federation string) {
+	counter := func(name, help string, v *atomic.Int64) {
+		reg.CounterFunc(name, help,
+			func() float64 { return float64(v.Load()) },
+			"federation", federation)
+	}
+	counter("midas_requests_received_total",
+		"Query submissions that passed request validation.", &t.received)
+	counter("midas_requests_completed_total",
+		"Scheduling rounds that returned a decision.", &t.completed)
+	counter("midas_requests_failed_total",
+		"Submissions that failed server-side (HTTP 500).", &t.failed)
+	counter("midas_requests_rejected_total",
+		"Submissions shed at the admission queue (HTTP 429).", &t.rejected)
+	counter("midas_request_timeouts_total",
+		"Submissions that exceeded their budget or were abandoned (HTTP 504).", &t.timeouts)
+	counter("midas_requests_coalesced_total",
+		"Completed requests that joined another request's plan sweep.", &t.coalesced)
+	counter("midas_sweeps_started_total",
+		"Plan sweeps actually run; completed - coalesced requests led one.", &t.sweeps)
+	counter("midas_history_responses_truncated_total",
+		"GET /v1/history responses that dropped observations to the page limit.", &t.histTruncated)
+	counter("midas_checkpoints_total",
+		"Tenant history checkpoints (periodic, admin and drain-time).", &t.checkpoints)
+	counter("midas_checkpoint_failures_total",
+		"Tenant history checkpoints that failed.", &t.checkpointErr)
+	reg.GaugeFunc("midas_sweep_coalescing_ratio",
+		"Fraction of completed requests served from a shared plan sweep.",
+		func() float64 {
+			completed := t.completed.Load()
+			if completed == 0 {
+				return 0
+			}
+			return float64(t.coalesced.Load()) / float64(completed)
+		},
+		"federation", federation)
 }
 
 // observe records one completion latency in milliseconds.

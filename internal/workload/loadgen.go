@@ -168,10 +168,15 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		}(&results[c])
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	return summarize(results, cfg.Clients, time.Since(start)), nil
+}
 
+// summarize folds the per-client tallies into one report — the
+// percentile and rate math of a load run, separated from the HTTP loop
+// so it is testable against known inputs.
+func summarize(results []clientResult, clients int, elapsed time.Duration) *LoadReport {
 	report := &LoadReport{
-		Clients:      cfg.Clients,
+		Clients:      clients,
 		Elapsed:      elapsed,
 		StatusCounts: make(map[int]int),
 	}
@@ -196,7 +201,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			report.P50MS, report.P90MS, report.P99MS, report.MaxMS = qs[0], qs[1], qs[2], qs[3]
 		}
 	}
-	return report, nil
+	return report
 }
 
 // submitOnce fires one POST and reports (status, coalesced); status 0

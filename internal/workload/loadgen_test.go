@@ -3,6 +3,7 @@ package workload
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -105,6 +106,83 @@ func TestRunLoadDurationMode(t *testing.T) {
 	}
 	if rep.Errors != 0 {
 		t.Fatalf("errors = %d (deadline cut-offs must not count)", rep.Errors)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestSummarizePercentileMath pins the report math on known inputs:
+// 101 latencies 0..100 ms split across two clients — with linear
+// interpolation over n-1 positions the pXX quantile is exactly XX.
+func TestSummarizePercentileMath(t *testing.T) {
+	var a, b clientResult
+	a.statuses = map[int]int{http.StatusOK: 51}
+	b.statuses = map[int]int{http.StatusOK: 50}
+	for i := 0; i <= 100; i++ {
+		if i%2 == 0 {
+			a.latencies = append(a.latencies, float64(i))
+		} else {
+			b.latencies = append(b.latencies, float64(i))
+		}
+	}
+	a.coalesced = 3
+	b.coalesced = 4
+
+	rep := summarize([]clientResult{a, b}, 2, 2*time.Second)
+	if rep.Requests != 101 || rep.Errors != 0 {
+		t.Fatalf("requests %d errors %d, want 101 0", rep.Requests, rep.Errors)
+	}
+	if rep.Coalesced != 7 {
+		t.Fatalf("coalesced %d, want 7", rep.Coalesced)
+	}
+	if !almost(rep.QPS, 101.0/2) {
+		t.Fatalf("QPS %v, want 50.5", rep.QPS)
+	}
+	for _, tc := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", rep.P50MS, 50},
+		{"p90", rep.P90MS, 90},
+		{"p99", rep.P99MS, 99},
+		{"max", rep.MaxMS, 100},
+	} {
+		if !almost(tc.got, tc.want) {
+			t.Errorf("%s = %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+// TestSummarizeCountsErrorsByStatus: non-200 and transport failures
+// count as errors, and QPS counts only successes.
+func TestSummarizeCountsErrorsByStatus(t *testing.T) {
+	var a clientResult
+	a.statuses = map[int]int{
+		http.StatusOK:              4,
+		http.StatusTooManyRequests: 2,
+		http.StatusGatewayTimeout:  1,
+		0:                          3, // transport failures
+	}
+	a.latencies = []float64{1, 2, 3, 4}
+	rep := summarize([]clientResult{a}, 1, time.Second)
+	if rep.Requests != 10 {
+		t.Fatalf("requests %d, want 10", rep.Requests)
+	}
+	if rep.Errors != 6 {
+		t.Fatalf("errors %d, want 6 (non-200 + transport)", rep.Errors)
+	}
+	if rep.StatusCounts[http.StatusTooManyRequests] != 2 || rep.StatusCounts[0] != 3 {
+		t.Fatalf("status counts wrong: %v", rep.StatusCounts)
+	}
+	if !almost(rep.QPS, 4) {
+		t.Fatalf("QPS %v, want 4", rep.QPS)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	rep := summarize(make([]clientResult, 3), 3, time.Second)
+	if rep.Requests != 0 || rep.QPS != 0 || rep.P99MS != 0 || rep.MaxMS != 0 {
+		t.Fatalf("empty run should report zeros, got %+v", rep)
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"repro/internal/federation"
 	"repro/internal/histstore"
 	"repro/internal/ires"
+	"repro/internal/metrics"
 	"repro/internal/ml"
 	"repro/internal/moo"
 	"repro/internal/regression"
@@ -144,6 +145,48 @@ func OpenHistoryStore(dir string, opts HistoryStoreOptions) (*DurableHistoryStor
 }
 
 // ---------------------------------------------------------------------------
+// Observability (metrics + structured logs)
+
+type (
+	// MetricsRegistry is a zero-dependency, concurrency-safe metrics
+	// registry (counters, gauges, fixed-bucket histograms with
+	// p50/p90/p99 extraction) that renders the Prometheus text format.
+	// Every layer of the serving stack publishes into one: set
+	// ServerConfig.Metrics (or SchedulerConfig.Metrics +
+	// MetricsFederation for a bare scheduler, HistoryStoreOptions.Metrics
+	// for a bare store) and scrape it via Registry.Handler — which is
+	// what midasd serves at GET /metrics. Instrumentation is
+	// observation-only: metered and unmetered runs make byte-identical
+	// decisions.
+	MetricsRegistry = metrics.Registry
+	// Counter is a monotonically non-decreasing metric.
+	Counter = metrics.Counter
+	// Gauge is a metric that can go up and down.
+	Gauge = metrics.Gauge
+	// Histogram buckets observations and extracts approximate
+	// quantiles (Quantile(0.5), …).
+	Histogram = metrics.Histogram
+	// EstimatorStats is the DREAM estimator's observation-only
+	// instrumentation: window searches, refits, the most recent fitted
+	// window size (the drift signal), and model-cache hits/misses. Read
+	// it with DREAMEstimator.Stats.
+	EstimatorStats = core.EstimatorStats
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// MetricDefBuckets is the default histogram bucket ladder (1 ms–30 s),
+// sized for request and sweep latencies.
+var MetricDefBuckets = metrics.DefBuckets
+
+// MetricExponentialBuckets builds n histogram bucket bounds starting
+// at start and growing by factor.
+func MetricExponentialBuckets(start, factor float64, n int) []float64 {
+	return metrics.ExponentialBuckets(start, factor, n)
+}
+
+// ---------------------------------------------------------------------------
 // Regression and baseline learners
 
 // Sample pairs a feature vector with an observed cost.
@@ -235,14 +278,22 @@ func WeightedSum(costs, weights []float64) (float64, error) {
 // ---------------------------------------------------------------------------
 // Cloud federation substrate
 
-// Provider, InstanceType, Cluster and Link model the pay-as-you-go
-// substrate (paper Table 1).
+// The pay-as-you-go substrate of the paper's Table 1.
 type (
-	Provider     = cloud.Provider
+	// Provider is one cloud vendor's catalog: instance types, storage
+	// and egress pricing.
+	Provider = cloud.Provider
+	// InstanceType is one rentable machine shape (vCPU, memory,
+	// hourly price).
 	InstanceType = cloud.InstanceType
-	Cluster      = cloud.Cluster
-	Link         = cloud.Link
-	LoadProcess  = cloud.LoadProcess
+	// Cluster is a rented set of instances at one site.
+	Cluster = cloud.Cluster
+	// Link models the network between two sites (bandwidth, egress
+	// pricing).
+	Link = cloud.Link
+	// LoadProcess is the drifting background-load model an executor
+	// samples per execution.
+	LoadProcess = cloud.LoadProcess
 )
 
 // Provider catalogs from the paper's Table 1 (plus Google for the
@@ -431,13 +482,17 @@ type (
 	ServerConfig = server.Config
 	// ServerFederationSpec declares one hosted federation.
 	ServerFederationSpec = server.FederationSpec
-	// QueryRequest / QueryResponse are the wire types of
-	// POST /v1/queries; cmd/midasload speaks the same contract.
-	QueryRequest  = server.QueryRequest
+	// QueryRequest is the body of POST /v1/queries; cmd/midasload
+	// speaks the same contract.
+	QueryRequest = server.QueryRequest
+	// QueryResponse reports one completed scheduling round over the
+	// wire.
 	QueryResponse = server.QueryResponse
-	// LoadConfig / LoadReport parameterize and summarize one load-
-	// generation run against a serving instance.
+	// LoadConfig parameterizes one load-generation run against a
+	// serving instance.
 	LoadConfig = workload.LoadConfig
+	// LoadReport summarizes a load run: QPS, latency percentiles,
+	// per-status counts.
 	LoadReport = workload.LoadReport
 )
 
