@@ -7,12 +7,16 @@ GO ?= go
 COVER_FLOOR ?= 60
 COVER_PKGS ?= ./internal/server ./internal/core ./internal/histstore ./internal/metrics
 
-# The regression-gated serving benchmarks: minimum of COUNT runs is
-# compared by cmd/benchgate in CI.
-SWEEP_PATTERN ?= Q1[23]Sweep
+# The regression-gated benchmarks: the Q12/Q13 serving sweeps plus the
+# cold (uncached) window searches the incremental shared-Gram solver
+# owns. The minimum of COUNT runs is compared by cmd/benchgate in CI.
+SWEEP_PATTERN ?= Q1[23]Sweep|WindowSearchCold|DREAMEstimateUncached
 SWEEP_COUNT ?= 5
 
-.PHONY: all build vet fmt-check lint linkcheck test test-short bench bench-smoke bench-sweep bench-json cover help
+# Where `make profile-sweep` drops its CPU profiles.
+PROFILE_DIR ?= profiles
+
+.PHONY: all build vet fmt-check lint linkcheck test test-short bench bench-smoke bench-sweep bench-json profile-sweep cover help
 
 all: build lint test
 
@@ -54,9 +58,17 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-## bench-sweep: repeated runs of the regression-gated Q12/Q13 sweep benchmarks
+## bench-sweep: repeated runs of the regression-gated sweep + cold-search benchmarks
 bench-sweep:
 	$(GO) test -run '^$$' -bench '$(SWEEP_PATTERN)' -benchtime 10x -count $(SWEEP_COUNT) .
+
+## profile-sweep: CPU profile of the cold window-search benchmarks into $(PROFILE_DIR)/
+profile-sweep:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -run '^$$' -bench 'WindowSearchCold' -benchtime 200x \
+		-cpuprofile $(PROFILE_DIR)/cold-sweep.cpu.pprof \
+		-o $(PROFILE_DIR)/cold-sweep.test .
+	@echo "profile written; inspect with: go tool pprof $(PROFILE_DIR)/cold-sweep.test $(PROFILE_DIR)/cold-sweep.cpu.pprof"
 
 ## bench-json: one iteration of every benchmark as test2json events (BENCH_*.json artifacts)
 bench-json:

@@ -190,10 +190,13 @@ func BenchmarkDREAMEstimate(b *testing.B) {
 	}
 }
 
-// BenchmarkDREAMEstimateUncached is the same measurement with the
-// model cache disabled — the seed repo's sequential estimation path,
-// kept as the baseline the parallel pipeline is judged against.
-func BenchmarkDREAMEstimateUncached(b *testing.B) {
+// benchDREAMEstimateUncached measures Algorithm 1 with the model cache
+// disabled over the realistic federated history. The workload knobs
+// stay outside the function so the two named variants below keep their
+// meanings (and their merge-base comparability in the benchgate)
+// stable.
+func benchDREAMEstimateUncached(b *testing.B, timeNoise, moneyNoise, requiredR2 float64) {
+	b.Helper()
 	h, err := core.NewHistory(federation.FeatureDim, federation.Metrics...)
 	if err != nil {
 		b.Fatal(err)
@@ -201,21 +204,121 @@ func BenchmarkDREAMEstimateUncached(b *testing.B) {
 	rng := stats.NewRNG(1)
 	for i := 0; i < 120; i++ {
 		x := []float64{rng.Uniform(50, 150), rng.Uniform(5, 15), float64(rng.Intn(4) + 1), float64(rng.Intn(4) + 1), float64(rng.Intn(2))}
-		costs := []float64{10 + 0.1*x[0] + rng.Normal(0, 2), 0.01 + 0.001*x[0]}
+		costs := []float64{10 + 0.1*x[0], 0.01 + 0.001*x[0]}
+		if timeNoise > 0 {
+			costs[0] += rng.Normal(0, timeNoise)
+		}
+		if moneyNoise > 0 {
+			costs[1] += rng.Normal(0, moneyNoise)
+		}
 		if err := h.Append(core.Observation{X: x, Costs: costs}); err != nil {
 			b.Fatal(err)
 		}
 	}
-	est, err := core.NewEstimator(core.Config{MMax: 21, CacheSize: -1})
+	est, err := core.NewEstimator(core.Config{RequiredR2: requiredR2, MMax: 21, CacheSize: -1})
 	if err != nil {
 		b.Fatal(err)
 	}
 	x := []float64{100, 10, 2, 2, 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := est.EstimateCostValue(h, x); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDREAMEstimateUncached is the same measurement as
+// BenchmarkDREAMEstimate with the model cache disabled — the seed
+// repo's sequential estimation path, kept (workload unchanged since
+// PR 1, so the benchgate's merge-base comparison stays meaningful) as
+// the baseline the parallel pipeline is judged against. On this
+// near-clean data the search converges at the minimal window, so it
+// measures the fixed per-estimate cost, not window growth.
+func BenchmarkDREAMEstimateUncached(b *testing.B) {
+	benchDREAMEstimateUncached(b, 2, 0, 0) // PR-1 workload: σ=2 on time, exact money, default R²require
+}
+
+// BenchmarkDREAMEstimateUncachedCold is the cost every cold tenant,
+// restart recovery and cache-thrashing workload pays per estimate when
+// conditions drift: noise high enough (and R²require strict enough)
+// that the window search actually grows to Mmax. This is the regime
+// the incremental shared-Gram solver attacks (~11x over the legacy
+// per-window loop).
+func BenchmarkDREAMEstimateUncachedCold(b *testing.B) {
+	benchDREAMEstimateUncached(b, 6, 0.06, 0.999)
+}
+
+// ---------------------------------------------------------------------------
+// Cold window searches: Algorithm 1 with nothing amortized — no model
+// cache, and data noisy enough that every search grows its window all
+// the way to Mmax. This is the benchmark family the incremental
+// shared-Gram search is judged (and regression-gated) on: ns/op must
+// scale linearly in M, and allocs/op must stay flat as the window
+// grows (the fitter pool makes steady-state growth allocation-free).
+
+// benchWindowSearchCold measures one full uncached window search over
+// l features with the window forced to grow from l+2 to mmax.
+func benchWindowSearchCold(b *testing.B, l, mmax int) {
+	b.Helper()
+	h, err := core.NewHistory(l, "time_s", "money_usd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	for i := 0; i < mmax+8; i++ {
+		x := make([]float64, l)
+		var base float64
+		for j := range x {
+			x[j] = rng.Uniform(0, 10)
+			base += x[j]
+		}
+		costs := []float64{base + rng.Normal(0, 50), 0.1*base + rng.Normal(0, 5)}
+		if err := h.Append(core.Observation{X: x, Costs: costs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// RequiredR2 = 1 is unreachable on noisy data, so every call
+	// deterministically pays the full growth loop to Mmax — the
+	// worst-case search. (A realistic 0.8 threshold can converge at the
+	// minimal window by overfitting luck: with m barely above L+2 the
+	// fit has almost no residual degrees of freedom.)
+	est, err := core.NewEstimator(core.Config{RequiredR2: 1, MMax: mmax, CacheSize: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, l)
+	for j := range x {
+		x[j] = 5
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est2, err := est.EstimateCostValue(h, x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if est2.WindowSize != mmax {
+			b.Fatalf("window stopped at %d, want full growth to %d", est2.WindowSize, mmax)
+		}
+	}
+}
+
+// BenchmarkWindowSearchCold spans feature dimension (L2 vs L6) and
+// window cap (M32 vs M256); the M256 cases are where the legacy
+// quadratic loop drowned.
+func BenchmarkWindowSearchCold(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		l, mmax int
+	}{
+		{"L2/M32", 2, 32},
+		{"L2/M256", 2, 256},
+		{"L6/M32", 6, 32},
+		{"L6/M256", 6, 256},
+	} {
+		b.Run(c.name, func(b *testing.B) { benchWindowSearchCold(b, c.l, c.mmax) })
 	}
 }
 

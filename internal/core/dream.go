@@ -270,8 +270,14 @@ type Config struct {
 type Estimator struct {
 	cfg Config
 
-	mu  sync.Mutex // guards rng (UniformSample window draws)
-	rng *stats.RNG
+	mu         sync.Mutex // guards rng and idxScratch (UniformSample window draws)
+	rng        *stats.RNG
+	idxScratch []int // partial Fisher–Yates scratch, reused across draws
+
+	// fitters pools the incremental shared-Gram fitters so a window
+	// search in steady state performs O(1) allocations regardless of how
+	// far the window grows; each in-flight search owns one fitter.
+	fitters sync.Pool
 
 	cacheMu sync.Mutex
 	cache   *fitCache // nil when caching is disabled
@@ -279,10 +285,12 @@ type Estimator struct {
 	// Observation-only instrumentation counters (see Stats): they are
 	// written with atomics on the side of the fit path and never read
 	// by it, so they cannot perturb any estimate.
-	windowSearches atomic.Uint64
-	refitsTotal    atomic.Uint64
-	lastWindowSize atomic.Int64
-	lastConverged  atomic.Bool
+	windowSearches   atomic.Uint64
+	refitsTotal      atomic.Uint64
+	incrementalSteps atomic.Uint64
+	refitsAvoided    atomic.Uint64
+	lastWindowSize   atomic.Int64
+	lastConverged    atomic.Bool
 }
 
 // NewEstimator validates the configuration and returns an estimator.
@@ -337,8 +345,22 @@ type EstimatorStats struct {
 	// versions estimated against.
 	WindowSearches uint64
 	// Refits counts MLR fits across all searches — the paper's
-	// Example 3.1 computational-cost signal, cumulative.
+	// Example 3.1 computational-cost signal, cumulative. Each fit is now
+	// a back-substitution against the shared Gram factor rather than a
+	// from-scratch normal-equation solve, so the count stays comparable
+	// across the legacy and incremental paths while the per-fit cost
+	// dropped by roughly the window size.
 	Refits uint64
+	// IncrementalSteps counts rank-1 observation updates folded into
+	// shared-Gram fitters — the work the incremental search actually
+	// performs per window growth step (O(L²+K·L) each).
+	IncrementalSteps uint64
+	// RefitsAvoided counts the full-window batch refits the legacy
+	// Algorithm 1 loop would have performed that the incremental search
+	// skipped by reusing the accumulated Gram as the window grew: every
+	// growth round after a search's first would have refit each metric
+	// over the whole window from scratch.
+	RefitsAvoided uint64
 	// LastWindowSize is the final m of the most recent window search.
 	// Under drift the search needs more observations to reach the
 	// required R², so this growing toward Mmax is the operator's
@@ -356,12 +378,14 @@ type EstimatorStats struct {
 func (e *Estimator) Stats() EstimatorStats {
 	hits, misses := e.CacheStats()
 	return EstimatorStats{
-		WindowSearches: e.windowSearches.Load(),
-		Refits:         e.refitsTotal.Load(),
-		LastWindowSize: int(e.lastWindowSize.Load()),
-		LastConverged:  e.lastConverged.Load(),
-		CacheHits:      hits,
-		CacheMisses:    misses,
+		WindowSearches:   e.windowSearches.Load(),
+		Refits:           e.refitsTotal.Load(),
+		IncrementalSteps: e.incrementalSteps.Load(),
+		RefitsAvoided:    e.refitsAvoided.Load(),
+		LastWindowSize:   int(e.lastWindowSize.Load()),
+		LastConverged:    e.lastConverged.Load(),
+		CacheHits:        hits,
+		CacheMisses:      misses,
 	}
 }
 
@@ -477,7 +501,11 @@ func (e *Estimator) fitFor(s *Snapshot, minM int) (*windowFit, error) {
 
 // searchWindow is Algorithm 1's window-growth loop: fit every metric on
 // the current window, grow until all models reach RequiredR2 or the
-// window hits Mmax.
+// window hits Mmax. MostRecent windows grow at their old end, so the
+// search runs incrementally against one shared-Gram fitter
+// (searchWindowIncremental); UniformSample redraws the whole window per
+// step by design and keeps the per-window batch path
+// (searchWindowSampled).
 func (e *Estimator) searchWindow(s *Snapshot, minM int) (*windowFit, error) {
 	mmax := e.cfg.MMax
 	if mmax == 0 || mmax > s.Len() {
@@ -487,7 +515,30 @@ func (e *Estimator) searchWindow(s *Snapshot, minM int) (*windowFit, error) {
 		mmax = minM
 	}
 
-	nMetrics := len(s.Metrics())
+	var (
+		fit *windowFit
+		err error
+	)
+	if e.cfg.Window == UniformSample {
+		fit, err = e.searchWindowSampled(s, minM, mmax)
+	} else {
+		fit, err = e.searchWindowIncremental(s, minM, mmax)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.windowSearches.Add(1)
+	e.refitsTotal.Add(uint64(fit.refits))
+	e.lastWindowSize.Store(int64(fit.windowSize))
+	e.lastConverged.Store(fit.converged)
+	return fit, nil
+}
+
+// searchWindowSampled is the legacy per-window loop, retained for the
+// UniformSample recency ablation: each step redraws an unrelated
+// window, so there is no shared state to update incrementally.
+func (e *Estimator) searchWindowSampled(s *Snapshot, minM, mmax int) (*windowFit, error) {
+	nMetrics := len(s.owner.metrics)
 	fit := &windowFit{
 		models: make([]*regression.Model, nMetrics),
 		r2s:    make([]float64, nMetrics),
@@ -522,10 +573,6 @@ func (e *Estimator) searchWindow(s *Snapshot, minM int) (*windowFit, error) {
 		m = e.grow(m, mmax)
 	}
 	fit.windowSize = m
-	e.windowSearches.Add(1)
-	e.refitsTotal.Add(uint64(fit.refits))
-	e.lastWindowSize.Store(int64(m))
-	e.lastConverged.Store(fit.converged)
 	return fit, nil
 }
 
@@ -565,14 +612,26 @@ func (e *Estimator) window(s *Snapshot, m int) []Observation {
 	}
 	switch e.cfg.Window {
 	case UniformSample:
-		e.mu.Lock()
-		perm := e.rng.Perm(s.Len())
-		e.mu.Unlock()
-		idx := perm[:m]
+		// Partial Fisher–Yates: draw exactly the m indices the window
+		// needs (m swaps, m variates) instead of permuting the whole
+		// history, with the index scratch reused across draws. Only the
+		// returned window escapes the lock; the scratch never does.
 		out := make([]Observation, m)
-		for i, j := range idx {
-			out[i] = s.obs[j]
+		e.mu.Lock()
+		n := s.Len()
+		if cap(e.idxScratch) < n {
+			e.idxScratch = make([]int, n)
 		}
+		idx := e.idxScratch[:n]
+		for i := range idx {
+			idx[i] = i
+		}
+		for i := 0; i < m; i++ {
+			j := i + e.rng.Intn(n-i)
+			idx[i], idx[j] = idx[j], idx[i]
+			out[i] = s.obs[idx[i]]
+		}
+		e.mu.Unlock()
 		return out
 	default:
 		return s.obs[s.Len()-m:]

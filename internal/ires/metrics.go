@@ -73,6 +73,14 @@ func (s *Scheduler) InstrumentScheduler(reg *metrics.Registry, federation string
 			"Cumulative MLR fits performed by Algorithm 1's window growth.",
 			func() float64 { return float64(es.EstimatorStats().Refits) },
 			"federation", federation)
+		reg.CounterFunc("midas_window_refits_avoided_total",
+			"Full-window batch refits the legacy Algorithm 1 loop would have run that the incremental shared-Gram search skipped.",
+			func() float64 { return float64(es.EstimatorStats().RefitsAvoided) },
+			"federation", federation)
+		reg.CounterFunc("midas_window_incremental_steps_total",
+			"Rank-1 observation updates folded into shared-Gram fitters by the incremental window search.",
+			func() float64 { return float64(es.EstimatorStats().IncrementalSteps) },
+			"federation", federation)
 		reg.GaugeFunc("midas_window_size",
 			"Final window size m of the most recent Algorithm 1 search; growth toward Mmax signals execution-condition drift.",
 			func() float64 { return float64(es.EstimatorStats().LastWindowSize) },

@@ -65,6 +65,12 @@ func TestInstrumentedDecisionsIdentical(t *testing.T) {
 	if misses <= 0 || hits <= 0 {
 		t.Errorf("model cache series empty: hits %v misses %v", hits, misses)
 	}
+	if got := sc.Values[`midas_window_incremental_steps_total{federation="t"}`]; got <= 0 {
+		t.Errorf("incremental steps = %v, want > 0 (every window search folds observations)", got)
+	}
+	if _, ok := sc.Values[`midas_window_refits_avoided_total{federation="t"}`]; !ok {
+		t.Error("refits-avoided series missing from the scrape")
+	}
 }
 
 // TestInstrumentSchedulerNilRegistry: a nil registry is a no-op, not a

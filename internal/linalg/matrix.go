@@ -176,6 +176,36 @@ func (m *Matrix) Scale(s float64) *Matrix {
 	return out
 }
 
+// AddOuter adds the outer product v·vᵀ to the square matrix m in
+// place — the rank-1 Gram update (AᵀA += a·aᵀ) at the heart of the
+// incremental window search.
+func (m *Matrix) AddOuter(v []float64) error {
+	if m.rows != m.cols {
+		return fmt.Errorf("%w: AddOuter on %dx%d", ErrShape, m.rows, m.cols)
+	}
+	if len(v) != m.rows {
+		return fmt.Errorf("%w: AddOuter %dx%d with vector %d", ErrShape, m.rows, m.cols, len(v))
+	}
+	for i, vi := range v {
+		if vi == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, vj := range v {
+			row[j] += vi * vj
+		}
+	}
+	return nil
+}
+
+// Zero resets every element in place, so scratch matrices can be
+// recycled without reallocating.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
 // AddDiagonal returns a copy of m with d added to each diagonal element.
 // It is the ridge-regularization primitive used when a window of
 // observations makes AᵀA singular.

@@ -1,0 +1,405 @@
+package regression
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// multiSample is the incremental fitter's natural input: one feature
+// vector, K observed costs.
+type multiSample struct {
+	x     []float64
+	costs []float64
+}
+
+// metricView projects metric m of a multi-metric window into batch
+// samples.
+func metricView(obs []multiSample, m int) []Sample {
+	out := make([]Sample, len(obs))
+	for i, o := range obs {
+		out[i] = Sample{X: o.x, C: o.costs[m]}
+	}
+	return out
+}
+
+// close9 is the PR's equivalence contract: agreement within 1e-9,
+// scaled by magnitude.
+func close9(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// compareToBatch fits every metric of the window both ways and fails on
+// any divergence in coefficients, R², SSE, SST, or ridge behavior.
+func compareToBatch(t *testing.T, obs []multiSample, opts FitOptions) {
+	t.Helper()
+	l, k := len(obs[0].x), len(obs[0].costs)
+	f := NewIncrementalFitter(l, k)
+	for _, o := range obs {
+		if err := f.AddObservation(o.x, o.costs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	incErr := f.Solve(opts)
+	for m := 0; m < k; m++ {
+		batch, batchErr := Fit(metricView(obs, m), opts)
+		if (incErr == nil) != (batchErr == nil) {
+			t.Fatalf("metric %d: solve disagreement: incremental %v, batch %v", m, incErr, batchErr)
+		}
+		if incErr != nil {
+			continue
+		}
+		ridge, _ := f.Ridge()
+		if ridge != batch.Ridge {
+			t.Fatalf("metric %d: ridge %v (incremental) vs %v (batch)", m, ridge, batch.Ridge)
+		}
+		for j, want := range batch.Beta {
+			if got := f.Beta(m)[j]; !close9(got, want) {
+				t.Fatalf("metric %d β[%d]: %v (incremental) vs %v (batch)", m, j, got, want)
+			}
+		}
+		if !close9(f.R2(m), batch.R2) {
+			t.Fatalf("metric %d R²: %v (incremental) vs %v (batch)", m, f.R2(m), batch.R2)
+		}
+		model := f.Model(m, f.SharedFactor())
+		if !close9(model.SSE, batch.SSE) || !close9(model.SST, batch.SST) {
+			t.Fatalf("metric %d SSE/SST: %v/%v (incremental) vs %v/%v (batch)",
+				m, model.SSE, model.SST, batch.SSE, batch.SST)
+		}
+		if !close9(model.AdjustedR2, batch.AdjustedR2) {
+			t.Fatalf("metric %d adjusted R²: %v vs %v", m, model.AdjustedR2, batch.AdjustedR2)
+		}
+	}
+}
+
+// linearWindow draws n observations from a random K-metric linear model
+// with the given noise; collinear duplicates feature 0 into the last
+// feature, making the plain normal matrix exactly singular.
+func linearWindow(rng *stats.RNG, n, l, k int, noise float64, collinear bool) []multiSample {
+	b0 := make([]float64, k)
+	b := make([][]float64, k)
+	for m := 0; m < k; m++ {
+		b0[m] = rng.Uniform(-5, 5)
+		b[m] = make([]float64, l)
+		for j := range b[m] {
+			b[m][j] = rng.Uniform(-3, 3)
+		}
+	}
+	out := make([]multiSample, n)
+	for i := range out {
+		x := make([]float64, l)
+		for j := range x {
+			x[j] = rng.Uniform(0, 10)
+		}
+		if collinear && l >= 2 {
+			x[l-1] = 2 * x[0]
+		}
+		costs := make([]float64, k)
+		for m := 0; m < k; m++ {
+			c := b0[m]
+			for j, xj := range x {
+				c += b[m][j] * xj
+			}
+			costs[m] = c + rng.Normal(0, noise)
+		}
+		out[i] = multiSample{x: x, costs: costs}
+	}
+	return out
+}
+
+func TestIncrementalMatchesBatchOnPaperData(t *testing.T) {
+	// The paper's Table 2 windows, solved incrementally, must reproduce
+	// the batch fit (and therefore the published R² column).
+	for m := 4; m <= 10; m++ {
+		obs := make([]multiSample, m)
+		for i, s := range paperTable2[:m] {
+			obs[i] = multiSample{x: s.X, costs: []float64{s.C}}
+		}
+		compareToBatch(t, obs, FitOptions{})
+	}
+}
+
+// TestPropertyIncrementalMatchesBatch is the tentpole equivalence
+// contract: across randomized window shapes, noise levels, and the
+// exactly-singular collinear case (ridge fallback), the incremental
+// solve agrees with the batch reference within 1e-9.
+func TestPropertyIncrementalMatchesBatch(t *testing.T) {
+	rng := stats.NewRNG(101)
+	f := func(nRaw, lRaw, kRaw, noiseRaw uint8, collinear bool) bool {
+		l := int(lRaw%3) + 1
+		k := int(kRaw%3) + 1
+		n := MinObservations(l) + int(nRaw%30)
+		noise := float64(noiseRaw%10) / 2
+		obs := linearWindow(rng, n, l, k, noise, collinear)
+		compareToBatch(t, obs, FitOptions{})
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIncrementalMatchesBatchAsWindowGrows replays the exact access
+// pattern of Algorithm 1's search: a suffix window growing one
+// observation at a time at its old end, solved after every step.
+func TestIncrementalMatchesBatchAsWindowGrows(t *testing.T) {
+	rng := stats.NewRNG(7)
+	const total = 24
+	obs := linearWindow(rng, total, 2, 2, 2.5, false)
+	minM := MinObservations(2)
+
+	f := NewIncrementalFitter(2, 2)
+	// Seed with the newest minM observations, then grow backwards.
+	for _, o := range obs[total-minM:] {
+		if err := f.AddObservation(o.x, o.costs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for m := minM; m <= total; m++ {
+		window := obs[total-m:]
+		if err := f.Solve(FitOptions{}); err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		for metric := 0; metric < 2; metric++ {
+			batch, err := Fit(metricView(window, metric), FitOptions{})
+			if err != nil {
+				t.Fatalf("m=%d: %v", m, err)
+			}
+			if !close9(f.R2(metric), batch.R2) {
+				t.Fatalf("m=%d metric %d: R² %v vs %v", m, metric, f.R2(metric), batch.R2)
+			}
+			for j := range batch.Beta {
+				if !close9(f.Beta(metric)[j], batch.Beta[j]) {
+					t.Fatalf("m=%d metric %d β[%d]: %v vs %v", m, metric, j, f.Beta(metric)[j], batch.Beta[j])
+				}
+			}
+		}
+		if m < total {
+			o := obs[total-m-1] // grow at the old end
+			if err := f.AddObservation(o.x, o.costs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if f.N() != total {
+		t.Fatalf("N = %d, want %d", f.N(), total)
+	}
+}
+
+// TestIncrementalLargeMeanSmallSpread is the catastrophic-cancellation
+// regression test: a metric whose mean (1e8) dwarfs its spread (~1)
+// must not collapse SSE to 0 (and R² to a spurious 1) in the
+// incremental path. The naive cᵀc − βᵀ(Aᵀc) decomposition loses the
+// entire signal to rounding here; the centered co-moment form keeps
+// every term at the spread's scale.
+func TestIncrementalLargeMeanSmallSpread(t *testing.T) {
+	rng := stats.NewRNG(41)
+	const mean, n = 1e8, 21
+	obs := make([]multiSample, n)
+	for i := range obs {
+		x := []float64{rng.Uniform(0, 10), rng.Uniform(0, 10)}
+		// Pure noise around the huge mean: no feature explains it, so
+		// the true R² is near 0 — the worst place for a spurious 1.
+		obs[i] = multiSample{x: x, costs: []float64{mean + rng.Normal(0, 1)}}
+	}
+	f := NewIncrementalFitter(2, 1)
+	for _, o := range obs {
+		if err := f.AddObservation(o.x, o.costs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Solve(FitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Fit(metricView(obs, 0), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.R2(0) > 0.9 {
+		t.Fatalf("R² = %v on pure noise: SSE cancelled to ~0", f.R2(0))
+	}
+	// At this magnitude ratio even the residual-based batch SSE carries
+	// ~1e-8 relative rounding, so the cross-check tolerance is looser
+	// than the 1e-9 used on moderate data.
+	if math.Abs(f.R2(0)-batch.R2) > 1e-6 {
+		t.Fatalf("R² %v (incremental) vs %v (batch)", f.R2(0), batch.R2)
+	}
+	model := f.Model(0, f.SharedFactor())
+	if rel := math.Abs(model.SSE-batch.SSE) / (1 + batch.SSE); rel > 1e-6 {
+		t.Fatalf("SSE %v (incremental) vs %v (batch), rel %v", model.SSE, batch.SSE, rel)
+	}
+}
+
+func TestIncrementalExplicitRidge(t *testing.T) {
+	rng := stats.NewRNG(9)
+	obs := linearWindow(rng, 20, 2, 1, 1, false)
+	compareToBatch(t, obs, FitOptions{Ridge: 0.1})
+}
+
+func TestIncrementalSingularHardFailure(t *testing.T) {
+	rng := stats.NewRNG(10)
+	obs := linearWindow(rng, 12, 2, 1, 0, true)
+	f := NewIncrementalFitter(2, 1)
+	for _, o := range obs {
+		if err := f.AddObservation(o.x, o.costs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Solve(FitOptions{DisableRidgeFallback: true}); err == nil {
+		t.Fatal("singular window accepted with the fallback disabled")
+	}
+	// With the fallback allowed it must solve, flag the ridge, and skip
+	// the interval factor — exactly like the batch path.
+	if err := f.Solve(FitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if ridge, fellBack := f.Ridge(); ridge <= 0 || !fellBack {
+		t.Fatalf("Ridge() = %v, %v; want a positive fallback ridge", ridge, fellBack)
+	}
+	if f.SharedFactor() != nil {
+		t.Fatal("fallback fit retained an interval factor")
+	}
+}
+
+func TestIncrementalModelPredictsLikeBatch(t *testing.T) {
+	rng := stats.NewRNG(11)
+	obs := linearWindow(rng, 30, 2, 2, 1.5, false)
+	f := NewIncrementalFitter(2, 2)
+	for _, o := range obs {
+		if err := f.AddObservation(o.x, o.costs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Solve(FitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	factor := f.SharedFactor()
+	for m := 0; m < 2; m++ {
+		batch, err := Fit(metricView(obs, m), FitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := f.Model(m, factor)
+		for trial := 0; trial < 10; trial++ {
+			x := []float64{rng.Uniform(0, 10), rng.Uniform(0, 10)}
+			wantP, wantSE, err := batch.PredictWithInterval(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotP, gotSE, err := model.PredictWithInterval(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !close9(gotP, wantP) || !close9(gotSE, wantSE) {
+				t.Fatalf("metric %d at %v: pred/SE %v/%v vs batch %v/%v", m, x, gotP, gotSE, wantP, wantSE)
+			}
+		}
+	}
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	f := NewIncrementalFitter(2, 1)
+	if err := f.AddObservation([]float64{1}, []float64{1}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("short features: got %v, want ErrDimension", err)
+	}
+	if err := f.AddObservation([]float64{1, 2}, []float64{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("extra costs: got %v, want ErrDimension", err)
+	}
+	if err := f.Solve(FitOptions{}); !errors.Is(err, ErrTooFewObservations) {
+		t.Fatalf("empty solve: got %v, want ErrTooFewObservations", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("R2 before Solve did not panic")
+		}
+	}()
+	f.R2(0)
+}
+
+func TestIncrementalResetReuses(t *testing.T) {
+	rng := stats.NewRNG(13)
+	f := NewIncrementalFitter(3, 2)
+	for _, o := range linearWindow(rng, 12, 3, 2, 1, false) {
+		if err := f.AddObservation(o.x, o.costs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Solve(FitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Shrinking reshape, then verify the recycled fitter still matches
+	// the batch reference — stale state would poison the Gram.
+	f.Reset(1, 1)
+	if f.N() != 0 {
+		t.Fatalf("N after Reset = %d", f.N())
+	}
+	obs := linearWindow(rng, 10, 1, 1, 0.5, false)
+	for _, o := range obs {
+		if err := f.AddObservation(o.x, o.costs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Solve(FitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Fit(metricView(obs, 0), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close9(f.R2(0), batch.R2) {
+		t.Fatalf("recycled fitter R² %v vs batch %v", f.R2(0), batch.R2)
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// BenchmarkIncrementalVsBatchFit contrasts the two solvers on the exact
+// workload of one Algorithm 1 window search: a 2-metric suffix window
+// growing from L+2 to M, refit at every step.
+func BenchmarkIncrementalVsBatchFit(b *testing.B) {
+	const l, k, m = 5, 2, 64
+	rng := stats.NewRNG(1)
+	obs := linearWindow(rng, m, l, k, 3, false)
+	minM := MinObservations(l)
+
+	b.Run("Batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for w := minM; w <= m; w++ {
+				window := obs[m-w:]
+				for metric := 0; metric < k; metric++ {
+					if _, err := Fit(metricView(window, metric), FitOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+	b.Run("Incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		f := NewIncrementalFitter(l, k)
+		for i := 0; i < b.N; i++ {
+			f.Reset(l, k)
+			for _, o := range obs[m-minM:] {
+				if err := f.AddObservation(o.x, o.costs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for w := minM; ; w++ {
+				if err := f.Solve(FitOptions{}); err != nil {
+					b.Fatal(err)
+				}
+				if w == m {
+					break
+				}
+				o := obs[m-w-1]
+				if err := f.AddObservation(o.x, o.costs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

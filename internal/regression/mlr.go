@@ -26,6 +26,31 @@ var ErrTooFewObservations = errors.New("regression: too few observations")
 // ErrDimension is returned when samples disagree on feature dimension.
 var ErrDimension = errors.New("regression: inconsistent feature dimensions")
 
+// RidgeFallback is the automatic diagonal regularizer applied when a
+// window of observations makes the normal matrix singular (collinear
+// observations are common in small DREAM windows), as a fraction of
+// the normal matrix's dominant diagonal entry: scaling keeps the
+// fallback meaningful — and solvable — whether the features are unit
+// booleans or hundred-megabyte data sizes. Both the batch and the
+// incremental solver use the same rule so their fallback behavior is
+// identical.
+const RidgeFallback = 1e-8
+
+// fallbackRidge returns the scaled automatic regularizer for a
+// singular normal matrix.
+func fallbackRidge(ata *linalg.Matrix) float64 {
+	var maxDiag float64
+	for i := 0; i < ata.Rows(); i++ {
+		if d := math.Abs(ata.At(i, i)); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if maxDiag < 1 {
+		maxDiag = 1
+	}
+	return RidgeFallback * maxDiag
+}
+
 // Sample pairs a feature vector x with an observed cost c.
 type Sample struct {
 	X []float64 // independent variables (data sizes, node counts, …)
@@ -95,10 +120,16 @@ type Model struct {
 	// Ridge is the diagonal regularizer that was needed to make the
 	// normal equations solvable (0 for a plain OLS fit).
 	Ridge float64
-	// sigma2 is the residual variance estimate SSE/(N−L−1); ataInv the
-	// inverse normal matrix, both retained for prediction intervals.
+	// sigma2 is the residual variance estimate SSE/(N−L−1); chol the
+	// Cholesky factor of the solved normal matrix, both retained for
+	// prediction intervals. The factor replaces the old eagerly-computed
+	// (AᵀA)⁻¹: the interval's quadratic form needs one triangular solve,
+	// not a whole inverse, and plan sweeps never ask for intervals on
+	// most models they fit. It is nil when the fit needed the automatic
+	// ridge fallback (the unregularized normal matrix carries no usable
+	// interval geometry, matching the old nil-inverse behavior).
 	sigma2 float64
-	ataInv *linalg.Matrix
+	chol   *linalg.Cholesky
 }
 
 // Predict evaluates the fitted equation ĉ = β̂₀ + Σ β̂ᵢxᵢ (eq. 6).
@@ -162,22 +193,23 @@ func Fit(samples []Sample, opts FitOptions) (*Model, error) {
 		return nil, err
 	}
 
+	// The normal matrix is SPD whenever the window is non-singular, so a
+	// Cholesky factorization both solves the system and hands the
+	// prediction-interval path its factor for free.
 	ridge := opts.Ridge
-	if ridge > 0 {
-		if ata, err = ata.AddDiagonal(ridge); err != nil {
-			return nil, err
-		}
-	}
-	beta, err := ata.SolveVec(atc)
+	fellBack := false
+	ch := &linalg.Cholesky{}
+	err = ch.Factorize(ata, ridge)
 	if errors.Is(err, linalg.ErrSingular) && ridge == 0 && !opts.DisableRidgeFallback {
 		// Singular window: regularize just enough to get a solution.
-		ridge = 1e-8
-		reg, derr := ata.AddDiagonal(ridge)
-		if derr != nil {
-			return nil, derr
-		}
-		beta, err = reg.SolveVec(atc)
+		ridge = fallbackRidge(ata)
+		fellBack = true
+		err = ch.Factorize(ata, ridge)
 	}
+	if err != nil {
+		return nil, err
+	}
+	beta, err := ch.SolveVec(atc)
 	if err != nil {
 		return nil, err
 	}
@@ -214,8 +246,8 @@ func Fit(samples []Sample, opts FitOptions) (*Model, error) {
 	} else {
 		m.AdjustedR2 = r2
 	}
-	if inv, err := ata.Inverse(); err == nil {
-		m.ataInv = inv
+	if !fellBack {
+		m.chol = ch
 	}
 	return m, nil
 }
@@ -225,25 +257,23 @@ func Fit(samples []Sample, opts FitOptions) (*Model, error) {
 // caller multiplies by the desired quantile (≈2 for a 95% band). A zero
 // standard error means the model had no residual degrees of freedom or
 // the normal matrix was not invertible; treat such intervals as
-// unknown-width rather than perfectly tight.
+// unknown-width rather than perfectly tight. The quadratic form is
+// evaluated from the stored Cholesky factor (one triangular solve), so
+// models that never serve intervals never pay for an inverse.
 func (m *Model) PredictWithInterval(x []float64) (pred, stderr float64, err error) {
 	pred, err = m.Predict(x)
 	if err != nil {
 		return 0, 0, err
 	}
-	if m.sigma2 <= 0 || m.ataInv == nil {
+	if m.sigma2 <= 0 || m.chol == nil {
 		return pred, 0, nil
 	}
 	aug := make([]float64, len(x)+1)
 	aug[0] = 1
 	copy(aug[1:], x)
-	tmp, err := m.ataInv.MulVec(aug)
+	quad, err := m.chol.QuadForm(aug)
 	if err != nil {
 		return 0, 0, err
-	}
-	var quad float64
-	for i, v := range aug {
-		quad += v * tmp[i]
 	}
 	if quad < 0 {
 		quad = 0 // numerical guard: (AᵀA)⁻¹ is PSD in exact arithmetic

@@ -220,6 +220,15 @@ func (o *Online) N() int { return o.n }
 // Mean returns the running mean (0 when empty).
 func (o *Online) Mean() float64 { return o.mean }
 
+// SumSquaredDeviations returns Welford's running Σ(x−mean)² — the SST
+// of the observations folded in so far, available without a second
+// pass. (Variance() is this divided by n.)
+func (o *Online) SumSquaredDeviations() float64 { return o.m2 }
+
+// Reset returns the accumulator to its zero state so scratch
+// accumulators can be recycled without reallocation.
+func (o *Online) Reset() { *o = Online{} }
+
 // Variance returns the running population variance (0 when n < 2).
 func (o *Online) Variance() float64 {
 	if o.n < 2 {
