@@ -7,16 +7,20 @@ GO ?= go
 COVER_FLOOR ?= 60
 COVER_PKGS ?= ./internal/server ./internal/core ./internal/histstore ./internal/metrics
 
-# The regression-gated benchmarks: the Q12/Q13 serving sweeps plus the
+# The regression-gated benchmarks: the Q12/Q13 serving sweeps, the
 # cold (uncached) window searches the incremental shared-Gram solver
-# owns. The minimum of COUNT runs is compared by cmd/benchgate in CI.
-SWEEP_PATTERN ?= Q1[23]Sweep|WindowSearchCold|DREAMEstimateUncached
+# owns, and the pooled serving hot path (ServeHotPath reports
+# allocs/op, the zero-alloc regression signal). The minimum of COUNT
+# runs is compared by cmd/benchgate in CI. The fsync-bound ServeDurable
+# and WALAppend* benchmarks are deliberately NOT gated — fsync latency
+# is hardware noise a CI gate must not key on.
+SWEEP_PATTERN ?= Q1[23]Sweep|WindowSearchCold|DREAMEstimateUncached|ServeHotPath
 SWEEP_COUNT ?= 5
 
 # Where `make profile-sweep` drops its CPU profiles.
 PROFILE_DIR ?= profiles
 
-.PHONY: all build vet fmt-check lint linkcheck test test-short bench bench-smoke bench-sweep bench-json profile-sweep cover help
+.PHONY: all build vet fmt-check lint linkcheck test test-short bench bench-smoke bench-sweep bench-json profile-sweep profile-serve cover help
 
 all: build lint test
 
@@ -69,6 +73,17 @@ profile-sweep:
 		-cpuprofile $(PROFILE_DIR)/cold-sweep.cpu.pprof \
 		-o $(PROFILE_DIR)/cold-sweep.test .
 	@echo "profile written; inspect with: go tool pprof $(PROFILE_DIR)/cold-sweep.test $(PROFILE_DIR)/cold-sweep.cpu.pprof"
+
+## profile-serve: CPU + allocation profiles of the serving hot path into $(PROFILE_DIR)/
+profile-serve:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -run '^$$' -bench 'ServeHotPath' -benchtime 3s \
+		-cpuprofile $(PROFILE_DIR)/serve.cpu.pprof \
+		-memprofile $(PROFILE_DIR)/serve.mem.pprof \
+		-o $(PROFILE_DIR)/serve.test .
+	@echo "profiles written; inspect with:"
+	@echo "  go tool pprof $(PROFILE_DIR)/serve.test $(PROFILE_DIR)/serve.cpu.pprof"
+	@echo "  go tool pprof -sample_index=alloc_objects $(PROFILE_DIR)/serve.test $(PROFILE_DIR)/serve.mem.pprof"
 
 ## bench-json: one iteration of every benchmark as test2json events (BENCH_*.json artifacts)
 bench-json:

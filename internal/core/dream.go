@@ -63,6 +63,30 @@ type HistorySink interface {
 	RecordObservation(o Observation) error
 }
 
+// PendingSink is the group-commit extension of HistorySink: the sink
+// may defer the expensive durability step (an fsync) and coalesce it
+// across many appends, as long as each append can later block until a
+// flush covering it has completed. History.Append uses it when the
+// attached sink implements it: the write happens under the History
+// lock (preserving WAL order == memory order), while the durability
+// wait happens after the lock is released — which is exactly what lets
+// concurrent appends pile onto one fsync instead of serializing a disk
+// flush each.
+type PendingSink interface {
+	HistorySink
+	// RecordObservationPending persists o write-ahead like
+	// RecordObservation but may leave it buffered; it returns a ticket
+	// for WaitObservation. Called with the History lock held.
+	RecordObservationPending(o Observation) (ticket uint64, err error)
+	// WaitObservation blocks until the ticketed observation is durable
+	// to the sink's configured level (e.g. its covering fsync has
+	// returned) or the sink has failed. Called WITHOUT the History
+	// lock. A non-nil error means durability was not achieved; the
+	// in-memory append has already happened and is not rolled back —
+	// callers must treat the error as "do not acknowledge this write".
+	WaitObservation(ticket uint64) error
+}
+
 // History is an append-only, time-ordered log of observations for one
 // operator or query template. Index 0 is the oldest observation.
 //
@@ -79,6 +103,10 @@ type History struct {
 	obs     []Observation
 	version uint64
 	sink    HistorySink
+	// pending is sink's PendingSink view, resolved once at SetSink so
+	// Append does not pay a type assertion per call; nil when the sink
+	// does not support deferred durability.
+	pending PendingSink
 }
 
 // NewHistory creates a history for the given feature dimension and
@@ -128,14 +156,20 @@ func (h *History) Version() uint64 {
 // History to appenders; observations appended earlier are not replayed
 // into it.
 func (h *History) SetSink(sink HistorySink) {
+	pending, _ := sink.(PendingSink)
 	h.mu.Lock()
 	h.sink = sink
+	h.pending = pending
 	h.mu.Unlock()
 }
 
 // Append records a completed execution. With a sink attached the
 // observation is persisted first (write-ahead): a sink error aborts the
-// append and the in-memory history is unchanged.
+// append and the in-memory history is unchanged. With a PendingSink the
+// durability wait runs after the history lock is released, so
+// concurrent appenders coalesce onto shared flushes; a wait error means
+// the observation is in memory but its durability is unconfirmed — the
+// caller must not acknowledge the write.
 func (h *History) Append(o Observation) error {
 	if len(o.X) != h.dim {
 		return fmt.Errorf("core: observation has %d features, history wants %d", len(o.X), h.dim)
@@ -147,15 +181,33 @@ func (h *History) Append(o Observation) error {
 	copy(x, o.X)
 	c := make([]float64, len(o.Costs))
 	copy(c, o.Costs)
+	stored := Observation{X: x, Costs: c}
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.sink != nil {
-		if err := h.sink.RecordObservation(Observation{X: x, Costs: c}); err != nil {
+	var (
+		ticket  uint64
+		pending PendingSink
+	)
+	if h.pending != nil {
+		t, err := h.pending.RecordObservationPending(stored)
+		if err != nil {
+			h.mu.Unlock()
+			return fmt.Errorf("core: history sink: %w", err)
+		}
+		ticket, pending = t, h.pending
+	} else if h.sink != nil {
+		if err := h.sink.RecordObservation(stored); err != nil {
+			h.mu.Unlock()
 			return fmt.Errorf("core: history sink: %w", err)
 		}
 	}
-	h.obs = append(h.obs, Observation{X: x, Costs: c})
+	h.obs = append(h.obs, stored)
 	h.version++
+	h.mu.Unlock()
+	if pending != nil {
+		if err := pending.WaitObservation(ticket); err != nil {
+			return fmt.Errorf("core: history sink: %w", err)
+		}
+	}
 	return nil
 }
 

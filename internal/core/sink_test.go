@@ -49,6 +49,102 @@ func TestHistorySinkSeesAppendsInOrder(t *testing.T) {
 	}
 }
 
+// pendingSink fakes a group-commit sink: Pending stages the
+// observation and hands out a ticket; Wait records which tickets were
+// awaited (and can fail to model a lost fsync).
+type pendingSink struct {
+	hist        *History // when non-nil, WaitObservation reads it (lock-order probe)
+	obs         []Observation
+	tickets     uint64
+	waited      []uint64
+	directCalls int
+	pendingErr  error
+	waitErr     error
+}
+
+func (s *pendingSink) RecordObservation(o Observation) error {
+	s.directCalls++
+	return nil
+}
+
+func (s *pendingSink) RecordObservationPending(o Observation) (uint64, error) {
+	if s.pendingErr != nil {
+		return 0, s.pendingErr
+	}
+	s.obs = append(s.obs, o)
+	tk := s.tickets
+	s.tickets++
+	return tk, nil
+}
+
+func (s *pendingSink) WaitObservation(ticket uint64) error {
+	if s.hist != nil {
+		// Reading the history from Wait deadlocks if Append still holds
+		// the write lock — this enforces the documented contract that
+		// WaitObservation runs after the lock is released.
+		_ = s.hist.Len()
+	}
+	s.waited = append(s.waited, ticket)
+	return s.waitErr
+}
+
+func TestHistoryPendingSinkPath(t *testing.T) {
+	h := mustHistory(t, 1, "t")
+	sink := &pendingSink{hist: h}
+	h.SetSink(sink)
+	for i := 0; i < 4; i++ {
+		if err := h.Append(Observation{X: []float64{float64(i)}, Costs: []float64{float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The pending path was used — never the plain RecordObservation —
+	// and every ticket was awaited, in issue order.
+	if sink.directCalls != 0 {
+		t.Fatalf("plain RecordObservation called %d times on a PendingSink", sink.directCalls)
+	}
+	if len(sink.obs) != 4 || len(sink.waited) != 4 {
+		t.Fatalf("pending %d / waited %d, want 4 / 4", len(sink.obs), len(sink.waited))
+	}
+	for i, tk := range sink.waited {
+		if tk != uint64(i) {
+			t.Fatalf("wait %d got ticket %d", i, tk)
+		}
+	}
+}
+
+func TestHistoryPendingErrorAbortsAppend(t *testing.T) {
+	h := mustHistory(t, 1, "t")
+	sink := &pendingSink{pendingErr: errSinkFull}
+	h.SetSink(sink)
+	err := h.Append(Observation{X: []float64{1}, Costs: []float64{1}})
+	if !errors.Is(err, errSinkFull) {
+		t.Fatalf("append error = %v, want errSinkFull", err)
+	}
+	// Write-ahead failed, so memory must not hold the observation.
+	if h.Len() != 0 || h.Version() != 0 {
+		t.Fatalf("failed pending append reached memory: len %d version %d", h.Len(), h.Version())
+	}
+	if len(sink.waited) != 0 {
+		t.Fatal("WaitObservation called for a failed pending append")
+	}
+}
+
+func TestHistoryWaitErrorKeepsObservation(t *testing.T) {
+	h := mustHistory(t, 1, "t")
+	sink := &pendingSink{waitErr: errSinkFull}
+	h.SetSink(sink)
+	err := h.Append(Observation{X: []float64{1}, Costs: []float64{1}})
+	if !errors.Is(err, errSinkFull) {
+		t.Fatalf("append error = %v, want errSinkFull", err)
+	}
+	// A wait failure means "do not acknowledge durability", not "roll
+	// back": the WAL frame was written before the wait, so memory must
+	// match the log.
+	if h.Len() != 1 || h.Version() != 1 {
+		t.Fatalf("wait failure rolled back memory: len %d version %d", h.Len(), h.Version())
+	}
+}
+
 func TestHistorySinkErrorAbortsAppend(t *testing.T) {
 	h := mustHistory(t, 1, "t")
 	h.SetSink(&recordingSink{failAfter: 2})

@@ -62,6 +62,17 @@ type Federation struct {
 
 	rngMu sync.Mutex
 	rng   *stats.RNG
+
+	// clusterMu guards clusterCache, the per-(site, size) cluster
+	// handles cost() reuses across executions (see cluster).
+	clusterMu    sync.RWMutex
+	clusterCache map[clusterKey]*cloud.Cluster
+}
+
+// clusterKey identifies one cached cluster handle.
+type clusterKey struct {
+	site  string
+	nodes int
 }
 
 // Config assembles a Federation.
@@ -249,6 +260,32 @@ func (o *Outcome) BreakdownCosts() []float64 {
 	return []float64{o.TimeS, o.MoneyUSD, o.LeftTimeS, o.RightTimeS, o.ShipTimeS, o.FinalTimeS}
 }
 
+// cluster returns the (site, size) cluster handle, built once and
+// cached: a Cluster is immutable (provider, instance type, node count
+// — all fixed for the federation's lifetime), and rebuilding two of
+// them per execution put cloud.NewCluster on the serving hot path's
+// allocation profile.
+func (f *Federation) cluster(s *Site, nodes int) (*cloud.Cluster, error) {
+	key := clusterKey{site: s.Name, nodes: nodes}
+	f.clusterMu.RLock()
+	c, ok := f.clusterCache[key]
+	f.clusterMu.RUnlock()
+	if ok {
+		return c, nil
+	}
+	c, err := cloud.NewCluster(s.Provider, s.Instance, nodes)
+	if err != nil {
+		return nil, err
+	}
+	f.clusterMu.Lock()
+	if f.clusterCache == nil {
+		f.clusterCache = make(map[clusterKey]*cloud.Cluster)
+	}
+	f.clusterCache[key] = c
+	f.clusterMu.Unlock()
+	return c, nil
+}
+
 // noiseFactor draws one multiplicative noise sample. Safe for
 // concurrent use: executions from many goroutines share one noise RNG.
 func (f *Federation) noiseFactor() float64 {
@@ -312,11 +349,11 @@ func (f *Federation) cost(q tpch.QueryID, p Plan, pc pieces) (*Outcome, error) {
 	}
 	out.TimeS = prepTime + out.ShipTimeS + out.FinalTimeS
 
-	leftCluster, err := cloud.NewCluster(leftSite.Provider, leftSite.Instance, p.NodesLeft)
+	leftCluster, err := f.cluster(leftSite, p.NodesLeft)
 	if err != nil {
 		return nil, err
 	}
-	rightCluster, err := cloud.NewCluster(rightSite.Provider, rightSite.Instance, p.NodesRight)
+	rightCluster, err := f.cluster(rightSite, p.NodesRight)
 	if err != nil {
 		return nil, err
 	}

@@ -59,6 +59,37 @@ func BenchmarkWALAppendFsync(b *testing.B) {
 	}
 }
 
+// BenchmarkWALAppendGroupCommit measures durable appends under group
+// commit with concurrent writers: every iteration is acknowledged only
+// after a covering fsync, but parallel appends coalesce onto shared
+// fsyncs, so per-append cost collapses toward the no-fsync path as
+// parallelism grows. Compare against BenchmarkWALAppendFsync at the
+// same -cpu to see the coalescing win.
+func BenchmarkWALAppendGroupCommit(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{GroupCommit: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	h, err := s.OpenHistory("bench", federation.FeatureDim, federation.Metrics)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Appenders block on fsync, not CPU: run many goroutines per core
+	// so batches actually form even on small machines.
+	b.SetParallelism(32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if err := h.Append(benchObs(i)); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
 // BenchmarkRecovery measures a cold open replaying snapshot + WAL at a
 // few realistic history sizes (half snapshotted, half in the WAL).
 func BenchmarkRecovery(b *testing.B) {

@@ -47,6 +47,14 @@ const (
 	tmpSuffix    = ".tmp"
 )
 
+// Default group-commit knobs; see Options.
+const (
+	// DefaultCommitBatchSize fsyncs early once this many appends are
+	// buffered, bounding how much acknowledged-but-unsynced work one
+	// flush covers.
+	DefaultCommitBatchSize = 128
+)
+
 // Options tunes a Store.
 type Options struct {
 	// Fsync syncs the WAL file after every appended record: durable
@@ -55,6 +63,29 @@ type Options struct {
 	// has left the process before Append returns — but sits in the OS
 	// page cache until the kernel flushes it.
 	Fsync bool
+	// GroupCommit provides Fsync's machine-crash durability at a
+	// fraction of its cost: appends land in the WAL immediately but the
+	// fsync is issued by a per-shard committer goroutine that coalesces
+	// every append buffered since the previous flush into one sync. An
+	// append is only acknowledged — Append on the shard's History only
+	// returns — after the fsync covering it has returned, so no
+	// acknowledged write can be lost to a crash, exactly as with Fsync.
+	// When set, Fsync's per-append sync is skipped (the group fsync
+	// supersedes it).
+	GroupCommit bool
+	// CommitInterval is the committer's max-delay: how long it waits
+	// for companion appends before issuing the fsync. The default (<=
+	// 0) adds no delay at all — the committer syncs as soon as it is
+	// free, and batches form naturally from the appends that arrive
+	// while the previous fsync is in flight. A positive interval
+	// trades per-append latency for larger batches, which only pays
+	// off on devices whose sync cost dwarfs the wait (e.g. spinning
+	// disks).
+	CommitInterval time.Duration
+	// CommitBatchSize is the committer's max-batch: once this many
+	// appends are waiting, the fsync is issued without waiting out
+	// CommitInterval. 0 defaults to DefaultCommitBatchSize.
+	CommitBatchSize int
 	// Metrics, when non-nil, registers the store's health instruments
 	// (WAL append latency, checkpoint duration and failures, recovery
 	// time and recovered observation counts) on the given registry,
@@ -88,6 +119,8 @@ type storeObs struct {
 	recoverySeconds    *metrics.Histogram
 	recoveredObs       *metrics.Counter
 	tornTails          *metrics.Counter
+	commitBatch        *metrics.Histogram
+	fsyncsAvoided      *metrics.Counter
 }
 
 // newStoreObs registers the store's instruments; see Options.Metrics.
@@ -118,6 +151,13 @@ func newStoreObs(reg *metrics.Registry, store string) *storeObs {
 		tornTails: reg.CounterVec("midas_histstore_torn_tails_total",
 			"WAL tails truncated at a torn or corrupt frame during recovery.",
 			"store").With(store),
+		commitBatch: reg.HistogramVec("midas_histstore_commit_batch_size",
+			"Appends acknowledged by one group-commit fsync; a mean near 1 means group commit is not coalescing.",
+			metrics.ExponentialBuckets(1, 2, 11), // 1 .. 1024
+			"store").With(store),
+		fsyncsAvoided: reg.CounterVec("midas_histstore_fsyncs_avoided_total",
+			"Fsyncs the per-append policy would have issued that group commit coalesced away.",
+			"store").With(store),
 	}
 }
 
@@ -129,6 +169,9 @@ func Open(root string, opts Options) (*Store, error) {
 	}
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("histstore: %w", err)
+	}
+	if opts.GroupCommit && opts.CommitBatchSize <= 0 {
+		opts.CommitBatchSize = DefaultCommitBatchSize
 	}
 	s := &Store{root: root, opts: opts, shards: make(map[string]*shard)}
 	if opts.Metrics != nil {
@@ -231,6 +274,17 @@ func (s *Store) openShard(name string, dim int, metricNames []string) (*shard, e
 		wal:       wal,
 		nextSeq:   uint64(h.Len()),
 		snapCount: snapCount,
+	}
+	if s.opts.GroupCommit {
+		// Everything replayed so far is durable (it was read back off
+		// disk), so the committer starts with an empty pending window.
+		sh.gcSynced = sh.nextSeq
+		sh.gcCond = sync.NewCond(&sh.gcMu)
+		sh.gcKick = make(chan struct{}, 1)
+		sh.gcFull = make(chan struct{}, 1)
+		sh.gcStop = make(chan struct{})
+		sh.gcDone = make(chan struct{})
+		go sh.commitLoop()
 	}
 	h.SetSink(sh)
 	if s.obs != nil {
@@ -341,15 +395,25 @@ func (s *Store) ImportLegacy(name string, r io.Reader) error {
 	return nil
 }
 
-// Close closes every open shard's WAL handle. Appends to histories
-// opened through the store fail afterwards (and, per the write-ahead
-// contract, leave the in-memory history unchanged). Checkpoint first:
-// Close does not compact.
+// Close stops every shard's group committer (after one final covering
+// fsync, so no acknowledged-in-flight append is abandoned) and closes
+// every open shard's WAL handle. Appends to histories opened through
+// the store fail afterwards (and, per the write-ahead contract, leave
+// the in-memory history unchanged). Checkpoint first: Close does not
+// compact.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error
 	for name, sh := range s.shards {
+		if sh.gcCond != nil {
+			close(sh.gcStop)
+			<-sh.gcDone
+			sh.gcMu.Lock()
+			sh.gcClosed = true
+			sh.gcCond.Broadcast()
+			sh.gcMu.Unlock()
+		}
 		sh.mu.Lock()
 		if err := sh.wal.Close(); err != nil && first == nil {
 			first = err
@@ -380,7 +444,23 @@ type shard struct {
 	// the replaced inode), and acknowledging writes would silently
 	// break the write-ahead contract.
 	broken error
+
+	// Group-commit state; initialised (and the committer goroutine
+	// started) only when Options.GroupCommit is set. Lock order is
+	// sh.mu → gcMu, never the reverse: the committer and the append
+	// path take gcMu while holding sh.mu, waiters take gcMu alone.
+	gcMu     sync.Mutex
+	gcCond   *sync.Cond    // broadcast on gcSynced / gcErr / gcClosed changes
+	gcSynced uint64        // sequences below this are covered by an fsync
+	gcErr    error         // sticky first group-fsync failure
+	gcClosed bool          // Close ran; no further fsync will ever come
+	gcKick   chan struct{} // buffered(1): un-synced appends exist
+	gcFull   chan struct{} // buffered(1): max-batch reached, skip the delay
+	gcStop   chan struct{}
+	gcDone   chan struct{}
 }
+
+var _ core.PendingSink = (*shard)(nil)
 
 // RecordObservation implements core.HistorySink: frame the observation
 // and append it to the WAL (write-ahead — the caller only makes the
@@ -388,6 +468,15 @@ type shard struct {
 // with the owning History's lock held, which makes WAL order identical
 // to in-memory order by construction.
 func (sh *shard) RecordObservation(o core.Observation) error {
+	if sh.opts.GroupCommit {
+		// Direct callers get the same durability as the pending path:
+		// write, then block until the covering group fsync returns.
+		ticket, err := sh.RecordObservationPending(o)
+		if err != nil {
+			return err
+		}
+		return sh.WaitObservation(ticket)
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.broken != nil {
@@ -411,6 +500,170 @@ func (sh *shard) RecordObservation(o core.Observation) error {
 		sh.obs.walAppendSeconds.Observe(time.Since(began).Seconds())
 	}
 	return nil
+}
+
+// RecordObservationPending implements core.PendingSink: append the frame
+// to the WAL (write-ahead, under the owning History's lock like
+// RecordObservation) but defer durability to the covering group fsync,
+// which the caller waits for via WaitObservation after releasing the
+// History lock. Without GroupCommit the store has no deferred-durability
+// window, so this is RecordObservation with a no-op ticket.
+func (sh *shard) RecordObservationPending(o core.Observation) (uint64, error) {
+	if !sh.opts.GroupCommit {
+		return 0, sh.RecordObservation(o)
+	}
+	sh.mu.Lock()
+	if sh.broken != nil {
+		sh.mu.Unlock()
+		return 0, fmt.Errorf("histstore: shard unusable: %w", sh.broken)
+	}
+	var began time.Time
+	if sh.obs != nil {
+		began = time.Now()
+	}
+	sh.buf = appendFrame(sh.buf[:0], sh.nextSeq, o)
+	if _, err := sh.wal.Write(sh.buf); err != nil {
+		sh.mu.Unlock()
+		return 0, fmt.Errorf("histstore: wal append: %w", err)
+	}
+	ticket := sh.nextSeq
+	sh.nextSeq++
+	if sh.obs != nil {
+		sh.obs.walAppendSeconds.Observe(time.Since(began).Seconds())
+	}
+	sh.gcMu.Lock()
+	full := ticket+1-sh.gcSynced >= uint64(sh.opts.CommitBatchSize)
+	sh.gcMu.Unlock()
+	sh.mu.Unlock()
+	// Wake the committer; when the batch is full, also tell it to skip
+	// its max-delay. Both channels are buffered(1), so a pending token
+	// means "state already reflects this" and dropping is correct.
+	select {
+	case sh.gcKick <- struct{}{}:
+	default:
+	}
+	if full {
+		select {
+		case sh.gcFull <- struct{}{}:
+		default:
+		}
+	}
+	return ticket, nil
+}
+
+// WaitObservation implements core.PendingSink: block until the ticket's
+// append is durable (its covering fsync returned), the committer hit a
+// sticky error, or the store closed. Durability wins over a sticky
+// error: a write the disk has already accepted is acknowledged even if
+// a later fsync failed.
+func (sh *shard) WaitObservation(ticket uint64) error {
+	if !sh.opts.GroupCommit {
+		return nil
+	}
+	sh.gcMu.Lock()
+	defer sh.gcMu.Unlock()
+	for {
+		if sh.gcSynced > ticket {
+			return nil
+		}
+		if sh.gcErr != nil {
+			return fmt.Errorf("histstore: group commit: %w", sh.gcErr)
+		}
+		if sh.gcClosed {
+			return errors.New("histstore: store closed before group commit")
+		}
+		sh.gcCond.Wait()
+	}
+}
+
+// commitLoop is the shard's committer goroutine: woken by the first
+// append after a flush, it issues the one fsync covering everything
+// written so far. With no CommitInterval the sync starts immediately —
+// batches form naturally from the appends that pile up while the
+// previous fsync is in flight; with one, the committer first waits up
+// to the interval for companions (cut short when the batch fills or
+// the store closes).
+func (sh *shard) commitLoop() {
+	defer close(sh.gcDone)
+	var timer *time.Timer
+	for {
+		select {
+		case <-sh.gcStop:
+			// Final flush so every in-flight waiter resolves durable.
+			sh.syncBatch()
+			return
+		case <-sh.gcKick:
+		}
+		if d := sh.opts.CommitInterval; d > 0 {
+			if timer == nil {
+				timer = time.NewTimer(d)
+			} else {
+				timer.Reset(d)
+			}
+			select {
+			case <-timer.C:
+			case <-sh.gcFull:
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-sh.gcStop:
+				if !timer.Stop() {
+					<-timer.C
+				}
+				sh.syncBatch()
+				return
+			}
+		}
+		sh.syncBatch()
+	}
+}
+
+// syncBatch fsyncs the WAL once and advances the durable watermark over
+// every append written before the sync, waking their waiters. Called
+// only from commitLoop.
+func (sh *shard) syncBatch() {
+	sh.mu.Lock()
+	if sh.broken != nil {
+		err := sh.broken
+		sh.mu.Unlock()
+		sh.gcMu.Lock()
+		if sh.gcErr == nil {
+			sh.gcErr = err
+		}
+		sh.gcCond.Broadcast()
+		sh.gcMu.Unlock()
+		return
+	}
+	target := sh.nextSeq
+	sh.gcMu.Lock()
+	pending := target > sh.gcSynced
+	sh.gcMu.Unlock()
+	if !pending {
+		sh.mu.Unlock()
+		return
+	}
+	err := sh.wal.Sync()
+	if err != nil {
+		// An fsync the kernel rejected may have dropped dirty pages;
+		// nothing appended afterwards could be trusted either.
+		sh.broken = fmt.Errorf("group-commit fsync: %w", err)
+	}
+	sh.mu.Unlock()
+	sh.gcMu.Lock()
+	defer sh.gcMu.Unlock()
+	if err != nil {
+		if sh.gcErr == nil {
+			sh.gcErr = err
+		}
+	} else if target > sh.gcSynced {
+		batch := target - sh.gcSynced
+		sh.gcSynced = target
+		if sh.obs != nil {
+			sh.obs.commitBatch.Observe(float64(batch))
+			sh.obs.fsyncsAvoided.Add(float64(batch - 1))
+		}
+	}
+	sh.gcCond.Broadcast()
 }
 
 func (sh *shard) checkpoint(snap *core.Snapshot) (err error) {
@@ -466,6 +719,17 @@ func (sh *shard) checkpoint(snap *core.Snapshot) (err error) {
 		return err
 	}
 	sh.snapCount = count
+	if sh.gcCond != nil {
+		// The checkpoint fsynced the snapshot and the compacted WAL, so
+		// every append written so far is durable; release any waiters
+		// without charging the committer another fsync.
+		sh.gcMu.Lock()
+		if sh.nextSeq > sh.gcSynced {
+			sh.gcSynced = sh.nextSeq
+		}
+		sh.gcCond.Broadcast()
+		sh.gcMu.Unlock()
+	}
 	return nil
 }
 

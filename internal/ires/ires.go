@@ -244,6 +244,20 @@ type Scheduler struct {
 	histories map[tpch.QueryID]*core.History
 	rng       *stats.RNG
 
+	// planCache holds each query's enumerated QEP space: the space
+	// depends only on the query and NodeChoices, both fixed for the
+	// scheduler's lifetime, so it is computed once and shared (callers
+	// treat the slice as immutable).
+	planMu    sync.RWMutex
+	planCache map[tpch.QueryID][]federation.Plan
+	// featCache holds each plan's estimation feature vector. The
+	// Executor contract makes Features deterministic for a fixed
+	// executor (both executors derive it from fixed table sizes), so
+	// one computation per distinct plan serves every later execution;
+	// cached slices are immutable by the same convention.
+	featMu    sync.RWMutex
+	featCache map[federation.Plan][]float64
+
 	// obs is the scheduler's observation-only instrumentation; nil
 	// unless InstrumentScheduler was called (see metrics.go).
 	obs *schedulerObs
@@ -334,6 +348,48 @@ func (s *Scheduler) Checkpoint() error {
 	return first
 }
 
+// plans returns q's enumerated QEP space through planCache.
+func (s *Scheduler) plans(q tpch.QueryID) ([]federation.Plan, error) {
+	s.planMu.RLock()
+	plans, ok := s.planCache[q]
+	s.planMu.RUnlock()
+	if ok {
+		return plans, nil
+	}
+	plans, err := s.Fed.EnumeratePlans(q, s.NodeChoices)
+	if err != nil {
+		return nil, err
+	}
+	s.planMu.Lock()
+	if s.planCache == nil {
+		s.planCache = make(map[tpch.QueryID][]federation.Plan)
+	}
+	s.planCache[q] = plans
+	s.planMu.Unlock()
+	return plans, nil
+}
+
+// features returns p's estimation feature vector through featCache.
+func (s *Scheduler) features(p federation.Plan) ([]float64, error) {
+	s.featMu.RLock()
+	x, ok := s.featCache[p]
+	s.featMu.RUnlock()
+	if ok {
+		return x, nil
+	}
+	x, err := s.Exec.Features(p)
+	if err != nil {
+		return nil, err
+	}
+	s.featMu.Lock()
+	if s.featCache == nil {
+		s.featCache = make(map[federation.Plan][]float64)
+	}
+	s.featCache[p] = x
+	s.featMu.Unlock()
+	return x, nil
+}
+
 // Record appends one completed execution to the query's history.
 func (s *Scheduler) Record(q tpch.QueryID, x []float64, costs []float64) error {
 	h, err := s.OpenHistory(q)
@@ -350,7 +406,7 @@ func (s *Scheduler) Bootstrap(q tpch.QueryID, n int) error {
 	if _, err := s.OpenHistory(q); err != nil {
 		return err
 	}
-	plans, err := s.Fed.EnumeratePlans(q, s.NodeChoices)
+	plans, err := s.plans(q)
 	if err != nil {
 		return err
 	}
@@ -363,7 +419,7 @@ func (s *Scheduler) Bootstrap(q tpch.QueryID, n int) error {
 		if err != nil {
 			return err
 		}
-		x, err := s.Exec.Features(p)
+		x, err := s.features(p)
 		if err != nil {
 			return err
 		}
@@ -443,7 +499,7 @@ func (s *Scheduler) PlanSweep(ctx context.Context, q tpch.QueryID) (sw *Sweep, e
 	if h.Len() == 0 {
 		return nil, fmt.Errorf("%w: %v (run Bootstrap first)", ErrNoHistory, q)
 	}
-	plans, err := s.Fed.EnumeratePlans(q, s.NodeChoices)
+	plans, err := s.plans(q)
 	if err != nil {
 		return nil, err
 	}
@@ -495,7 +551,7 @@ func (s *Scheduler) DecideFromSweep(sw *Sweep, pol Policy) (*Decision, error) {
 	if err != nil {
 		return nil, err
 	}
-	x, err := s.Exec.Features(chosen)
+	x, err := s.features(chosen)
 	if err != nil {
 		return nil, err
 	}
@@ -543,6 +599,13 @@ func bestWithConstraints(raw, normalized [][]float64, weights, constraints []flo
 	return moo.ArgminWeightedSum(normalized, weights)
 }
 
+// Default policy fallbacks, hoisted to package level so an empty
+// policy does not allocate them per selection.
+var (
+	defaultWeights  = []float64{1, 1}
+	defaultLexOrder = []int{0, 1}
+)
+
 // selectFromParetoSet dispatches on the policy's selection strategy.
 // raw carries the model's cost vectors, normalized their min-max
 // rescaling across the set.
@@ -553,7 +616,7 @@ func selectFromParetoSet(raw, normalized [][]float64, pol Policy) (int, error) {
 	case LexicographicSelection:
 		order := pol.LexOrder
 		if len(order) == 0 {
-			order = []int{0, 1}
+			order = defaultLexOrder
 		}
 		tol := pol.LexTolerance
 		if tol == 0 {
@@ -563,7 +626,7 @@ func selectFromParetoSet(raw, normalized [][]float64, pol Policy) (int, error) {
 	default:
 		weights := pol.Weights
 		if len(weights) == 0 {
-			weights = []float64{1, 1}
+			weights = defaultWeights
 		}
 		return bestWithConstraints(raw, normalized, weights, pol.Constraints)
 	}

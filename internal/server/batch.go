@@ -23,6 +23,13 @@ type tenant struct {
 	// memory. The scheduler owns the flow of data through it — the
 	// tenant only closes it at drain.
 	store *histstore.Store
+	// admit is this tenant's admission semaphore (one per federation so
+	// tenants cannot head-of-line-block each other); sized and set by
+	// newServer before any request is served.
+	admit chan struct{}
+	// latency holds the pre-bound per-query request-latency histograms
+	// (see Server.registerMetrics); immutable once serving starts.
+	latency map[tpch.QueryID]*metrics.Histogram
 
 	mu      sync.Mutex
 	pending map[tpch.QueryID]*sweepBatch
@@ -109,10 +116,26 @@ func (t *tenant) sharedSweep(waitCtx context.Context, newSweepCtx func() (contex
 	t.pending[q] = b
 	t.mu.Unlock()
 
+	t.stats.sweeps.Add(1)
+	// A leader that cannot be cancelled (Done() == nil, e.g. an
+	// embedder driving ServeSubmit with context.Background) would wait
+	// out the whole sweep regardless, so the detached goroutine buys
+	// nothing — run the sweep inline and skip the spawn. Followers
+	// still coalesce through t.pending either way.
+	if waitCtx.Done() == nil {
+		sweepCtx, cancel := newSweepCtx()
+		b.sweep, b.err = t.sched.PlanSweep(sweepCtx, q)
+		cancel()
+		t.mu.Lock()
+		delete(t.pending, q)
+		t.mu.Unlock()
+		close(b.done)
+		return b.sweep, false, b.err
+	}
+
 	// The sweep runs detached: if the leading request times out or its
 	// client disconnects, the batch still completes for the requests
 	// that joined it.
-	t.stats.sweeps.Add(1)
 	go func() {
 		sweepCtx, cancel := newSweepCtx()
 		defer cancel()

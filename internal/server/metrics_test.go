@@ -86,9 +86,13 @@ func TestMetricsEndpoint(t *testing.T) {
 	if prev != sc.Values[`midas_request_duration_seconds_count{federation="test",query="Q12"}`] {
 		t.Errorf("+Inf bucket %v != count", prev)
 	}
-	// Admission gauges render.
-	if got := sc.Values["midas_admission_queue_capacity"]; got != 1024 {
+	// Admission gauges render, labeled per federation (the queue is
+	// sharded per tenant).
+	if got := sc.Values[`midas_admission_queue_capacity{federation="test"}`]; got != 1024 {
 		t.Errorf("queue capacity = %v, want default 1024", got)
+	}
+	if _, ok := sc.Values[`midas_admission_queue_depth{federation="test"}`]; !ok {
+		t.Errorf("per-federation queue depth gauge missing")
 	}
 }
 

@@ -24,10 +24,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -62,21 +64,39 @@ type StoreConfig struct {
 	// Fsync syncs the WAL after every recorded execution (histstore
 	// Options.Fsync): durable against machine crashes, much slower.
 	Fsync bool
+	// GroupCommit coalesces concurrent WAL appends onto shared fsyncs
+	// (histstore Options.GroupCommit): the same machine-crash
+	// durability as Fsync — no response leaves the server before the
+	// fsync covering its recorded execution returns — at a fraction of
+	// the fsync count. Supersedes Fsync's per-append sync when both
+	// are set.
+	GroupCommit bool
+	// CommitInterval and CommitBatch tune the group committer
+	// (histstore Options.CommitInterval / CommitBatchSize). Zero
+	// CommitInterval adds no artificial delay — fsyncs batch whatever
+	// accumulated while the previous one was in flight; zero
+	// CommitBatch takes the histstore default.
+	CommitInterval time.Duration
+	CommitBatch    int
 }
 
 // Config assembles a Server.
 type Config struct {
 	// Federations declares the hosted tenants; at least one.
 	Federations []FederationSpec
-	// QueueDepth bounds concurrently admitted requests per server;
-	// excess submissions are rejected with 429 (default 1024).
+	// QueueDepth bounds concurrently admitted requests per federation;
+	// excess submissions to that tenant are rejected with 429 (default
+	// 1024). The bound is per tenant so one hot federation saturating
+	// its queue cannot head-of-line-block the others.
 	QueueDepth int
 	// RequestTimeout caps one submission end to end unless the request
-	// carries its own shorter timeout_ms (default 30s). Expiry → 504.
+	// carries its own shorter timeout_ms (default 30s; negative
+	// disables the per-request deadline entirely). Expiry → 504.
 	RequestTimeout time.Duration
 	// SweepTimeout caps one plan sweep. Sweeps run detached from the
 	// requesting client so coalesced followers can still use them
-	// (default 60s).
+	// (default 60s; negative disables the sweep deadline, which also
+	// keeps the deadline context's allocations off the hot path).
 	SweepTimeout time.Duration
 	// Store makes tenant histories durable; the zero value keeps them
 	// in memory.
@@ -97,16 +117,17 @@ type Config struct {
 }
 
 func (c *Config) setDefaults() {
-	// Zero and negative both take the default: a negative depth would
-	// panic make(chan), and a negative timeout would fail every request
-	// instantly — neither is a configuration anyone means.
+	// Zero takes the default (a negative depth would panic make(chan)).
+	// A negative RequestTimeout is meaningful: no per-request deadline,
+	// which also keeps context.WithTimeout's allocations off the hot
+	// path for embedders that bound requests elsewhere.
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 1024
 	}
-	if c.RequestTimeout <= 0 {
+	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
-	if c.SweepTimeout <= 0 {
+	if c.SweepTimeout == 0 {
 		c.SweepTimeout = 60 * time.Second
 	}
 	if c.Metrics == nil {
@@ -123,12 +144,10 @@ type Server struct {
 	tenants map[string]*tenant
 	sole    string // tenant name when exactly one is hosted
 
-	// admit is a counting semaphore bounding admitted requests.
-	admit chan struct{}
-
 	// reqSeconds is the per-(federation, query) request latency
-	// histogram; log is the structured logger (never nil after
-	// setDefaults).
+	// histogram (the hot path observes through the tenants' pre-bound
+	// children, not With); log is the structured logger (never nil
+	// after setDefaults).
 	reqSeconds *metrics.HistogramVec
 	log        *slog.Logger
 
@@ -148,6 +167,9 @@ type Server struct {
 	// disconnecting client cannot cancel a batch others joined.
 	lifeCtx  context.Context
 	lifeStop context.CancelFunc
+	// sweepCtx is the newSweepCtx method value, bound once so the hot
+	// path does not allocate a fresh closure per request.
+	sweepCtx func() (context.Context, context.CancelFunc)
 
 	// cpDone is closed when the periodic checkpoint loop exits; nil
 	// when no loop was started.
@@ -246,11 +268,17 @@ func newServer(cfg Config, tenants map[string]*tenant) *Server {
 	s := &Server{
 		cfg:      cfg,
 		tenants:  tenants,
-		admit:    make(chan struct{}, cfg.QueueDepth),
 		log:      cfg.Logger,
 		start:    time.Now(),
 		lifeCtx:  ctx,
 		lifeStop: stop,
+	}
+	s.sweepCtx = s.newSweepCtx
+	// Admission is sharded per tenant: each federation gets its own
+	// QueueDepth-slot semaphore, so a hot tenant saturating its queue
+	// sheds its own load without head-of-line-blocking the others.
+	for _, t := range tenants {
+		t.admit = make(chan struct{}, cfg.QueueDepth)
 	}
 	if len(tenants) == 1 {
 		for name := range tenants {
@@ -276,12 +304,17 @@ func (s *Server) Metrics() *metrics.Registry { return s.cfg.Metrics }
 // /v1/stats reports (so the two surfaces can never disagree).
 func (s *Server) registerMetrics() {
 	reg := s.cfg.Metrics
-	reg.GaugeFunc("midas_admission_queue_depth",
-		"Requests currently holding an admission slot.",
-		func() float64 { return float64(len(s.admit)) })
-	reg.GaugeFunc("midas_admission_queue_capacity",
-		"Admission queue depth limit (ServerConfig.QueueDepth); beyond it submissions get 429.",
-		func() float64 { return float64(cap(s.admit)) })
+	for _, t := range s.tenants {
+		t := t
+		reg.GaugeFunc("midas_admission_queue_depth",
+			"Requests currently holding one of this federation's admission slots.",
+			func() float64 { return float64(len(t.admit)) },
+			"federation", t.name)
+		reg.GaugeFunc("midas_admission_queue_capacity",
+			"Per-federation admission slot limit (ServerConfig.QueueDepth); beyond it submissions get 429.",
+			func() float64 { return float64(cap(t.admit)) },
+			"federation", t.name)
+	}
 	reg.GaugeFunc("midas_inflight_requests",
 		"Admitted requests between drain registration and completion.",
 		func() float64 {
@@ -305,6 +338,13 @@ func (s *Server) registerMetrics() {
 		nil, "federation", "query")
 	for _, t := range s.tenants {
 		t.registerMetrics(reg)
+		// Pre-bind each (federation, query) latency child: HistogramVec
+		// label resolution allocates, so the hot path reads this map
+		// (immutable once serving starts) instead of calling With.
+		t.latency = make(map[tpch.QueryID]*metrics.Histogram, len(t.queries))
+		for q := range t.queries {
+			t.latency[q] = s.reqSeconds.With(t.name, q.String())
+		}
 	}
 }
 
@@ -497,72 +537,203 @@ func policyOf(req *QueryRequest) (ires.Policy, error) {
 	return pol, nil
 }
 
+// maxBodyBytes bounds POST /v1/queries bodies: a QueryRequest is a few
+// hundred bytes, so a megabyte is generous headroom and keeps a
+// malicious body from ballooning the pooled buffers.
+const maxBodyBytes = 1 << 20
+
+// serveScratch is the pooled per-request hot-path state: the HTTP
+// body buffer, the decoded request (slice capacities reused across
+// requests), the response buffer + object, and a long-lived encoder.
+// One request holds at most one scratch from decode to respond, so the
+// pool's steady-state size tracks peak concurrency.
+type serveScratch struct {
+	body []byte
+	req  QueryRequest
+	resp QueryResponse
+	buf  bytes.Buffer
+	dst  swapWriter
+	enc  *json.Encoder
+	// rd + dec decode request bodies: a long-lived json.Decoder keeps
+	// its scanner state across requests (json.Unmarshal rebuilds it
+	// per call), so steady-state decoding only allocates the decoded
+	// values themselves.
+	rd  *bytes.Reader
+	dec *json.Decoder
+}
+
+// decodeRequest decodes one body into sc.req through the pooled
+// decoder, enforcing Unmarshal's single-value semantics: trailing
+// non-whitespace is an error, not silently buffered input for the
+// next request that borrows this scratch.
+func (sc *serveScratch) decodeRequest(body []byte) error {
+	sc.req.reset()
+	sc.rd.Reset(body)
+	if err := sc.dec.Decode(&sc.req); err != nil {
+		// The decoder's buffer now holds an undefined tail; rebuild it
+		// so the next request starts clean (error path only).
+		sc.dec = json.NewDecoder(sc.rd)
+		return err
+	}
+	// More() skips trailing whitespace (draining it from the buffer)
+	// and reports whether another value follows.
+	if sc.dec.More() {
+		sc.dec = json.NewDecoder(sc.rd)
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}
+
+// swapWriter lets one long-lived json.Encoder target a different
+// destination per request (an Encoder binds its writer at
+// construction).
+type swapWriter struct{ w io.Writer }
+
+func (s *swapWriter) Write(p []byte) (int, error) { return s.w.Write(p) }
+
+var servePool = sync.Pool{New: func() any {
+	sc := &serveScratch{}
+	sc.enc = json.NewEncoder(&sc.dst)
+	sc.rd = bytes.NewReader(nil)
+	sc.dec = json.NewDecoder(sc.rd)
+	return sc
+}}
+
+// reset clears the decoded request while keeping slice capacity, so
+// json.Unmarshal appends into the existing arrays. Needed because
+// Unmarshal leaves fields absent from the body untouched.
+func (r *QueryRequest) reset() {
+	r.Federation = ""
+	r.Query = ""
+	r.Weights = r.Weights[:0]
+	r.Constraints = r.Constraints[:0]
+	r.Strategy = ""
+	r.LexOrder = r.LexOrder[:0]
+	r.LexTolerance = 0
+	r.TimeoutMS = 0
+}
+
+// readBody reads r's body into buf (reusing its capacity), bounded by
+// maxBodyBytes.
+func readBody(r *http.Request, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+		if len(buf) > maxBodyBytes {
+			return buf, fmt.Errorf("body exceeds %d bytes", maxBodyBytes)
+		}
+	}
+}
+
+// writeErrorBuf renders an error body into resp and returns the
+// status — the buffer-level twin of writeError. Error paths may
+// allocate; only the success path is held allocation-free.
+func writeErrorBuf(resp *bytes.Buffer, status int, format string, args ...any) int {
+	_ = json.NewEncoder(resp).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	return status
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	sc := servePool.Get().(*serveScratch)
+	defer servePool.Put(sc)
+	body, err := readBody(r, sc.body[:0])
+	if cap(body) > cap(sc.body) {
+		sc.body = body // keep the grown buffer for the next request
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	sc.buf.Reset()
+	status := s.serveSubmit(r.Context(), sc, body, &sc.buf)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(sc.buf.Bytes())
+}
+
+// ServeSubmit runs one query submission end to end — decode,
+// admission, shared sweep, selection, execution, history record —
+// without the net/http plumbing: body is the JSON QueryRequest and the
+// JSON response body is appended to resp (pass it empty). The return
+// value is the HTTP status the response corresponds to. handleSubmit
+// wraps this; benchmarks drive it directly so the serving path's
+// allocations are measurable without an HTTP stack in the way.
+func (s *Server) ServeSubmit(ctx context.Context, body []byte, resp *bytes.Buffer) int {
+	sc := servePool.Get().(*serveScratch)
+	defer servePool.Put(sc)
+	return s.serveSubmit(ctx, sc, body, resp)
+}
+
+func (s *Server) serveSubmit(ctx context.Context, sc *serveScratch, body []byte, resp *bytes.Buffer) int {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
-		return
+		return writeErrorBuf(resp, http.StatusServiceUnavailable, "server is draining")
 	}
-	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
+	if err := sc.decodeRequest(body); err != nil {
+		return writeErrorBuf(resp, http.StatusBadRequest, "bad request body: %v", err)
 	}
-	t, err := s.tenantFor(req.Federation)
+	t, err := s.tenantFor(sc.req.Federation)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
-		return
+		return writeErrorBuf(resp, http.StatusNotFound, "%v", err)
 	}
-	q, err := tpch.ParseQueryID(req.Query)
+	q, err := tpch.ParseQueryID(sc.req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return writeErrorBuf(resp, http.StatusBadRequest, "%v", err)
 	}
 	if !t.queries[q] {
-		writeError(w, http.StatusBadRequest, "federation %q does not serve %v", t.name, q)
-		return
+		return writeErrorBuf(resp, http.StatusBadRequest, "federation %q does not serve %v", t.name, q)
 	}
-	pol, err := policyOf(&req)
+	pol, err := policyOf(&sc.req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return writeErrorBuf(resp, http.StatusBadRequest, "%v", err)
 	}
 
 	t.stats.received.Add(1)
 
-	// Admission: the queue bounds how many submissions may be in flight
-	// at once; beyond that the server sheds load instead of queueing
-	// unboundedly.
+	// Admission: the tenant's queue bounds how many of its submissions
+	// may be in flight at once; beyond that the server sheds this
+	// tenant's load instead of queueing unboundedly (other tenants'
+	// queues are unaffected).
 	select {
-	case s.admit <- struct{}{}:
+	case t.admit <- struct{}{}:
 	default:
 		t.stats.rejected.Add(1)
 		// Debug, not Info: under sustained overload a line per shed
 		// request would turn the log into its own incident.
-		s.log.LogAttrs(r.Context(), slog.LevelDebug, "request rejected",
+		s.log.LogAttrs(ctx, slog.LevelDebug, "request rejected",
 			slog.String("federation", t.name), slog.String("query", q.String()),
 			slog.Int("status", http.StatusTooManyRequests))
-		writeError(w, http.StatusTooManyRequests, "admission queue full (depth %d)", s.cfg.QueueDepth)
-		return
+		return writeErrorBuf(resp, http.StatusTooManyRequests, "admission queue full (depth %d)", s.cfg.QueueDepth)
 	}
-	defer func() { <-s.admit }()
+	defer func() { <-t.admit }()
 
 	// Register with the drain accounting; a drain that began after the
 	// entry check wins here, so no request starts work the drained
 	// lifeCtx would immediately cancel.
 	if !s.beginRequest() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
-		return
+		return writeErrorBuf(resp, http.StatusServiceUnavailable, "server is draining")
 	}
 	defer s.endRequest()
 
 	timeout := s.cfg.RequestTimeout
-	if req.TimeoutMS > 0 {
-		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+	if sc.req.TimeoutMS > 0 {
+		if d := time.Duration(sc.req.TimeoutMS) * time.Millisecond; timeout <= 0 || d < timeout {
 			timeout = d
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 
 	began := time.Now()
 	dec, coalesced, err := s.submit(ctx, t, q, pol)
@@ -570,31 +741,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			t.stats.timeouts.Add(1)
-			s.logRequest(r.Context(), t.name, q, "", coalesced, latency, http.StatusGatewayTimeout, err)
-			writeError(w, http.StatusGatewayTimeout, "timed out after %v", timeout)
-			return
+			s.logRequest(ctx, t.name, q, nil, coalesced, latency, http.StatusGatewayTimeout, err)
+			return writeErrorBuf(resp, http.StatusGatewayTimeout, "timed out after %v", timeout)
 		}
 		if errors.Is(err, context.Canceled) {
 			// The client went away; nobody reads this response, but the
 			// abandonment should not be counted as a server failure.
 			t.stats.timeouts.Add(1)
-			s.logRequest(r.Context(), t.name, q, "", coalesced, latency, http.StatusGatewayTimeout, err)
-			writeError(w, http.StatusGatewayTimeout, "request cancelled")
-			return
+			s.logRequest(ctx, t.name, q, nil, coalesced, latency, http.StatusGatewayTimeout, err)
+			return writeErrorBuf(resp, http.StatusGatewayTimeout, "request cancelled")
 		}
 		t.stats.failed.Add(1)
-		s.logRequest(r.Context(), t.name, q, "", coalesced, latency, http.StatusInternalServerError, err)
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
+		s.logRequest(ctx, t.name, q, nil, coalesced, latency, http.StatusInternalServerError, err)
+		return writeErrorBuf(resp, http.StatusInternalServerError, "%v", err)
 	}
 	t.stats.completed.Add(1)
 	if coalesced {
 		t.stats.coalesced.Add(1)
 	}
 	t.stats.observe(float64(latency) / float64(time.Millisecond))
-	s.reqSeconds.With(t.name, q.String()).Observe(latency.Seconds())
-	s.logRequest(r.Context(), t.name, q, dec.Plan.String(), coalesced, latency, http.StatusOK, nil)
-	writeJSON(w, http.StatusOK, QueryResponse{
+	t.latency[q].Observe(latency.Seconds())
+	s.logRequest(ctx, t.name, q, dec, coalesced, latency, http.StatusOK, nil)
+	sc.resp = QueryResponse{
 		Federation: t.name,
 		Query:      q.String(),
 		Plan: PlanJSON{
@@ -611,15 +779,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		PlanSpace:      dec.PlanSpace,
 		Coalesced:      coalesced,
 		LatencyMS:      float64(latency) / float64(time.Millisecond),
-	})
+	}
+	sc.dst.w = resp
+	_ = sc.enc.Encode(&sc.resp)
+	return http.StatusOK
 }
 
 // logRequest emits one request-scoped structured log line. Successful
 // rounds log at Debug (per-request logging at serving rates is opt-in
 // via the log level), shed/expired ones at Info, server faults at
 // Warn. The attrs are the request's whole story: tenant, query, the
-// decision taken, whether it rode a shared sweep, and wall time.
-func (s *Server) logRequest(ctx context.Context, federation string, q tpch.QueryID, decision string, coalesced bool, latency time.Duration, status int, err error) {
+// decision taken, whether it rode a shared sweep, and wall time. dec
+// is nil on failures; passing the decision (not a pre-rendered string)
+// keeps Plan.String off the hot path when Debug logging is disabled.
+func (s *Server) logRequest(ctx context.Context, federation string, q tpch.QueryID, dec *ires.Decision, coalesced bool, latency time.Duration, status int, err error) {
 	level := slog.LevelDebug
 	switch {
 	case status == http.StatusInternalServerError:
@@ -637,8 +810,8 @@ func (s *Server) logRequest(ctx context.Context, federation string, q tpch.Query
 		slog.Bool("coalesced", coalesced),
 		slog.Float64("duration_ms", float64(latency)/float64(time.Millisecond)),
 	}
-	if decision != "" {
-		attrs = append(attrs, slog.String("decision", decision))
+	if dec != nil {
+		attrs = append(attrs, slog.String("decision", dec.Plan.String()))
 	}
 	if err != nil {
 		attrs = append(attrs, slog.String("error", err.Error()))
@@ -648,15 +821,23 @@ func (s *Server) logRequest(ctx context.Context, federation string, q tpch.Query
 
 // newSweepCtx hands a sweep its own budget, rooted in the server's
 // lifetime rather than any request's: only the sweep goroutine itself
-// cancels it.
+// cancels it. A negative SweepTimeout skips the deadline context
+// entirely — sweeps then run until done or server shutdown.
 func (s *Server) newSweepCtx() (context.Context, context.CancelFunc) {
+	if s.cfg.SweepTimeout < 0 {
+		return s.lifeCtx, noopCancel
+	}
 	return context.WithTimeout(s.lifeCtx, s.cfg.SweepTimeout)
 }
+
+// noopCancel stands in for a CancelFunc when no deadline context was
+// created (package-level so handing it out never allocates).
+func noopCancel() {}
 
 // submit runs one admitted round: share a sweep, then select + execute
 // under this request's policy.
 func (s *Server) submit(ctx context.Context, t *tenant, q tpch.QueryID, pol ires.Policy) (*ires.Decision, bool, error) {
-	sw, coalesced, err := t.sharedSweep(ctx, s.newSweepCtx, q)
+	sw, coalesced, err := t.sharedSweep(ctx, s.sweepCtx, q)
 	if err != nil {
 		return nil, coalesced, err
 	}

@@ -1,0 +1,162 @@
+package midas
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/histstore"
+	"repro/internal/ires"
+	"repro/internal/server"
+	"repro/internal/tpch"
+)
+
+// ---------------------------------------------------------------------------
+// Serving hot path: one submission end to end through the server's
+// pooled decode → admission → select → execute → record → encode
+// pipeline. BenchmarkServeHotPath is benchgate-tracked for both ns/op
+// and allocs/op (the pools hold the steady state at single-digit
+// allocations per request); the ServeDurable family measures the same
+// path against a real WAL under the three durability settings.
+
+// buildServeScheduler assembles a full paper-scale scheduler (default
+// topology, calibrated scaled executor, DREAM model) with an optional
+// durable store, bootstrapped so serving starts warm.
+func buildServeScheduler(b *testing.B, store *histstore.Store) *ires.Scheduler {
+	b.Helper()
+	fed, err := federation.DefaultTopology(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal, err := federation.Calibrate(fed, 0.004, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec, err := federation.NewScaledExecutor(fed, cal, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := ires.NewDREAMModel(core.Config{MMax: 3 * (federation.FeatureDim + 2)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ires.SchedulerConfig{
+		NodeChoices: []int{1, 2, 4},
+		Seed:        1,
+	}
+	if store != nil {
+		// Assigned only when non-nil: a typed-nil *Store in the
+		// HistoryStore interface would dodge the scheduler's nil check.
+		cfg.Store = store
+	}
+	sched, err := ires.NewSchedulerWithConfig(fed, exec, model, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sched.Bootstrap(tpch.QueryQ12, 30); err != nil {
+		b.Fatal(err)
+	}
+	return sched
+}
+
+// fixedSweepSched pins PlanSweep to a precomputed sweep while selection,
+// execution and history recording stay real. This models the coalesced
+// steady state — under load most requests join an in-flight sweep
+// rather than leading one — so the benchmark isolates the per-request
+// serving cost the pools are designed to flatten.
+type fixedSweepSched struct {
+	*ires.Scheduler
+	sweep *ires.Sweep
+}
+
+func (f *fixedSweepSched) PlanSweep(ctx context.Context, q tpch.QueryID) (*ires.Sweep, error) {
+	return f.sweep, nil
+}
+
+// newServeBench wires a one-tenant server around sched.
+func newServeBench(b *testing.B, sched server.QueryScheduler) *server.Server {
+	b.Helper()
+	srv, err := server.NewWithSchedulers(server.Config{
+		// Negative disables the per-request and per-sweep deadlines:
+		// the benchmark measures the serving pipeline, not context
+		// machinery.
+		RequestTimeout: -1,
+		SweepTimeout:   -1,
+	}, map[string]server.QueryScheduler{"bench": sched}, []tpch.QueryID{tpch.QueryQ12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+var serveBody = []byte(`{"query": "Q12", "weights": [1, 1]}`)
+
+// BenchmarkServeHotPath measures one full submission — decode,
+// admission, Pareto selection, simulated execution, history append,
+// response encode — with the sweep precomputed (the coalesced steady
+// state) and histories in memory. Benchgate-tracked: allocs/op is the
+// regression signal for the pooled request path.
+func BenchmarkServeHotPath(b *testing.B) {
+	sched := buildServeScheduler(b, nil)
+	sw, err := sched.PlanSweep(context.Background(), tpch.QueryQ12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := newServeBench(b, &fixedSweepSched{Scheduler: sched, sweep: sw})
+	ctx := context.Background()
+	var resp bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp.Reset()
+		if status := srv.ServeSubmit(ctx, serveBody, &resp); status != http.StatusOK {
+			b.Fatalf("submit = %d: %s", status, resp.String())
+		}
+	}
+}
+
+// benchServeDurable is BenchmarkServeHotPath against a real WAL,
+// parallelized: concurrent submissions are exactly the regime where
+// group commit coalesces fsyncs.
+func benchServeDurable(b *testing.B, opts histstore.Options) {
+	store, err := histstore.Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	sched := buildServeScheduler(b, store)
+	sw, err := sched.PlanSweep(context.Background(), tpch.QueryQ12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := newServeBench(b, &fixedSweepSched{Scheduler: sched, sweep: sw})
+	ctx := context.Background()
+	// Durable submissions block on fsync, not CPU: run many goroutines
+	// per core so group commit has concurrency to coalesce even on
+	// small machines.
+	b.SetParallelism(32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var resp bytes.Buffer
+		for pb.Next() {
+			resp.Reset()
+			if status := srv.ServeSubmit(ctx, serveBody, &resp); status != http.StatusOK {
+				b.Fatalf("submit = %d: %s", status, resp.String())
+			}
+		}
+	})
+}
+
+// BenchmarkServeDurable spans the durability ladder docs/performance.md
+// tabulates: WAL without fsync, per-append fsync, and group commit
+// (per-append durability at coalesced-fsync cost). Deliberately not in
+// the benchgate pattern — fsync latency is hardware-dependent noise a
+// CI gate must not key on.
+func BenchmarkServeDurable(b *testing.B) {
+	b.Run("wal", func(b *testing.B) { benchServeDurable(b, histstore.Options{}) })
+	b.Run("fsync", func(b *testing.B) { benchServeDurable(b, histstore.Options{Fsync: true}) })
+	b.Run("group-commit", func(b *testing.B) { benchServeDurable(b, histstore.Options{GroupCommit: true}) })
+}
