@@ -9,18 +9,19 @@ COVER_PKGS ?= ./internal/server ./internal/core ./internal/histstore ./internal/
 
 # The regression-gated benchmarks: the Q12/Q13 serving sweeps, the
 # cold (uncached) window searches the incremental shared-Gram solver
-# owns, and the pooled serving hot path (ServeHotPath reports
-# allocs/op, the zero-alloc regression signal). The minimum of COUNT
+# owns, the pooled serving hot path (ServeHotPath reports allocs/op,
+# the zero-alloc regression signal), and the PlanSweep full-vs-greedy
+# family over the wide (Example 3.1) lattice. The minimum of COUNT
 # runs is compared by cmd/benchgate in CI. The fsync-bound ServeDurable
 # and WALAppend* benchmarks are deliberately NOT gated — fsync latency
 # is hardware noise a CI gate must not key on.
-SWEEP_PATTERN ?= Q1[23]Sweep|WindowSearchCold|DREAMEstimateUncached|ServeHotPath
+SWEEP_PATTERN ?= Q1[23]Sweep|WindowSearchCold|DREAMEstimateUncached|ServeHotPath|PlanSweep
 SWEEP_COUNT ?= 5
 
 # Where `make profile-sweep` drops its CPU profiles.
 PROFILE_DIR ?= profiles
 
-.PHONY: all build vet fmt-check lint linkcheck test test-short bench bench-smoke bench-sweep bench-json profile-sweep profile-serve cover help
+.PHONY: all build vet fmt-check lint linkcheck test test-short bench bench-smoke bench-sweep bench-json ablate-prune profile-sweep profile-serve cover help
 
 all: build lint test
 
@@ -65,6 +66,10 @@ bench-smoke:
 ## bench-sweep: repeated runs of the regression-gated sweep + cold-search benchmarks
 bench-sweep:
 	$(GO) test -run '^$$' -bench '$(SWEEP_PATTERN)' -benchtime 10x -count $(SWEEP_COUNT) .
+
+## ablate-prune: full-vs-GreedyPrune quality smoke — fails if pruned decisions drift past tolerance
+ablate-prune:
+	$(GO) test -run TestAblationPrune -v ./internal/experiments
 
 ## profile-sweep: CPU profile of the cold window-search benchmarks into $(PROFILE_DIR)/
 profile-sweep:

@@ -1,6 +1,7 @@
 package midas
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -389,6 +390,80 @@ func BenchmarkQ12SweepParallelUncached(b *testing.B) { benchPlanSweep(b, tpch.Qu
 // second-largest plan space.
 func BenchmarkQ13SweepSequential(b *testing.B) { benchPlanSweep(b, tpch.QueryQ13, 1, -1) }
 func BenchmarkQ13SweepParallel(b *testing.B)   { benchPlanSweep(b, tpch.QueryQ13, 0, 0) }
+
+// benchWidePlanSweep measures one warm PlanSweep over a WideTopology
+// lattice of 2·maxNodes² QEPs under the given prune policy (nil = the
+// default full sweep). The model cache is warmed outside the timer, so
+// the measurement isolates per-plan estimation work — the cost the
+// prune layer exists to cut. Distinct from benchPlanSweep above, which
+// drives OptimizeWSM on the default two-site topology.
+func benchWidePlanSweep(b *testing.B, maxNodes int, prune ires.PrunePolicy) {
+	b.Helper()
+	fed, err := federation.WideTopology(1, maxNodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal, err := federation.Calibrate(fed, 0.004, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec, err := federation.NewScaledExecutor(fed, cal, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := ires.NewDREAMModel(core.Config{MMax: 3 * (federation.FeatureDim + 2)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := ires.NewSchedulerWithConfig(fed, exec, model, ires.SchedulerConfig{
+		NodeChoices: federation.NodeRange(maxNodes),
+		Seed:        1,
+		Prune:       prune,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sched.Bootstrap(tpch.QueryQ12, 24); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sched.PlanSweep(ctx, tpch.QueryQ12); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.PlanSweep(ctx, tpch.QueryQ12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanSweep contrasts the default full sweep with GreedyPrune
+// at two lattice sizes: P200 (maxNodes 10) and P18200 (maxNodes 96, the
+// paper's Example 3.1 regime of 18,200+ equivalent QEPs). The Greedy
+// cases use the policy's default budget and must stay well under their
+// Full counterparts — this family is regression-gated by the benchgate.
+func BenchmarkPlanSweep(b *testing.B) {
+	for _, pol := range []struct {
+		name  string
+		prune func() ires.PrunePolicy
+	}{
+		{"Full", func() ires.PrunePolicy { return nil }},
+		{"Greedy", func() ires.PrunePolicy { return ires.GreedyPrune(0) }},
+	} {
+		for _, sz := range []struct {
+			name     string
+			maxNodes int
+		}{
+			{"P200", 10},
+			{"P18200", 96},
+		} {
+			b.Run(pol.name+"/"+sz.name, func(b *testing.B) {
+				benchWidePlanSweep(b, sz.maxNodes, pol.prune())
+			})
+		}
+	}
+}
 
 // BenchmarkNSGAIIZdt1 measures the optimizer on the standard ZDT1
 // benchmark problem.

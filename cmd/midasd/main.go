@@ -95,9 +95,11 @@ func run() error {
 		calibSF     = flag.Float64("calib-sf", 0.004, "calibration scale factor")
 		parallelism = flag.Int("parallelism", 0, "estimation worker pool (0 = GOMAXPROCS)")
 		cacheSize   = flag.Int("cache-size", 0, "model cache size (0 = default, negative disables)")
-		nodeChoices = flag.String("node-choices", "1,2,4", "comma-separated cluster-size menu")
+		nodeChoices = flag.String("node-choices", "1,2,4", "comma-separated cluster-size menu (no duplicates)")
 		bootstrap   = flag.Int("bootstrap", 20, "bootstrap executions per served query")
 		queries     = flag.String("queries", "", "comma-separated query subset (default: all)")
+		prunePolicy = flag.String("prune-policy", "full", "plan-sweep prune policy: full (estimate every QEP), greedy (cost-ordered walk with early termination), topk (deterministic sample)")
+		pruneBudget = flag.Int("prune-budget", 0, "max QEPs estimated per sweep for greedy/topk (0 = policy default)")
 
 		queueDepth     = flag.Int("queue-depth", 1024, "bounded admission queue depth")
 		requestTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request budget (exceeded → 504)")
@@ -127,7 +129,7 @@ func run() error {
 	slog.SetDefault(logger)
 
 	specs, err := federationSpecs(*configPath, *name, *topology, *seed, *sf, *calibSF,
-		*parallelism, *cacheSize, *nodeChoices, *bootstrap, *queries)
+		*parallelism, *cacheSize, *nodeChoices, *bootstrap, *queries, *prunePolicy, *pruneBudget)
 	if err != nil {
 		return err
 	}
@@ -232,9 +234,12 @@ func debugMux(srv *server.Server) *http.ServeMux {
 }
 
 // federationSpecs resolves the hosted federations from -config or the
-// single-federation flags.
+// single-federation flags. With -config, per-federation "prune_policy"
+// and "prune_budget" JSON fields override the flags (which apply only
+// to the single-federation mode).
 func federationSpecs(configPath, name, topology string, seed int64, sf, calibSF float64,
-	parallelism, cacheSize int, nodeChoices string, bootstrap int, queries string) ([]server.FederationSpec, error) {
+	parallelism, cacheSize int, nodeChoices string, bootstrap int, queries,
+	prunePolicy string, pruneBudget int) ([]server.FederationSpec, error) {
 	if configPath != "" {
 		specs, err := server.LoadSpecsFile(configPath)
 		if err != nil {
@@ -259,6 +264,8 @@ func federationSpecs(configPath, name, topology string, seed int64, sf, calibSF 
 		CacheSize:   cacheSize,
 		NodeChoices: nodes,
 		Bootstrap:   bootstrap,
+		PrunePolicy: prunePolicy,
+		PruneBudget: pruneBudget,
 	}
 	if queries != "" {
 		spec.Queries = strings.Split(queries, ",")

@@ -164,39 +164,19 @@ func (p Plan) String() string {
 }
 
 // EnumeratePlans expands a query into its equivalent QEPs over the
-// given cluster-size choices (paper Example 3.1). Node choices beyond a
-// site's MaxNodes are skipped.
+// given cluster-size choices (paper Example 3.1). It is the batch
+// convenience form of PlanIterator: the returned slice is the
+// iterator's walk materialized in the same deterministic order
+// (join-at-left first, then per-site sizes in menu order). Node
+// choices beyond a site's MaxNodes are skipped; empty, non-positive,
+// or duplicate menus are rejected (see ValidateNodeChoices). The slice
+// is shared with the lattice — treat it as read-only.
 func (f *Federation) EnumeratePlans(q tpch.QueryID, nodeChoices []int) ([]Plan, error) {
-	leftTable, rightTable := q.Tables()
-	if leftTable == "" {
-		return nil, fmt.Errorf("federation: query %v has no table metadata", q)
-	}
-	left, err := f.SiteOf(leftTable)
+	lat, err := f.PlanLattice(q, nodeChoices)
 	if err != nil {
 		return nil, err
 	}
-	right, err := f.SiteOf(rightTable)
-	if err != nil {
-		return nil, err
-	}
-	var plans []Plan
-	for _, joinAtLeft := range []bool{true, false} {
-		for _, nl := range nodeChoices {
-			if nl < 1 || nl > left.MaxNodes {
-				continue
-			}
-			for _, nr := range nodeChoices {
-				if nr < 1 || nr > right.MaxNodes {
-					continue
-				}
-				plans = append(plans, Plan{
-					Query: q, JoinAtLeft: joinAtLeft,
-					NodesLeft: nl, NodesRight: nr,
-				})
-			}
-		}
-	}
-	return plans, nil
+	return lat.Plans(), nil
 }
 
 // FeatureDim is the length of plan feature vectors.

@@ -1,0 +1,225 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/tpch"
+)
+
+// This file is the streaming half of plan enumeration. A PlanLattice is
+// the validated descriptor of one query's QEP space — 2 join placements
+// × the feasible cluster sizes at each site — and a PlanIterator walks
+// it lazily in a fixed order. EnumeratePlans (federation.go's historic
+// batch API) is a thin wrapper that materializes the walk; everything
+// downstream that wants to avoid touching all ~18,200 plans of the
+// paper's Example 3.1 regime pulls from the iterator instead.
+
+// ErrBadNodeChoices wraps every node-choice validation failure, so
+// callers can distinguish a malformed menu from enumeration errors.
+var ErrBadNodeChoices = errors.New("federation: bad node choices")
+
+// ValidateNodeChoices rejects degenerate cluster-size menus up front:
+// empty menus, non-positive sizes, and duplicate entries all produce a
+// descriptive error instead of a silently empty or double-counted plan
+// lattice. Choices above a site's MaxNodes stay legal — capacity is a
+// per-site property, and the lattice simply skips them for that site.
+func ValidateNodeChoices(nodeChoices []int) error {
+	if len(nodeChoices) == 0 {
+		return fmt.Errorf("%w: empty menu", ErrBadNodeChoices)
+	}
+	seen := make(map[int]struct{}, len(nodeChoices))
+	for i, n := range nodeChoices {
+		if n < 1 {
+			return fmt.Errorf("%w: non-positive entry %d at index %d", ErrBadNodeChoices, n, i)
+		}
+		if _, dup := seen[n]; dup {
+			return fmt.Errorf("%w: duplicate entry %d at index %d", ErrBadNodeChoices, n, i)
+		}
+		seen[n] = struct{}{}
+	}
+	return nil
+}
+
+// NodeRange returns the dense cluster-size menu {1, 2, ..., n} — the
+// convenient way to drive a site to its full capacity and reach the
+// paper's Example 3.1 plan counts (NodeRange(96) on WideTopology gives
+// 2×96×96 = 18,432 QEPs per query).
+func NodeRange(n int) []int {
+	if n < 1 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// PlanLattice is one query's space of equivalent QEPs: the cross
+// product of join placement (left or right site) with the feasible
+// cluster sizes at each site. It is immutable after construction;
+// Size and At are O(1), so the lattice can be consumed positionally
+// from many goroutines without materializing a slice.
+type PlanLattice struct {
+	query tpch.QueryID
+	// left and right hold the in-capacity cluster sizes per site, in
+	// menu order — the axes of the lattice.
+	left, right []int
+
+	// plans materializes the full walk on first use of Plans().
+	plansOnce sync.Once
+	plans     []Plan
+}
+
+// PlanLattice validates nodeChoices and builds the QEP lattice for q.
+// Beyond ValidateNodeChoices failures, it errors when a site ends up
+// with no feasible cluster size at all (every menu entry above
+// MaxNodes), which would otherwise enumerate zero plans.
+func (f *Federation) PlanLattice(q tpch.QueryID, nodeChoices []int) (*PlanLattice, error) {
+	if err := ValidateNodeChoices(nodeChoices); err != nil {
+		return nil, fmt.Errorf("%w (query %v)", err, q)
+	}
+	leftTable, rightTable := q.Tables()
+	if leftTable == "" {
+		return nil, fmt.Errorf("federation: query %v has no table metadata", q)
+	}
+	left, err := f.SiteOf(leftTable)
+	if err != nil {
+		return nil, err
+	}
+	right, err := f.SiteOf(rightTable)
+	if err != nil {
+		return nil, err
+	}
+	feasible := func(site *Site) []int {
+		out := make([]int, 0, len(nodeChoices))
+		for _, n := range nodeChoices {
+			if n <= site.MaxNodes {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	lc, rc := feasible(left), feasible(right)
+	if len(lc) == 0 {
+		return nil, fmt.Errorf("%w: no entry within site %q capacity %d (query %v)",
+			ErrBadNodeChoices, left.Name, left.MaxNodes, q)
+	}
+	if len(rc) == 0 {
+		return nil, fmt.Errorf("%w: no entry within site %q capacity %d (query %v)",
+			ErrBadNodeChoices, right.Name, right.MaxNodes, q)
+	}
+	return &PlanLattice{query: q, left: lc, right: rc}, nil
+}
+
+// Query returns the query the lattice enumerates plans for.
+func (l *PlanLattice) Query() tpch.QueryID { return l.query }
+
+// Size is the number of QEPs in the lattice: 2 join placements × the
+// feasible sizes per site.
+func (l *PlanLattice) Size() int { return 2 * len(l.left) * len(l.right) }
+
+// Dims reports the lattice axes: join placements (always 2) and the
+// number of feasible cluster sizes at the left and right site. Size()
+// == sides×left×right.
+func (l *PlanLattice) Dims() (sides, left, right int) {
+	return 2, len(l.left), len(l.right)
+}
+
+// Index maps a lattice point to its flat position in iteration order
+// (side-major, then left axis, then right axis — the order Next and At
+// share). side 0 is join-at-left, matching the historic EnumeratePlans
+// order.
+func (l *PlanLattice) Index(side, li, ri int) int {
+	return side*len(l.left)*len(l.right) + li*len(l.right) + ri
+}
+
+// At returns the i-th plan of the deterministic iteration order.
+// It panics if i is out of [0, Size()).
+func (l *PlanLattice) At(i int) Plan {
+	block := len(l.left) * len(l.right)
+	if i < 0 || i >= 2*block {
+		panic(fmt.Sprintf("federation: plan index %d out of range [0, %d)", i, 2*block))
+	}
+	side, rem := i/block, i%block
+	return Plan{
+		Query:      l.query,
+		JoinAtLeft: side == 0,
+		NodesLeft:  l.left[rem/len(l.right)],
+		NodesRight: l.right[rem%len(l.right)],
+	}
+}
+
+// Plans materializes the full lattice walk once and returns the shared
+// slice. Callers must treat it as read-only; it is the batch form
+// EnumeratePlans hands out.
+func (l *PlanLattice) Plans() []Plan {
+	l.plansOnce.Do(func() {
+		plans := make([]Plan, l.Size())
+		for i := range plans {
+			plans[i] = l.At(i)
+		}
+		l.plans = plans
+	})
+	return l.plans
+}
+
+// Iterator returns a fresh cursor over the lattice. Iterators are
+// cheap; take one per consumer rather than sharing (a PlanIterator is
+// not safe for concurrent use, but its positional At/Size views are).
+func (l *PlanLattice) Iterator() *PlanIterator {
+	return &PlanIterator{lat: l}
+}
+
+// PlanIterator is a lazy, resettable generator over a PlanLattice in
+// deterministic order: join-at-left plans first, then join-at-right,
+// each in (left size, right size) menu order — exactly the historic
+// EnumeratePlans order, so a full drain is byte-identical to the batch
+// API. It also exposes the positional (Size/At) and shape (Dims/Index)
+// views prune policies use to sample the lattice without draining it.
+type PlanIterator struct {
+	lat  *PlanLattice
+	next int
+}
+
+// Next returns the next plan in iteration order, or ok=false once the
+// lattice is exhausted.
+func (it *PlanIterator) Next() (Plan, bool) {
+	if it.next >= it.lat.Size() {
+		return Plan{}, false
+	}
+	p := it.lat.At(it.next)
+	it.next++
+	return p, true
+}
+
+// Reset rewinds the iterator to the first plan.
+func (it *PlanIterator) Reset() { it.next = 0 }
+
+// Size is the total number of plans the iterator ranges over.
+func (it *PlanIterator) Size() int { return it.lat.Size() }
+
+// At returns the i-th plan without moving the cursor.
+func (it *PlanIterator) At(i int) Plan { return it.lat.At(i) }
+
+// Dims exposes the underlying lattice shape (see PlanLattice.Dims).
+func (it *PlanIterator) Dims() (sides, left, right int) { return it.lat.Dims() }
+
+// Index maps a lattice point to its flat position (see
+// PlanLattice.Index).
+func (it *PlanIterator) Index(side, li, ri int) int { return it.lat.Index(side, li, ri) }
+
+// Lattice returns the iterated lattice.
+func (it *PlanIterator) Lattice() *PlanLattice { return it.lat }
+
+// PlanIterator builds the lattice for q and returns a cursor over it —
+// the streaming counterpart of EnumeratePlans.
+func (f *Federation) PlanIterator(q tpch.QueryID, nodeChoices []int) (*PlanIterator, error) {
+	lat, err := f.PlanLattice(q, nodeChoices)
+	if err != nil {
+		return nil, err
+	}
+	return lat.Iterator(), nil
+}

@@ -1,0 +1,152 @@
+package federation
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/tpch"
+)
+
+func TestValidateNodeChoices(t *testing.T) {
+	cases := []struct {
+		name    string
+		choices []int
+		ok      bool
+	}{
+		{"valid", []int{1, 2, 4}, true},
+		{"valid-over-capacity", []int{1, 8, 64}, true},
+		{"empty", nil, false},
+		{"zero", []int{1, 0}, false},
+		{"negative", []int{-2, 1}, false},
+		{"duplicate", []int{1, 2, 2}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateNodeChoices(tc.choices)
+			if tc.ok && err != nil {
+				t.Fatalf("ValidateNodeChoices(%v) = %v, want nil", tc.choices, err)
+			}
+			if !tc.ok {
+				if !errors.Is(err, ErrBadNodeChoices) {
+					t.Fatalf("ValidateNodeChoices(%v) = %v, want ErrBadNodeChoices", tc.choices, err)
+				}
+			}
+		})
+	}
+}
+
+func TestEnumeratePlansRejectsBadMenus(t *testing.T) {
+	fed := defaultFed(t)
+	for _, choices := range [][]int{nil, {}, {0}, {-1, 2}, {2, 2}} {
+		if _, err := fed.EnumeratePlans(tpch.QueryQ12, choices); !errors.Is(err, ErrBadNodeChoices) {
+			t.Errorf("EnumeratePlans(%v) err = %v, want ErrBadNodeChoices", choices, err)
+		}
+	}
+	// A menu entirely above one site's capacity enumerates zero plans on
+	// that axis; that degenerate lattice is an error too (postgres-azure
+	// caps at 4 nodes in the default topology).
+	if _, err := fed.EnumeratePlans(tpch.QueryQ12, []int{8, 16}); !errors.Is(err, ErrBadNodeChoices) {
+		t.Errorf("all-over-capacity menu err = %v, want ErrBadNodeChoices", err)
+	}
+}
+
+// TestIteratorMatchesEnumerate pins the iterator contract: draining
+// Next reproduces the batch slice exactly, Reset rewinds, and the
+// positional At view agrees with the cursor order.
+func TestIteratorMatchesEnumerate(t *testing.T) {
+	fed := defaultFed(t)
+	choices := []int{1, 2, 4, 8, 16} // 8 and 16 exceed postgres-azure capacity
+	plans, err := fed.EnumeratePlans(tpch.QueryQ12, choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := fed.PlanIterator(tpch.QueryQ12, choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Size() != len(plans) {
+		t.Fatalf("iterator Size = %d, want %d", it.Size(), len(plans))
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i, want := range plans {
+			got, ok := it.Next()
+			if !ok {
+				t.Fatalf("pass %d: iterator exhausted at %d/%d", pass, i, len(plans))
+			}
+			if got != want {
+				t.Fatalf("pass %d: plan %d = %v, want %v", pass, i, got, want)
+			}
+			if at := it.At(i); at != want {
+				t.Fatalf("At(%d) = %v, want %v", i, at, want)
+			}
+		}
+		if _, ok := it.Next(); ok {
+			t.Fatalf("pass %d: iterator yields past Size", pass)
+		}
+		it.Reset()
+	}
+}
+
+func TestLatticeDimsAndIndex(t *testing.T) {
+	fed := defaultFed(t)
+	lat, err := fed.PlanLattice(tpch.QueryQ12, []int{1, 2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sides, left, right := lat.Dims()
+	// hive-aws keeps all 5 choices, postgres-azure (MaxNodes 4) keeps 3.
+	if sides != 2 || left != 5 || right != 3 {
+		t.Fatalf("Dims = (%d, %d, %d), want (2, 5, 3)", sides, left, right)
+	}
+	if lat.Size() != sides*left*right {
+		t.Fatalf("Size = %d, want %d", lat.Size(), sides*left*right)
+	}
+	// Index must be the inverse of At's decoding over the whole lattice.
+	i := 0
+	for s := 0; s < sides; s++ {
+		for li := 0; li < left; li++ {
+			for ri := 0; ri < right; ri++ {
+				if got := lat.Index(s, li, ri); got != i {
+					t.Fatalf("Index(%d,%d,%d) = %d, want %d", s, li, ri, got, i)
+				}
+				i++
+			}
+		}
+	}
+	if lat.Query() != tpch.QueryQ12 {
+		t.Fatalf("Query = %v", lat.Query())
+	}
+}
+
+func TestNodeRange(t *testing.T) {
+	if got := NodeRange(4); !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("NodeRange(4) = %v", got)
+	}
+	if got := NodeRange(0); got != nil {
+		t.Fatalf("NodeRange(0) = %v, want nil", got)
+	}
+}
+
+// TestWideTopologyReachesPaperRegime checks the Example 3.1 scale: a
+// 96-node-wide federation with the dense menu enumerates at least the
+// paper's 18,200 equivalent QEPs.
+func TestWideTopologyReachesPaperRegime(t *testing.T) {
+	fed, err := WideTopology(1, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := fed.PlanIterator(tpch.QueryQ12, NodeRange(96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Size() != 2*96*96 {
+		t.Fatalf("Size = %d, want %d", it.Size(), 2*96*96)
+	}
+	if it.Size() < 18200 {
+		t.Fatalf("Size = %d, below the paper's 18,200-plan regime", it.Size())
+	}
+	if _, err := WideTopology(1, 0); err == nil {
+		t.Fatal("WideTopology(…, 0) accepted")
+	}
+}

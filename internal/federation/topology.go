@@ -1,6 +1,8 @@
 package federation
 
 import (
+	"fmt"
+
 	"repro/internal/cloud"
 	"repro/internal/engine"
 )
@@ -32,6 +34,48 @@ func DefaultTopology(seed int64) (*Federation, error) {
 		Engine:   engine.Postgres(),
 		Instance: "B2MS",
 		MaxNodes: 4, // PostgreSQL does not scale out; small pool
+		Load:     cloud.NewLoadProcess(seed + 2),
+	}
+	return New(Config{
+		Sites: []*Site{hiveSite, pgSite},
+		Catalog: map[string]string{
+			"lineitem": hiveSite.Name,
+			"customer": hiveSite.Name,
+			"orders":   pgSite.Name,
+			"part":     pgSite.Name,
+		},
+		DefaultLink: cloud.Link{BandwidthMiBps: 110, LatencyS: 0.07},
+		NoiseStd:    0.10,
+		Seed:        seed + 3,
+	})
+}
+
+// WideTopology is the default two-site deployment scaled out until the
+// QEP lattice reaches the regime of the paper's Example 3.1 (18,200
+// equivalent plans for one query): both sites rent clusters of up to
+// maxNodes VMs, so with the dense menu NodeRange(maxNodes) a query
+// enumerates 2×maxNodes² QEPs — maxNodes 96 gives 18,432 ≥ 18,200.
+// Engines, catalog, links, and noise match DefaultTopology; only the
+// capacity ceiling changes, which keeps costs comparable across the
+// ablation's federation sizes.
+func WideTopology(seed int64, maxNodes int) (*Federation, error) {
+	if maxNodes < 1 {
+		return nil, fmt.Errorf("federation: wide topology needs maxNodes >= 1, got %d", maxNodes)
+	}
+	hiveSite := &Site{
+		Name:     "hive-aws",
+		Provider: cloud.Amazon(),
+		Engine:   engine.Hive(),
+		Instance: "a1.xlarge",
+		MaxNodes: maxNodes,
+		Load:     cloud.NewLoadProcess(seed + 1),
+	}
+	pgSite := &Site{
+		Name:     "postgres-azure",
+		Provider: cloud.Microsoft(),
+		Engine:   engine.Postgres(),
+		Instance: "B2MS",
+		MaxNodes: maxNodes,
 		Load:     cloud.NewLoadProcess(seed + 2),
 	}
 	return New(Config{

@@ -239,17 +239,22 @@ type Scheduler struct {
 	// the first query is touched (histories already created in memory
 	// are not migrated). Nil keeps the paper's in-memory behavior.
 	Store HistoryStore
+	// Prune selects which QEPs of the lattice PlanSweep estimates
+	// (see PrunePolicy). Nil means FullSweep(): every plan, in lattice
+	// order — the paper's behavior. The bundled policies are
+	// deterministic at any Parallelism, so the byte-identical-decisions
+	// guarantee holds for pruned sweeps too.
+	Prune PrunePolicy
 
 	histMu    sync.Mutex
 	histories map[tpch.QueryID]*core.History
 	rng       *stats.RNG
 
-	// planCache holds each query's enumerated QEP space: the space
-	// depends only on the query and NodeChoices, both fixed for the
-	// scheduler's lifetime, so it is computed once and shared (callers
-	// treat the slice as immutable).
+	// planCache holds each query's QEP lattice: the space depends only
+	// on the query and NodeChoices, both fixed for the scheduler's
+	// lifetime, so it is built once and shared (lattices are immutable).
 	planMu    sync.RWMutex
-	planCache map[tpch.QueryID][]federation.Plan
+	planCache map[tpch.QueryID]*federation.PlanLattice
 	// featCache holds each plan's estimation feature vector. The
 	// Executor contract makes Features deterministic for a fixed
 	// executor (both executors derive it from fixed table sizes), so
@@ -270,6 +275,12 @@ func NewScheduler(fed *federation.Federation, exec federation.Executor, model Co
 	}
 	if len(nodeChoices) == 0 {
 		nodeChoices = []int{1, 2, 4, 8, 16}
+	}
+	// Fail at assembly, not mid-sweep: a malformed cluster-size menu
+	// (duplicates, non-positive sizes) would otherwise surface as a
+	// lattice error on the first request.
+	if err := federation.ValidateNodeChoices(nodeChoices); err != nil {
+		return nil, err
 	}
 	return &Scheduler{
 		Fed:         fed,
@@ -348,25 +359,35 @@ func (s *Scheduler) Checkpoint() error {
 	return first
 }
 
-// plans returns q's enumerated QEP space through planCache.
-func (s *Scheduler) plans(q tpch.QueryID) ([]federation.Plan, error) {
+// lattice returns q's QEP lattice through planCache.
+func (s *Scheduler) lattice(q tpch.QueryID) (*federation.PlanLattice, error) {
 	s.planMu.RLock()
-	plans, ok := s.planCache[q]
+	lat, ok := s.planCache[q]
 	s.planMu.RUnlock()
 	if ok {
-		return plans, nil
+		return lat, nil
 	}
-	plans, err := s.Fed.EnumeratePlans(q, s.NodeChoices)
+	lat, err := s.Fed.PlanLattice(q, s.NodeChoices)
 	if err != nil {
 		return nil, err
 	}
 	s.planMu.Lock()
 	if s.planCache == nil {
-		s.planCache = make(map[tpch.QueryID][]federation.Plan)
+		s.planCache = make(map[tpch.QueryID]*federation.PlanLattice)
 	}
-	s.planCache[q] = plans
+	s.planCache[q] = lat
 	s.planMu.Unlock()
-	return plans, nil
+	return lat, nil
+}
+
+// plans returns q's enumerated QEP space — the lattice's batch form
+// (shared slice, treat as read-only).
+func (s *Scheduler) plans(q tpch.QueryID) ([]federation.Plan, error) {
+	lat, err := s.lattice(q)
+	if err != nil {
+		return nil, err
+	}
+	return lat.Plans(), nil
 }
 
 // features returns p's estimation feature vector through featCache.
@@ -435,9 +456,15 @@ type Decision struct {
 	Plan      federation.Plan
 	Estimated []float64 // model-predicted cost vector of the chosen plan
 	Outcome   *federation.Outcome
-	// ParetoSize is the size of the Pareto plan set the choice was
-	// made from; PlanSpace the number of enumerated QEPs.
-	ParetoSize, PlanSpace int
+	// ParetoSize is the size of the Pareto plan set the choice was made
+	// from; PlanSpace the size of the full QEP lattice; PlansEstimated
+	// the number of QEPs the Modelling module actually scored (equal to
+	// PlanSpace under the default FullSweep, smaller under a pruning
+	// policy).
+	ParetoSize, PlanSpace, PlansEstimated int
+	// PrunePolicy names the prune policy that shaped the sweep
+	// ("full", "greedy", "topk").
+	PrunePolicy string
 }
 
 // Submit runs one full pipeline round for query q: enumerate QEPs,
@@ -467,6 +494,9 @@ func (s *Scheduler) SubmitContext(ctx context.Context, q tpch.QueryID, pol Polic
 // same query can share one sweep and differ only in selection.
 type Sweep struct {
 	Query tpch.QueryID
+	// Plans holds the QEPs the sweep actually estimated: the whole
+	// lattice under FullSweep (the default), the pruned subset under a
+	// pruning policy.
 	Plans []federation.Plan
 	// Costs is the model cost vector of every plan, in plan order.
 	Costs [][]float64
@@ -476,20 +506,28 @@ type Sweep struct {
 	// and their min-max rescaling (constraints check raw values, the
 	// weighted sum compares normalized ones).
 	FrontCosts, Normalized [][]float64
+	// PlanSpace is the size of the full QEP lattice the sweep drew
+	// from; PlansEstimated (= len(Plans)) counts the QEPs the prune
+	// policy actually scored, so PlanSpace/PlansEstimated is the live
+	// pruning ratio. Policy names the prune policy ("full" when none
+	// was configured).
+	PlanSpace, PlansEstimated int
+	Policy                    string
 }
 
-// PlanSweep enumerates the QEPs of q, estimates each against one
-// history snapshot and reduces to the Pareto set. The expensive fan-out
-// observes ctx.
+// PlanSweep builds the QEP lattice of q, pulls plans through the
+// configured PrunePolicy (default: all of them) into the estimation
+// pool, scoring each against one history snapshot, and reduces to the
+// Pareto set. The expensive fan-out observes ctx.
 func (s *Scheduler) PlanSweep(ctx context.Context, q tpch.QueryID) (sw *Sweep, err error) {
 	if s.obs != nil {
 		began := time.Now()
 		defer func() {
-			planCount := 0
+			planCount, planSpace := 0, 0
 			if sw != nil {
-				planCount = len(sw.Plans)
+				planCount, planSpace = len(sw.Plans), sw.PlanSpace
 			}
-			s.observeSweep(q.String(), began, planCount, err)
+			s.observeSweep(q.String(), began, planCount, planSpace, err)
 		}()
 	}
 	h, err := s.OpenHistory(q)
@@ -499,11 +537,19 @@ func (s *Scheduler) PlanSweep(ctx context.Context, q tpch.QueryID) (sw *Sweep, e
 	if h.Len() == 0 {
 		return nil, fmt.Errorf("%w: %v (run Bootstrap first)", ErrNoHistory, q)
 	}
-	plans, err := s.plans(q)
+	lat, err := s.lattice(q)
 	if err != nil {
 		return nil, err
 	}
-	costs, err := s.estimatePlans(ctx, h, plans)
+	pruner := s.Prune
+	if pruner == nil {
+		pruner = FullSweep()
+	}
+	plans, costs, err := pruner.sweep(ctx, &planSweeper{
+		s:         s,
+		src:       lat.Iterator(),
+		estimateX: s.estimateFn(h),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -518,12 +564,15 @@ func (s *Scheduler) PlanSweep(ctx context.Context, q tpch.QueryID) (sw *Sweep, e
 	// Normalize so seconds and dollars are comparable before the
 	// weighted sum (Algorithm 2's WeightSum over user policy).
 	return &Sweep{
-		Query:      q,
-		Plans:      plans,
-		Costs:      costs,
-		FrontIdx:   frontIdx,
-		FrontCosts: frontCosts,
-		Normalized: moo.NormalizeCosts(frontCosts),
+		Query:          q,
+		Plans:          plans,
+		Costs:          costs,
+		FrontIdx:       frontIdx,
+		FrontCosts:     frontCosts,
+		Normalized:     moo.NormalizeCosts(frontCosts),
+		PlanSpace:      lat.Size(),
+		PlansEstimated: len(plans),
+		Policy:         pruner.Name(),
 	}, nil
 }
 
@@ -558,12 +607,23 @@ func (s *Scheduler) DecideFromSweep(sw *Sweep, pol Policy) (*Decision, error) {
 	if err := s.Record(sw.Query, x, out.Costs()); err != nil {
 		return nil, err
 	}
+	// Sweeps built by hand (tests, embedders) may leave the bookkeeping
+	// fields zero; fall back to the pre-pruning interpretation.
+	planSpace, policy := sw.PlanSpace, sw.Policy
+	if planSpace == 0 {
+		planSpace = len(sw.Plans)
+	}
+	if policy == "" {
+		policy = "full"
+	}
 	return &Decision{
-		Plan:       chosen,
-		Estimated:  sw.Costs[idx],
-		Outcome:    out,
-		ParetoSize: len(sw.FrontIdx),
-		PlanSpace:  len(sw.Plans),
+		Plan:           chosen,
+		Estimated:      sw.Costs[idx],
+		Outcome:        out,
+		ParetoSize:     len(sw.FrontIdx),
+		PlanSpace:      planSpace,
+		PlansEstimated: len(sw.Plans),
+		PrunePolicy:    policy,
 	}, nil
 }
 

@@ -35,6 +35,7 @@ type schedulerObs struct {
 	federation     string
 	sweepSeconds   *metrics.HistogramVec // {federation, query}
 	plansEstimated *metrics.CounterVec   // {federation, query}
+	planSpace      *metrics.GaugeVec     // {federation, query}
 	sweepErrors    *metrics.CounterVec   // {federation, query}
 }
 
@@ -58,7 +59,10 @@ func (s *Scheduler) InstrumentScheduler(reg *metrics.Registry, federation string
 			"Wall time of one plan sweep (enumerate, estimate every QEP, Pareto-reduce).",
 			nil, "federation", "query"),
 		plansEstimated: reg.CounterVec("midas_plans_estimated_total",
-			"Query execution plans scored by the Modelling module.",
+			"Query execution plans scored by the Modelling module (after pruning).",
+			"federation", "query"),
+		planSpace: reg.GaugeVec("midas_plan_space",
+			"Size of the full QEP lattice of the most recent sweep; compare with the per-sweep increment of midas_plans_estimated_total to read the live pruning ratio.",
 			"federation", "query"),
 		sweepErrors: reg.CounterVec("midas_sweep_errors_total",
 			"Plan sweeps that failed (cancelled, timed out, or estimation error).",
@@ -105,8 +109,10 @@ func (s *Scheduler) InstrumentScheduler(reg *metrics.Registry, federation string
 	}
 }
 
-// observeSweep records one finished (or failed) sweep.
-func (s *Scheduler) observeSweep(query string, began time.Time, planCount int, err error) {
+// observeSweep records one finished (or failed) sweep. planCount is
+// the number of QEPs estimated (after pruning), planSpace the full
+// lattice size.
+func (s *Scheduler) observeSweep(query string, began time.Time, planCount, planSpace int, err error) {
 	o := s.obs
 	if o == nil {
 		return
@@ -117,4 +123,5 @@ func (s *Scheduler) observeSweep(query string, began time.Time, planCount int, e
 	}
 	o.sweepSeconds.With(o.federation, query).Observe(time.Since(began).Seconds())
 	o.plansEstimated.With(o.federation, query).Add(float64(planCount))
+	o.planSpace.With(o.federation, query).Set(float64(planSpace))
 }

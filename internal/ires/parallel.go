@@ -39,6 +39,11 @@ type SchedulerConfig struct {
 	// model cache when the model supports it (DREAM variants do).
 	// 0 keeps the model's own configuration; negative disables caching.
 	CacheSize int
+	// Prune selects which QEPs of the lattice PlanSweep estimates. Nil
+	// keeps the default FullSweep() — every plan, byte-identical to the
+	// historic eager enumeration. See GreedyPrune and TopK for the
+	// bounded-budget policies.
+	Prune PrunePolicy
 	// Store injects a durable history store (see HistoryStore): query
 	// histories are recovered from it at first touch and every recorded
 	// execution is persisted through it. Nil keeps histories in memory.
@@ -68,6 +73,7 @@ func NewSchedulerWithConfig(fed *federation.Federation, exec federation.Executor
 	}
 	s.Parallelism = cfg.Parallelism
 	s.Store = cfg.Store
+	s.Prune = cfg.Prune
 	if cfg.CacheSize != 0 {
 		if ms, ok := model.(ModelCacheSizer); ok {
 			ms.SetModelCacheSize(cfg.CacheSize)
@@ -111,16 +117,26 @@ func (s *Scheduler) estimateFn(h *core.History) func(x []float64) ([]float64, er
 // bounded pool; the first error (by lowest plan index among those
 // actually estimated) cancels the remaining work.
 func (s *Scheduler) estimatePlans(ctx context.Context, h *core.History, plans []federation.Plan) ([][]float64, error) {
-	costs := make([][]float64, len(plans))
-	estimateX := s.estimateFn(h)
+	return s.estimateIndexed(ctx, s.estimateFn(h),
+		func(i int) federation.Plan { return plans[i] }, len(plans))
+}
+
+// estimateIndexed is the estimation fan-out behind estimatePlans and
+// every prune policy: it scores the n plans addressed by planAt with a
+// round's estimateX closure, collecting cost vectors positionally.
+// planAt must be cheap and safe for concurrent use (a lattice At or a
+// slice index).
+func (s *Scheduler) estimateIndexed(ctx context.Context, estimateX func(x []float64) ([]float64, error), planAt func(i int) federation.Plan, n int) ([][]float64, error) {
+	costs := make([][]float64, n)
 	estimate := func(i int) error {
-		x, err := s.Exec.Features(plans[i])
+		p := planAt(i)
+		x, err := s.Exec.Features(p)
 		if err != nil {
 			return err
 		}
 		c, err := estimateX(x)
 		if err != nil {
-			return fmt.Errorf("ires: estimating %v: %w", plans[i], err)
+			return fmt.Errorf("ires: estimating %v: %w", p, err)
 		}
 		// Negative predictions are meaningless for time/money; clamp
 		// so dominance computations stay sane.
@@ -133,8 +149,8 @@ func (s *Scheduler) estimatePlans(ctx context.Context, h *core.History, plans []
 		return nil
 	}
 
-	if s.workers(len(plans)) == 1 {
-		for i := range plans {
+	if s.workers(n) == 1 {
+		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
@@ -151,7 +167,7 @@ func (s *Scheduler) estimatePlans(ctx context.Context, h *core.History, plans []
 		next     int64 = -1
 		wg       sync.WaitGroup
 		mu       sync.Mutex
-		firstIdx = len(plans)
+		firstIdx = n
 		firstErr error
 	)
 	fail := func(i int, err error) {
@@ -162,13 +178,13 @@ func (s *Scheduler) estimatePlans(ctx context.Context, h *core.History, plans []
 		mu.Unlock()
 		cancel()
 	}
-	for g := 0; g < s.workers(len(plans)); g++ {
+	for g := 0; g < s.workers(n); g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(plans) || poolCtx.Err() != nil {
+				if i >= n || poolCtx.Err() != nil {
 					return
 				}
 				if err := estimate(i); err != nil {

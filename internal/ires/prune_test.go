@@ -1,0 +1,275 @@
+package ires
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/tpch"
+)
+
+// buildWideStack is buildStack on a WideTopology federation: both sites
+// accept clusters up to maxNodes VMs and the dense NodeRange menu is
+// used, so the QEP lattice has 2×maxNodes² plans — the knob the pruning
+// tests and ablation turn to reach the paper's Example 3.1 regime.
+func buildWideStack(t *testing.T, seed int64, maxNodes int, cfg SchedulerConfig) *Scheduler {
+	t.Helper()
+	fed, err := federation.WideTopology(seed, maxNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := federation.Calibrate(fed, 0.004, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := federation.NewScaledExecutor(fed, cal, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewDREAMModel(core.Config{MMax: 3 * (federation.FeatureDim + 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NodeChoices = federation.NodeRange(maxNodes)
+	s, err := NewSchedulerWithConfig(fed, exec, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// renderSweep serializes the full estimated set — plans, cost vectors,
+// Pareto front, bookkeeping — for byte-level comparison.
+func renderSweep(sw *Sweep) string {
+	out := fmt.Sprintf("q=%v space=%d est=%d policy=%s front=%v\n",
+		sw.Query, sw.PlanSpace, sw.PlansEstimated, sw.Policy, sw.FrontIdx)
+	for i, p := range sw.Plans {
+		out += fmt.Sprintf("%v %v\n", p, sw.Costs[i])
+	}
+	return out
+}
+
+func TestParsePrunePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		budget int
+		want   string
+	}{
+		{"", 0, "full"}, {"full", 0, "full"}, {"FULL", 0, "full"},
+		{"greedy", 0, "greedy"}, {"greedy", 512, "greedy"},
+		{"topk", 100, "topk"},
+	} {
+		p, err := ParsePrunePolicy(tc.name, tc.budget)
+		if err != nil {
+			t.Fatalf("ParsePrunePolicy(%q, %d): %v", tc.name, tc.budget, err)
+		}
+		if p.Name() != tc.want {
+			t.Fatalf("ParsePrunePolicy(%q).Name() = %q, want %q", tc.name, p.Name(), tc.want)
+		}
+	}
+	for _, tc := range []struct {
+		name   string
+		budget int
+	}{
+		{"nope", 0},    // unknown policy
+		{"greedy", -1}, // negative budget
+		{"full", 100},  // budget is meaningless for full
+	} {
+		if _, err := ParsePrunePolicy(tc.name, tc.budget); err == nil {
+			t.Fatalf("ParsePrunePolicy(%q, %d) accepted", tc.name, tc.budget)
+		}
+	}
+}
+
+// TestFullSweepExplicitMatchesDefault pins the API contract that a nil
+// Prune and an explicit FullSweep() are the same policy: byte-identical
+// sweeps.
+func TestFullSweepExplicitMatchesDefault(t *testing.T) {
+	def := buildStack(t, 7, SchedulerConfig{Seed: 7})
+	full := buildStack(t, 7, SchedulerConfig{Seed: 7, Prune: FullSweep()})
+	for _, s := range []*Scheduler{def, full} {
+		if err := s.Bootstrap(tpch.QueryQ12, 25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := def.PlanSweep(context.Background(), tpch.QueryQ12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := full.PlanSweep(context.Background(), tpch.QueryQ12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderSweep(a) != renderSweep(b) {
+		t.Fatalf("nil Prune and FullSweep() diverge:\n%s\nvs\n%s", renderSweep(a), renderSweep(b))
+	}
+	if a.PlanSpace != len(a.Plans) || a.PlansEstimated != len(a.Plans) || a.Policy != "full" {
+		t.Fatalf("full-sweep bookkeeping: space=%d est=%d policy=%q plans=%d",
+			a.PlanSpace, a.PlansEstimated, a.Policy, len(a.Plans))
+	}
+}
+
+// TestPrunedSweepDeterministicAcrossParallelism extends the PR 1
+// byte-identical guarantee to pruned sweeps: same seed + policy must
+// produce the same estimated set, costs and front at any Parallelism.
+func TestPrunedSweepDeterministicAcrossParallelism(t *testing.T) {
+	const maxNodes = 24 // 2×24×24 = 1,152 plans
+	for _, tc := range []struct {
+		name  string
+		prune func() PrunePolicy
+	}{
+		{"greedy", func() PrunePolicy { return GreedyPrune(160) }},
+		{"topk", func() PrunePolicy { return TopK(160, 3) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := buildWideStack(t, 42, maxNodes, SchedulerConfig{Seed: 42, Parallelism: 1, CacheSize: -1, Prune: tc.prune()})
+			par := buildWideStack(t, 42, maxNodes, SchedulerConfig{Seed: 42, Parallelism: 8, Prune: tc.prune()})
+			for _, s := range []*Scheduler{seq, par} {
+				if err := s.Bootstrap(tpch.QueryQ12, 25); err != nil {
+					t.Fatal(err)
+				}
+			}
+			a, err := seq.PlanSweep(context.Background(), tpch.QueryQ12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := par.PlanSweep(context.Background(), tpch.QueryQ12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want := renderSweep(b), renderSweep(a)
+			if got != want {
+				t.Fatalf("%s sweep depends on Parallelism:\nP=1:\n%s\nP=8:\n%s", tc.name, want, got)
+			}
+			if a.PlansEstimated >= a.PlanSpace {
+				t.Fatalf("%s did not prune: estimated %d of %d", tc.name, a.PlansEstimated, a.PlanSpace)
+			}
+		})
+	}
+}
+
+// TestGreedyPruneDecisionWithinTolerance is the property test behind
+// the ablation: across seeds and federation sizes, the plan GreedyPrune
+// selects must have an estimated cost vector within
+// experiments' 15% tolerance of the full sweep's choice, on every
+// metric and for more than one policy weighting. (Both sweeps run
+// against identically bootstrapped histories; Select does not execute,
+// so the comparison is exact.)
+func TestGreedyPruneDecisionWithinTolerance(t *testing.T) {
+	const tolerance = 0.15
+	sizes := []int{16, 24, 32} // 512, 1,152, 2,048 plans
+	seeds := []int64{1, 2, 3}
+	policies := []Policy{
+		{Weights: []float64{1, 1}},
+		{Weights: []float64{2, 1}},
+		{Weights: []float64{1, 2}},
+	}
+	for _, maxNodes := range sizes {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("n%d/seed%d", maxNodes, seed), func(t *testing.T) {
+				// Budget low enough that every size actually prunes.
+				budget := 2 * maxNodes * maxNodes / 8
+				full := buildWideStack(t, seed, maxNodes, SchedulerConfig{Seed: seed})
+				greedy := buildWideStack(t, seed, maxNodes, SchedulerConfig{Seed: seed, Prune: GreedyPrune(budget)})
+				for _, s := range []*Scheduler{full, greedy} {
+					if err := s.Bootstrap(tpch.QueryQ12, 25); err != nil {
+						t.Fatal(err)
+					}
+				}
+				fsw, err := full.PlanSweep(context.Background(), tpch.QueryQ12)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gsw, err := greedy.PlanSweep(context.Background(), tpch.QueryQ12)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gsw.PlansEstimated >= gsw.PlanSpace {
+					t.Fatalf("greedy did not prune: %d of %d", gsw.PlansEstimated, gsw.PlanSpace)
+				}
+				for _, pol := range policies {
+					fi, err := fsw.Select(pol)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gi, err := gsw.Select(pol)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fc, gc := fsw.Costs[fi], gsw.Costs[gi]
+					for m := range fc {
+						denom := math.Max(math.Abs(fc[m]), 1e-9)
+						if delta := math.Abs(gc[m]-fc[m]) / denom; delta > tolerance {
+							t.Errorf("weights %v metric %d: greedy %.4f vs full %.4f (Δ %.1f%% > %.0f%%)",
+								pol.Weights, m, gc[m], fc[m], 100*delta, 100*tolerance)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGreedyPruneSmallLatticeFallsBackToFull: lattices within budget
+// are swept in full, so small federations keep the exact reference
+// behavior (modulo the policy label).
+func TestGreedyPruneSmallLatticeFallsBackToFull(t *testing.T) {
+	full := buildStack(t, 5, SchedulerConfig{Seed: 5})
+	greedy := buildStack(t, 5, SchedulerConfig{Seed: 5, Prune: GreedyPrune(0)})
+	for _, s := range []*Scheduler{full, greedy} {
+		if err := s.Bootstrap(tpch.QueryQ12, 25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := full.PlanSweep(context.Background(), tpch.QueryQ12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := greedy.PlanSweep(context.Background(), tpch.QueryQ12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default topology with default choices: well under the 256 floor.
+	if b.PlansEstimated != b.PlanSpace {
+		t.Fatalf("small lattice pruned: %d of %d", b.PlansEstimated, b.PlanSpace)
+	}
+	if b.Policy != "greedy" {
+		t.Fatalf("policy label = %q", b.Policy)
+	}
+	for i := range a.Costs {
+		for m := range a.Costs[i] {
+			if a.Costs[i][m] != b.Costs[i][m] {
+				t.Fatalf("plan %d metric %d: %v vs %v", i, m, a.Costs[i], b.Costs[i])
+			}
+		}
+	}
+}
+
+// TestSchedulerRejectsBadNodeChoices: assembly fails fast on malformed
+// menus instead of surfacing a lattice error on the first request.
+func TestSchedulerRejectsBadNodeChoices(t *testing.T) {
+	fed, err := federation.DefaultTopology(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := federation.Calibrate(fed, 0.004, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := federation.NewScaledExecutor(fed, cal, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewDREAMModel(core.Config{MMax: 3 * (federation.FeatureDim + 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, choices := range [][]int{{0}, {-1, 2}, {2, 2}} {
+		if _, err := NewScheduler(fed, exec, model, choices, 1); err == nil {
+			t.Errorf("NewScheduler accepted node choices %v", choices)
+		}
+	}
+}

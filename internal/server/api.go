@@ -49,10 +49,16 @@ type QueryResponse struct {
 	EstimatedUSD   float64 `json:"estimated_usd"`
 	MeasuredTimeS  float64 `json:"measured_time_s"`
 	MeasuredUSD    float64 `json:"measured_usd"`
-	// ParetoSize and PlanSpace size the Pareto set and the enumerated
-	// QEP space the choice was made from.
-	ParetoSize int `json:"pareto_size"`
-	PlanSpace  int `json:"plan_space"`
+	// ParetoSize and PlanSpace size the Pareto set and the full QEP
+	// lattice the choice was made from; PlansEstimated counts the QEPs
+	// the Modelling module actually scored for this round's sweep
+	// (equal to PlanSpace under the default "full" prune policy,
+	// smaller under "greedy"/"topk").
+	ParetoSize     int `json:"pareto_size"`
+	PlanSpace      int `json:"plan_space"`
+	PlansEstimated int `json:"plans_estimated"`
+	// PrunePolicy names the prune policy that shaped this round's sweep.
+	PrunePolicy string `json:"prune_policy"`
 	// Coalesced reports whether this request shared another request's
 	// plan sweep instead of running its own.
 	Coalesced bool `json:"coalesced"`
@@ -100,6 +106,14 @@ type FederationStats struct {
 	// were served without paying for estimation.
 	Coalesced int64 `json:"coalesced"`
 	Sweeps    int64 `json:"sweeps"`
+	// PlansEstimated totals the QEPs scored by this tenant's Modelling
+	// module across all sweeps (after pruning); PlanSpace is the full
+	// lattice size of the most recent sweep, so PlanSpace×Sweeps vs
+	// PlansEstimated reads the realized pruning ratio. PrunePolicy is
+	// the tenant's configured policy ("full", "greedy", "topk").
+	PlansEstimated int64  `json:"plans_estimated"`
+	PlanSpace      int64  `json:"plan_space"`
+	PrunePolicy    string `json:"prune_policy"`
 	// HistoryTruncated counts /v1/history responses that dropped
 	// observations to the page limit.
 	HistoryTruncated int64 `json:"history_truncated"`

@@ -58,6 +58,14 @@ type FederationSpec struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	// CacheSize tunes the Modelling module's model cache (0 = default).
 	CacheSize int `json:"cache_size,omitempty"`
+	// PrunePolicy selects which QEPs of the lattice each sweep
+	// estimates: "full" (every plan — the default and the paper's
+	// behavior), "greedy" (cost-ordered lattice walk with early
+	// termination), or "topk" (deterministic uniform sample).
+	PrunePolicy string `json:"prune_policy,omitempty"`
+	// PruneBudget caps the plans estimated per sweep for "greedy" and
+	// "topk" (0 = policy default; rejected for "full").
+	PruneBudget int `json:"prune_budget,omitempty"`
 	// Bootstrap seeds each query's history with this many random
 	// executions before serving (default 20).
 	Bootstrap int `json:"bootstrap,omitempty"`
@@ -120,6 +128,12 @@ func buildTenant(spec FederationSpec, storeCfg StoreConfig, reg *metrics.Registr
 	if err != nil {
 		return nil, fmt.Errorf("server: federation %q: %w", sp.Name, err)
 	}
+	// Parse the prune policy before the expensive topology/calibration
+	// work so a misconfigured spec fails the boot immediately.
+	pruner, err := ires.ParsePrunePolicy(sp.PrunePolicy, sp.PruneBudget)
+	if err != nil {
+		return nil, fmt.Errorf("server: federation %q: %w", sp.Name, err)
+	}
 	var fed *federation.Federation
 	switch sp.Topology {
 	case "default":
@@ -149,6 +163,7 @@ func buildTenant(spec FederationSpec, storeCfg StoreConfig, reg *metrics.Registr
 		Seed:              sp.Seed,
 		Parallelism:       sp.Parallelism,
 		CacheSize:         sp.CacheSize,
+		Prune:             pruner,
 		Metrics:           reg,
 		MetricsFederation: sp.Name,
 	}
@@ -197,6 +212,7 @@ func buildTenant(spec FederationSpec, storeCfg StoreConfig, reg *metrics.Registr
 	}
 	t := newTenant(sp.Name, sched, queries)
 	t.store = store
+	t.stats.prunePolicy = pruner.Name()
 	return t, nil
 }
 

@@ -53,6 +53,15 @@ func TestSpecValidation(t *testing.T) {
 	if _, err := buildTenant(FederationSpec{Name: "x", Queries: []string{"Q1"}}, StoreConfig{}, nil); err == nil {
 		t.Fatal("unstudied query should error")
 	}
+	if _, err := buildTenant(FederationSpec{Name: "x", PrunePolicy: "mars"}, StoreConfig{}, nil); err == nil {
+		t.Fatal("unknown prune policy should error")
+	}
+	if _, err := buildTenant(FederationSpec{Name: "x", PruneBudget: 100}, StoreConfig{}, nil); err == nil {
+		t.Fatal("prune budget without a pruning policy should error")
+	}
+	if _, err := buildTenant(FederationSpec{Name: "x", PrunePolicy: "greedy", PruneBudget: -1}, StoreConfig{}, nil); err == nil {
+		t.Fatal("negative prune budget should error")
+	}
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("empty config should error")
 	}

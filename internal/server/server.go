@@ -758,6 +758,11 @@ func (s *Server) serveSubmit(ctx context.Context, sc *serveScratch, body []byte,
 	t.stats.completed.Add(1)
 	if coalesced {
 		t.stats.coalesced.Add(1)
+	} else {
+		// Sweep-leader requests account for the sweep's estimation work
+		// exactly once; coalesced followers shared it.
+		t.stats.plansEstimated.Add(int64(dec.PlansEstimated))
+		t.stats.planSpace.Store(int64(dec.PlanSpace))
 	}
 	t.stats.observe(float64(latency) / float64(time.Millisecond))
 	t.latency[q].Observe(latency.Seconds())
@@ -777,6 +782,8 @@ func (s *Server) serveSubmit(ctx context.Context, sc *serveScratch, body []byte,
 		MeasuredUSD:    dec.Outcome.MoneyUSD,
 		ParetoSize:     dec.ParetoSize,
 		PlanSpace:      dec.PlanSpace,
+		PlansEstimated: dec.PlansEstimated,
+		PrunePolicy:    dec.PrunePolicy,
 		Coalesced:      coalesced,
 		LatencyMS:      float64(latency) / float64(time.Millisecond),
 	}

@@ -373,6 +373,10 @@ func TestServeIntegration(t *testing.T) {
 	if qr.MeasuredTimeS <= 0 || qr.PlanSpace < 2 {
 		t.Fatalf("implausible decision: %+v", qr)
 	}
+	if qr.PrunePolicy != "full" || qr.PlansEstimated != qr.PlanSpace {
+		t.Fatalf("default prune bookkeeping: policy=%q estimated=%d space=%d",
+			qr.PrunePolicy, qr.PlansEstimated, qr.PlanSpace)
+	}
 	// A second submission must land in history: bootstrap(12) + 1.
 	hresp, err := http.Get(ts.URL + "/v1/history/Q12?limit=1")
 	if err != nil {
@@ -390,6 +394,60 @@ func TestServeIntegration(t *testing.T) {
 	resp, _ = postQuery(t, ts.URL, QueryRequest{Query: "Q13"})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unserved query: status = %d", resp.StatusCode)
+	}
+}
+
+// TestPrunePolicyOnTheWire builds a real tenant under the "greedy"
+// prune policy and checks the policy and sweep accounting surface in
+// both the query response and /v1/stats.
+func TestPrunePolicyOnTheWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack serve test")
+	}
+	srv, err := New(Config{Federations: []FederationSpec{{
+		Name:        "pruned",
+		SF:          0.05,
+		NodeChoices: []int{1, 2},
+		Bootstrap:   12,
+		Queries:     []string{"Q12"},
+		PrunePolicy: "greedy",
+		PruneBudget: 64,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postQuery(t, ts.URL, QueryRequest{Query: "Q12", Weights: []float64{1, 1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	// The 8-plan lattice is under the budget, so greedy sweeps it in
+	// full — but the policy label and accounting must still surface.
+	if qr.PrunePolicy != "greedy" || qr.PlansEstimated < 1 || qr.PlansEstimated > qr.PlanSpace {
+		t.Fatalf("prune fields: %+v", qr)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	fs, ok := sr.Federations["pruned"]
+	if !ok {
+		t.Fatalf("stats missing tenant: %+v", sr)
+	}
+	if fs.PrunePolicy != "greedy" || fs.PlanSpace != int64(qr.PlanSpace) || fs.PlansEstimated != int64(qr.PlansEstimated) {
+		t.Fatalf("stats prune fields: %+v vs response %+v", fs, qr)
 	}
 }
 

@@ -26,6 +26,15 @@ type tenantStats struct {
 	histTruncated atomic.Int64
 	checkpoints   atomic.Int64
 	checkpointErr atomic.Int64
+	// plansEstimated totals QEPs scored (after pruning); planSpace holds
+	// the most recent sweep's full lattice size. Both are fed from the
+	// decision on the serving hot path, so they are plain atomics.
+	plansEstimated atomic.Int64
+	planSpace      atomic.Int64
+	// prunePolicy is the tenant's configured prune policy name, set once
+	// at assembly before serving starts (newTenantStats defaults it to
+	// "full", matching the scheduler default).
+	prunePolicy string
 
 	mu   sync.Mutex
 	ring []float64 // most recent completion latencies, ms
@@ -34,7 +43,7 @@ type tenantStats struct {
 }
 
 func newTenantStats() *tenantStats {
-	return &tenantStats{ring: make([]float64, latencyWindow)}
+	return &tenantStats{ring: make([]float64, latencyWindow), prunePolicy: "full"}
 }
 
 // register publishes the counters as scrape-time collectors reading
@@ -114,6 +123,9 @@ func (t *tenantStats) snapshot() FederationStats {
 		Timeouts:           t.timeouts.Load(),
 		Coalesced:          t.coalesced.Load(),
 		Sweeps:             t.sweeps.Load(),
+		PlansEstimated:     t.plansEstimated.Load(),
+		PlanSpace:          t.planSpace.Load(),
+		PrunePolicy:        t.prunePolicy,
 		HistoryTruncated:   t.histTruncated.Load(),
 		Checkpoints:        t.checkpoints.Load(),
 		CheckpointFailures: t.checkpointErr.Load(),

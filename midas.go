@@ -336,7 +336,38 @@ type (
 	ScaledExecutor = federation.ScaledExecutor
 	// Calibration holds per-query operator statistics per unit SF.
 	Calibration = federation.Calibration
+	// PlanLattice is a query's full QEP space in factored form (join
+	// side × left choice × right choice) — sized, indexable and
+	// enumerable without materializing the plans until asked.
+	// Federation.PlanLattice builds one; Federation.EnumeratePlans
+	// remains the batch convenience over it.
+	PlanLattice = federation.PlanLattice
+	// PlanIterator streams a lattice's plans in deterministic order
+	// (Next/Reset), with random access through At — the lazy seam
+	// PrunePolicy implementations pull from.
+	PlanIterator = federation.PlanIterator
 )
+
+// ErrBadNodeChoices tags cluster-size menu validation failures (empty
+// menu, non-positive or duplicate entries); test with errors.Is.
+var ErrBadNodeChoices = federation.ErrBadNodeChoices
+
+// ValidateNodeChoices rejects malformed cluster-size menus up front.
+func ValidateNodeChoices(nodeChoices []int) error {
+	return federation.ValidateNodeChoices(nodeChoices)
+}
+
+// NodeRange returns the dense menu {1, 2, …, n} — the knob that grows
+// the QEP lattice toward the paper's Example 3.1 regime.
+func NodeRange(n int) []int { return federation.NodeRange(n) }
+
+// NewWideFederation is the paper's two-site deployment with both
+// sites' cluster caps raised to maxNodes: with the NodeRange(maxNodes)
+// menu the lattice holds 2·maxNodes² QEPs (18,432 at maxNodes 96 —
+// Example 3.1's 18,200-plan regime).
+func NewWideFederation(seed int64, maxNodes int) (*Federation, error) {
+	return federation.WideTopology(seed, maxNodes)
+}
 
 // Metrics are the cost objectives (time_s, money_usd).
 var Metrics = federation.Metrics
@@ -440,7 +471,36 @@ type (
 	// UniformSample window ablation is the exception — see
 	// Scheduler.Parallelism), including across a store-backed restart.
 	SchedulerConfig = ires.SchedulerConfig
+	// PlanSource is the streaming plan-supply seam: anything that can
+	// hand the scheduler plans one at a time (Next/Reset/Size/At). A
+	// federation PlanIterator is the canonical implementation.
+	PlanSource = ires.PlanSource
+	// PrunePolicy decides which QEPs of the lattice a sweep actually
+	// estimates. Set SchedulerConfig.Prune; nil means FullSweep. The
+	// interface is closed — use the constructors below.
+	PrunePolicy = ires.PrunePolicy
 )
+
+// FullSweep estimates every plan — the paper's behavior and the
+// default when SchedulerConfig.Prune is nil.
+func FullSweep() PrunePolicy { return ires.FullSweep() }
+
+// GreedyPrune estimates at most budget plans (0 = a size-derived
+// default): a coarse lattice scaffold followed by a cost-ordered walk
+// around the running Pareto front that stops early once a whole chunk
+// of candidates is dominated. Deterministic at any Parallelism.
+func GreedyPrune(budget int) PrunePolicy { return ires.GreedyPrune(budget) }
+
+// TopKPrune estimates a deterministic uniform sample of k plans
+// (0 = a size-derived default) — the simple baseline GreedyPrune is
+// judged against.
+func TopKPrune(k int, seed int64) PrunePolicy { return ires.TopK(k, seed) }
+
+// ParsePrunePolicy resolves a policy by name ("", "full", "greedy",
+// "topk") plus budget — the form config files and midasd flags use.
+func ParsePrunePolicy(name string, budget int) (PrunePolicy, error) {
+	return ires.ParsePrunePolicy(name, budget)
+}
 
 // NewDREAMModel builds a DREAM Modelling module.
 func NewDREAMModel(cfg DREAMConfig) (*DREAMModel, error) { return ires.NewDREAMModel(cfg) }
