@@ -5,7 +5,7 @@ GO ?= go
 
 # Coverage floor (percent) enforced on the packages new code lands in.
 COVER_FLOOR ?= 60
-COVER_PKGS ?= ./internal/server ./internal/core ./internal/histstore ./internal/metrics
+COVER_PKGS ?= ./internal/server ./internal/core ./internal/histstore ./internal/metrics ./internal/cluster
 
 # The regression-gated benchmarks: the Q12/Q13 serving sweeps, the
 # cold (uncached) window searches the incremental shared-Gram solver
@@ -15,7 +15,7 @@ COVER_PKGS ?= ./internal/server ./internal/core ./internal/histstore ./internal/
 # runs is compared by cmd/benchgate in CI. The fsync-bound ServeDurable
 # and WALAppend* benchmarks are deliberately NOT gated — fsync latency
 # is hardware noise a CI gate must not key on.
-SWEEP_PATTERN ?= Q1[23]Sweep|WindowSearchCold|DREAMEstimateUncached|ServeHotPath|PlanSweep
+SWEEP_PATTERN ?= Q1[23]Sweep|WindowSearchCold|DREAMEstimateUncached|ServeHotPath|PlanSweep|RouteLookup
 SWEEP_COUNT ?= 5
 
 # Where `make profile-sweep` drops its CPU profiles.

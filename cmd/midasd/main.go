@@ -57,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -113,6 +114,11 @@ func run() error {
 		walCommitInterval  = flag.Duration("wal-commit-interval", 0, "group-commit max delay waiting for companion appends before the fsync is issued (0 = none: sync as soon as the committer is free; requires -wal-group-commit)")
 		walCommitBatch     = flag.Int("wal-commit-batch", 0, "group-commit max batch before a delayed fsync is issued early (0 = default 128; requires -wal-group-commit)")
 
+		nodeID       = flag.String("node-id", "", "this node's name in -cluster-peers (cluster mode)")
+		clusterPeers = flag.String("cluster-peers", "", `cluster membership as "id=url,id=url,..." including this node; empty = standalone`)
+		replicate    = flag.Bool("cluster-replicate", false, "ship each owned federation's WAL to its standby synchronously")
+		syncInterval = flag.Duration("cluster-sync-interval", 2*time.Second, "standby catch-up snapshot cadence (requires -cluster-replicate)")
+
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug enables per-request lines)")
 		debugAddr = flag.String("debug-addr", "", "optional second listener with net/http/pprof and /metrics (keep it private)")
 	)
@@ -155,6 +161,15 @@ func run() error {
 			"wal_fsync", *walFsync, "wal_group_commit", *walGroupCommit)
 	}
 
+	clusterCfg, err := parseClusterFlags(*nodeID, *clusterPeers, *replicate, *syncInterval)
+	if err != nil {
+		return err
+	}
+	if clusterCfg != nil {
+		logger.Info("cluster mode", "node", clusterCfg.NodeID,
+			"peers", len(clusterCfg.Peers), "replicate", clusterCfg.Replicate)
+	}
+
 	logger.Info("building federations (calibration + recovery + bootstrap)", "count", len(specs))
 	began := time.Now()
 	srv, err := server.New(server.Config{
@@ -163,6 +178,7 @@ func run() error {
 		RequestTimeout: *requestTimeout,
 		SweepTimeout:   *sweepTimeout,
 		Store:          storeCfg,
+		Cluster:        clusterCfg,
 		Logger:         logger,
 	})
 	if err != nil {
@@ -271,6 +287,33 @@ func federationSpecs(configPath, name, topology string, seed int64, sf, calibSF 
 		spec.Queries = strings.Split(queries, ",")
 	}
 	return []server.FederationSpec{spec}, nil
+}
+
+// parseClusterFlags resolves -node-id/-cluster-peers into a cluster
+// config; both empty means standalone.
+func parseClusterFlags(nodeID, peers string, replicate bool, syncInterval time.Duration) (*server.ClusterConfig, error) {
+	if peers == "" {
+		if nodeID != "" {
+			return nil, fmt.Errorf("-node-id requires -cluster-peers")
+		}
+		return nil, nil
+	}
+	if nodeID == "" {
+		return nil, fmt.Errorf("-cluster-peers requires -node-id")
+	}
+	cfg := &server.ClusterConfig{
+		NodeID:       nodeID,
+		Replicate:    replicate,
+		SyncInterval: syncInterval,
+	}
+	for _, part := range strings.Split(peers, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf(`bad -cluster-peers entry %q (want "id=url")`, part)
+		}
+		cfg.Peers = append(cfg.Peers, cluster.Member{ID: id, Addr: strings.TrimRight(url, "/")})
+	}
+	return cfg, nil
 }
 
 func parseInts(csv string) ([]int, error) {

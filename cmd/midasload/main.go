@@ -35,7 +35,7 @@ func main() {
 
 func run() error {
 	var (
-		addr       = flag.String("addr", "http://localhost:8642", "midasd base URL")
+		addr       = flag.String("addr", "http://localhost:8642", "midasd base URL, or comma-separated cluster member URLs")
 		federation = flag.String("federation", "", "federation name (empty on a single-tenant server)")
 		query      = flag.String("query", "Q12", "query to submit")
 		clients    = flag.Int("clients", 50, "concurrent clients")
@@ -44,6 +44,8 @@ func run() error {
 		weights    = flag.String("weights", "1,1", "policy weights, comma-separated")
 		timeoutMS  = flag.Int64("timeout-ms", 0, "per-request server budget (0 = server default)")
 		allowErrs  = flag.Bool("allow-errors", false, "exit 0 even when requests failed")
+		redirects  = flag.Int("redirect-budget", 4, "307 follows + retries each request may spend")
+		backoff    = flag.Duration("retry-backoff", 50*time.Millisecond, "pause before retrying a dead node")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -55,16 +57,23 @@ func run() error {
 		return fmt.Errorf("bad -weights: %w", err)
 	}
 
-	rep, err := workload.RunLoad(context.Background(), workload.LoadConfig{
-		BaseURL:    strings.TrimRight(*addr, "/"),
-		Federation: *federation,
-		Query:      *query,
-		Clients:    *clients,
-		Requests:   *requests,
-		Duration:   *duration,
-		Weights:    w,
-		TimeoutMS:  *timeoutMS,
-	})
+	cfg := workload.LoadConfig{
+		Federation:     *federation,
+		Query:          *query,
+		Clients:        *clients,
+		Requests:       *requests,
+		Duration:       *duration,
+		Weights:        w,
+		TimeoutMS:      *timeoutMS,
+		RedirectBudget: *redirects,
+		RetryBackoff:   *backoff,
+	}
+	if addrs := strings.Split(*addr, ","); len(addrs) > 1 {
+		cfg.Addrs = addrs
+	} else {
+		cfg.BaseURL = strings.TrimRight(*addr, "/")
+	}
+	rep, err := workload.RunLoad(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -81,6 +90,24 @@ func run() error {
 			label = fmt.Sprintf("HTTP %d %s", s, http.StatusText(s))
 		}
 		fmt.Printf("  %-28s %d\n", label, rep.StatusCounts[s])
+	}
+	if len(rep.PerNode) > 1 || rep.Redirects > 0 {
+		nodes := make([]string, 0, len(rep.PerNode))
+		for n := range rep.PerNode {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		for _, n := range nodes {
+			ns := rep.PerNode[n]
+			fmt.Printf("  node %-16s %6d requests, %8.1f QPS, p50 %6.1fms, p99 %6.1fms\n",
+				n, ns.Requests, ns.QPS, ns.P50MS, ns.P99MS)
+		}
+		fmt.Printf("  redirects followed: %d\n", rep.Redirects)
+	}
+	// Budget exhaustion is a routing failure, never excusable: a healthy
+	// cluster resolves any request within a hop or two.
+	if rep.Exhausted > 0 {
+		return fmt.Errorf("%d requests exhausted their redirect/retry budget of %d", rep.Exhausted, *redirects)
 	}
 	if rep.Errors > 0 && !*allowErrs {
 		return fmt.Errorf("%d of %d requests failed", rep.Errors, rep.Requests)

@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ShipFunc delivers a batch of contiguous raw WAL frames for one shard
+// to the standby. from is the sequence number of the first frame in the
+// batch; frames is the concatenated on-disk framing (len+crc+payload,
+// exactly as histstore wrote them); count is how many frames the batch
+// holds. A non-nil error degrades the shard's replication.
+type ShipFunc func(shard string, from uint64, frames []byte, count int) error
+
+// replState is a shard's replication mode.
+type replState int32
+
+const (
+	// replDisarmed: no standby stream; appends are dropped, waits
+	// return immediately. The state of every shard before its first
+	// full sync and after a handoff away.
+	replDisarmed replState = iota
+	// replHeld: a full sync is in flight. Frames are buffered (the
+	// stream stays contiguous with the sync point) but not shipped,
+	// and acks wait, until Release confirms the standby imported the
+	// snapshot — or Disarm abandons the sync.
+	replHeld
+	// replStreaming: the standby holds a contiguous prefix; new frames
+	// are buffered and shipped in batches, and acks wait for shipment.
+	replStreaming
+	// replDegraded: a ship failed. The stream is abandoned — acks fall
+	// back to local durability — until the next full sync re-arms it.
+	replDegraded
+)
+
+// replShard is the per-shard stream state.
+type replShard struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	state replState
+
+	buf      []byte // concatenated frames not yet handed to the shipper
+	bufFrom  uint64 // seq of the first frame in buf
+	bufCount int
+	synced   uint64 // every seq < synced is on the standby
+	shipping bool   // a shipper goroutine is active
+}
+
+// Replicator ships one store's WAL appends to a standby, shard by
+// shard. It implements histstore.Mirror: AppendFrame is called under
+// the shard lock (so the frame order here is exactly the WAL order) and
+// must not block; WaitFrame is called outside the lock before a write
+// is acknowledged and blocks until the frame is shipped — or returns
+// immediately once the shard is degraded, trading replica currency for
+// availability rather than failing writes when the standby is down.
+type Replicator struct {
+	ship ShipFunc
+	// OnDegrade, if set, is invoked (outside locks) when a shard's
+	// stream breaks; the server uses it for logging and metrics.
+	OnDegrade func(shard string, err error)
+
+	mu     sync.Mutex
+	shards map[string]*replShard
+}
+
+// NewReplicator builds a replicator delivering through ship. All shards
+// start disarmed; Arm each one after a full sync.
+func NewReplicator(ship ShipFunc) *Replicator {
+	return &Replicator{ship: ship, shards: make(map[string]*replShard)}
+}
+
+func (r *Replicator) shard(name string) *replShard {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.shards[name]
+	if !ok {
+		s = &replShard{}
+		s.cond = sync.NewCond(&s.mu)
+		r.shards[name] = s
+	}
+	return s
+}
+
+// Arm marks shard as streaming with the standby holding every frame
+// below next. Call it at the exact point the full-sync snapshot was
+// cut — under the same lock that orders WAL appends — so the stream is
+// contiguous with the shipped state.
+func (r *Replicator) Arm(shard string, next uint64) {
+	r.arm(shard, next, replStreaming)
+}
+
+// Hold is the first half of a two-phase Arm: the stream starts
+// buffering at next (call it at the sync cut, under the WAL lock, like
+// Arm) but nothing ships — and acks wait — until Release confirms the
+// standby actually imported the synced state. Without the hold, frames
+// appended during the sync transfer could reach the standby before the
+// snapshot they extend.
+func (r *Replicator) Hold(shard string, next uint64) {
+	r.arm(shard, next, replHeld)
+}
+
+func (r *Replicator) arm(shard string, next uint64, st replState) {
+	s := r.shard(shard)
+	s.mu.Lock()
+	s.state = st
+	s.buf = nil
+	s.bufFrom = next
+	s.bufCount = 0
+	s.synced = next
+	s.mu.Unlock()
+}
+
+// Release completes a Hold: the standby holds the synced state, so
+// buffered frames may ship and acks may proceed. No-op unless the
+// shard is held (a concurrent Disarm or degrade wins).
+func (r *Replicator) Release(shard string) {
+	s := r.shard(shard)
+	s.mu.Lock()
+	if s.state == replHeld {
+		s.state = replStreaming
+		if s.bufCount > 0 && !s.shipping {
+			s.shipping = true
+			go r.run(shard, s)
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Disarm stops shard's stream (handoff away, store close). Pending
+// waiters are released.
+func (r *Replicator) Disarm(shard string) {
+	s := r.shard(shard)
+	s.mu.Lock()
+	s.state = replDisarmed
+	s.buf = nil
+	s.bufCount = 0
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// DisarmAll disarms every shard.
+func (r *Replicator) DisarmAll() {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.shards))
+	for name := range r.shards {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	for _, name := range names {
+		r.Disarm(name)
+	}
+}
+
+// Degraded reports whether shard's stream has broken since it was last
+// armed.
+func (r *Replicator) Degraded(shard string) bool {
+	s := r.shard(shard)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == replDegraded
+}
+
+// Streaming reports whether shard is actively replicating.
+func (r *Replicator) Streaming(shard string) bool {
+	s := r.shard(shard)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == replStreaming
+}
+
+// AppendFrame buffers one raw WAL frame for shipment. Called under the
+// shard's WAL lock; must not block or ship inline.
+func (r *Replicator) AppendFrame(shard string, seq uint64, frame []byte) {
+	s := r.shard(shard)
+	s.mu.Lock()
+	if s.state != replStreaming && s.state != replHeld {
+		s.mu.Unlock()
+		return
+	}
+	if want := s.bufFrom + uint64(s.bufCount); seq != want {
+		// A discontinuity means the mirror missed frames (e.g. armed
+		// against a stale sync point); the stream is no longer an exact
+		// suffix, so it must degrade rather than ship a gap.
+		s.state = replDegraded
+		s.buf = nil
+		s.bufCount = 0
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if r.OnDegrade != nil {
+			r.OnDegrade(shard, errSeqGap{shard: shard, want: want, got: seq})
+		}
+		return
+	}
+	s.buf = append(s.buf, frame...)
+	s.bufCount++
+	if s.state == replStreaming && !s.shipping {
+		s.shipping = true
+		go r.run(shard, s)
+	}
+	s.mu.Unlock()
+}
+
+// run drains the shard's buffer in batches until it is empty or the
+// stream breaks. One goroutine per shard at a time (s.shipping).
+func (r *Replicator) run(shard string, s *replShard) {
+	for {
+		s.mu.Lock()
+		if s.state != replStreaming || s.bufCount == 0 {
+			s.shipping = false
+			s.mu.Unlock()
+			return
+		}
+		batch := s.buf
+		from := s.bufFrom
+		count := s.bufCount
+		s.buf = nil
+		s.bufFrom = from + uint64(count)
+		s.bufCount = 0
+		s.mu.Unlock()
+
+		err := r.ship(shard, from, batch, count)
+
+		s.mu.Lock()
+		if err != nil {
+			s.state = replDegraded
+			s.buf = nil
+			s.bufCount = 0
+			s.shipping = false
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			if r.OnDegrade != nil {
+				r.OnDegrade(shard, err)
+			}
+			return
+		}
+		if s.state == replStreaming && s.synced < from+uint64(count) {
+			s.synced = from + uint64(count)
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// WaitFrame blocks until the frame with sequence seq has been shipped
+// to the standby, the shard degrades, or the shard is disarmed. It
+// never returns an error: degraded replication falls back to local
+// durability by design (the caller's fsync already happened).
+func (r *Replicator) WaitFrame(shard string, seq uint64) error {
+	s := r.shard(shard)
+	s.mu.Lock()
+	for s.state == replHeld || (s.state == replStreaming && s.synced <= seq) {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// errSeqGap reports a mirror discontinuity.
+type errSeqGap struct {
+	shard     string
+	want, got uint64
+}
+
+func (e errSeqGap) Error() string {
+	return fmt.Sprintf("cluster: replication stream gap on %s: want seq %d, got %d",
+		e.shard, e.want, e.got)
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectShip is a ShipFunc capturing delivered frames in order.
+type collectShip struct {
+	mu     sync.Mutex
+	frames []byte
+	next   uint64
+	calls  int
+	fail   error
+}
+
+func (c *collectShip) ship(shard string, from uint64, frames []byte, count int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.fail != nil {
+		return c.fail
+	}
+	if from != c.next {
+		return errors.New("ship out of order")
+	}
+	c.frames = append(c.frames, frames...)
+	c.next = from + uint64(count)
+	return nil
+}
+
+func TestReplicatorShipsInOrderAndWaits(t *testing.T) {
+	c := &collectShip{}
+	r := NewReplicator(c.ship)
+	r.Arm("Q12", 0)
+	var want []byte
+	for seq := uint64(0); seq < 50; seq++ {
+		frame := []byte{byte(seq), byte(seq >> 8), 0xab}
+		want = append(want, frame...)
+		r.AppendFrame("Q12", seq, frame)
+	}
+	for seq := uint64(0); seq < 50; seq++ {
+		if err := r.WaitFrame("Q12", seq); err != nil {
+			t.Fatalf("WaitFrame(%d): %v", seq, err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if string(c.frames) != string(want) {
+		t.Fatalf("shipped bytes differ: got %d bytes, want %d", len(c.frames), len(want))
+	}
+	if c.next != 50 {
+		t.Fatalf("standby at seq %d, want 50", c.next)
+	}
+}
+
+func TestReplicatorDisarmedDropsEverything(t *testing.T) {
+	c := &collectShip{}
+	r := NewReplicator(c.ship)
+	r.AppendFrame("Q12", 0, []byte{1})
+	if err := r.WaitFrame("Q12", 0); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.calls != 0 {
+		t.Fatalf("disarmed shard shipped %d times", c.calls)
+	}
+}
+
+func TestReplicatorDegradeOnShipFailure(t *testing.T) {
+	c := &collectShip{fail: errors.New("standby down")}
+	r := NewReplicator(c.ship)
+	degraded := make(chan string, 1)
+	r.OnDegrade = func(shard string, err error) { degraded <- shard }
+	r.Arm("Q12", 0)
+	r.AppendFrame("Q12", 0, []byte{1})
+	select {
+	case sh := <-degraded:
+		if sh != "Q12" {
+			t.Fatalf("degraded shard %q", sh)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDegrade never fired")
+	}
+	if !r.Degraded("Q12") {
+		t.Fatal("shard not marked degraded")
+	}
+	// Waits no longer block, appends no longer ship.
+	if err := r.WaitFrame("Q12", 99); err != nil {
+		t.Fatalf("degraded WaitFrame: %v", err)
+	}
+	r.AppendFrame("Q12", 1, []byte{2})
+	// Re-arming after a fresh full sync resumes streaming.
+	c.mu.Lock()
+	c.fail = nil
+	c.next = 10
+	c.mu.Unlock()
+	r.Arm("Q12", 10)
+	r.AppendFrame("Q12", 10, []byte{3})
+	if err := r.WaitFrame("Q12", 10); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Streaming("Q12") {
+		t.Fatal("re-armed shard not streaming")
+	}
+}
+
+func TestReplicatorDegradeOnSequenceGap(t *testing.T) {
+	c := &collectShip{}
+	r := NewReplicator(c.ship)
+	r.Arm("Q12", 0)
+	r.AppendFrame("Q12", 0, []byte{1})
+	if err := r.WaitFrame("Q12", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Skip seq 1: the mirror can no longer promise a contiguous suffix.
+	r.AppendFrame("Q12", 2, []byte{3})
+	if !r.Degraded("Q12") {
+		t.Fatal("sequence gap did not degrade the stream")
+	}
+}
+
+func TestReplicatorHoldBuffersUntilRelease(t *testing.T) {
+	c := &collectShip{next: 5}
+	r := NewReplicator(c.ship)
+	r.Hold("Q12", 5)
+	r.AppendFrame("Q12", 5, []byte{1})
+	r.AppendFrame("Q12", 6, []byte{2})
+	// Nothing ships while held, and waiters block.
+	waited := make(chan struct{})
+	go func() {
+		_ = r.WaitFrame("Q12", 5)
+		close(waited)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.mu.Lock()
+	if c.calls != 0 {
+		t.Fatalf("held shard shipped %d times", c.calls)
+	}
+	c.mu.Unlock()
+	select {
+	case <-waited:
+		t.Fatal("WaitFrame returned while held")
+	default:
+	}
+	r.Release("Q12")
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Release left a waiter blocked")
+	}
+	if err := r.WaitFrame("Q12", 6); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if string(c.frames) != string([]byte{1, 2}) || c.next != 7 {
+		t.Fatalf("after release: frames=%v next=%d", c.frames, c.next)
+	}
+}
+
+func TestReplicatorDisarmReleasesWaiters(t *testing.T) {
+	block := make(chan struct{})
+	r := NewReplicator(func(shard string, from uint64, frames []byte, count int) error {
+		<-block
+		return nil
+	})
+	r.Arm("Q12", 0)
+	r.AppendFrame("Q12", 0, []byte{1})
+	done := make(chan struct{})
+	go func() {
+		_ = r.WaitFrame("Q12", 0)
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.DisarmAll()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Disarm left a waiter blocked")
+	}
+	close(block)
+}

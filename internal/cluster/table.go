@@ -1,0 +1,128 @@
+package cluster
+
+// Table is one immutable version of the cluster routing state: the
+// ring, an epoch counter, and a set of overrides recording tenants that
+// have been handed off away from their ring position. Tables are
+// copy-on-write — mutators return a new *Table with a higher epoch —
+// so a server can publish the current table through an atomic pointer
+// and route lookups stay lock-free and allocation-free.
+//
+// Epochs order tables: when two nodes disagree (mid-handoff gossip
+// races), the higher epoch wins. Epoch 1 is the boot table; every
+// override bump increments it.
+type Table struct {
+	ring      *Ring
+	epoch     uint64
+	overrides map[string]int32 // federation -> index into ring.members
+}
+
+// NewTable wraps ring in a boot table at epoch 1 with no overrides.
+func NewTable(ring *Ring) *Table {
+	return &Table{ring: ring, epoch: 1}
+}
+
+// Epoch returns the table's version.
+func (t *Table) Epoch() uint64 { return t.epoch }
+
+// Ring returns the underlying ring.
+func (t *Table) Ring() *Ring { return t.ring }
+
+// Owner returns the member that owns federation fed, honoring
+// overrides. Zero allocations.
+func (t *Table) Owner(fed string) Member {
+	if t.overrides != nil {
+		if idx, ok := t.overrides[fed]; ok {
+			return t.ring.members[idx]
+		}
+	}
+	return t.ring.Owner(fed)
+}
+
+// Standby returns the replication target for fed: the first ring member
+// clockwise of fed's position that is not the current owner. ok is
+// false on a single-member ring.
+func (t *Table) Standby(fed string) (Member, bool) {
+	return t.ring.NextDistinct(fed, t.Owner(fed).ID)
+}
+
+// Member resolves a member ID.
+func (t *Table) Member(id string) (Member, bool) {
+	for _, m := range t.ring.members {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+// memberIndex returns the position of id in the sorted member set.
+func (t *Table) memberIndex(id string) (int32, bool) {
+	for i, m := range t.ring.members {
+		if m.ID == id {
+			return int32(i), true
+		}
+	}
+	return 0, false
+}
+
+// WithOverride returns a copy of t at epoch+1 in which fed is owned by
+// member ownerID. An override matching the ring placement is recorded
+// anyway: the epoch bump is the point (it invalidates stale tables),
+// and a later ring change must not silently move the tenant back.
+// Returns t unchanged if ownerID is not a member.
+func (t *Table) WithOverride(fed, ownerID string) (*Table, bool) {
+	idx, ok := t.memberIndex(ownerID)
+	if !ok {
+		return t, false
+	}
+	nt := &Table{
+		ring:      t.ring,
+		epoch:     t.epoch + 1,
+		overrides: make(map[string]int32, len(t.overrides)+1),
+	}
+	for k, v := range t.overrides {
+		nt.overrides[k] = v
+	}
+	nt.overrides[fed] = idx
+	return nt, true
+}
+
+// WithEpochAtLeast returns t if its epoch already reaches e, or a copy
+// bumped to e. Used when adopting gossip: a node that learns of epoch e
+// must never again publish a lower one.
+func (t *Table) WithEpochAtLeast(e uint64) *Table {
+	if t.epoch >= e {
+		return t
+	}
+	nt := &Table{ring: t.ring, epoch: e, overrides: t.overrides}
+	return nt
+}
+
+// Overrides returns a copy of the override map (federation -> member
+// ID), for serialization.
+func (t *Table) Overrides() map[string]string {
+	if len(t.overrides) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(t.overrides))
+	for fed, idx := range t.overrides {
+		out[fed] = t.ring.members[idx].ID
+	}
+	return out
+}
+
+// WithOverrides returns a copy of t at exactly epoch e with the given
+// override set (federation -> member ID); unknown member IDs are
+// dropped. Used to adopt a peer's gossiped table wholesale.
+func (t *Table) WithOverrides(e uint64, overrides map[string]string) *Table {
+	nt := &Table{ring: t.ring, epoch: e}
+	if len(overrides) > 0 {
+		nt.overrides = make(map[string]int32, len(overrides))
+		for fed, id := range overrides {
+			if idx, ok := t.memberIndex(id); ok {
+				nt.overrides[fed] = idx
+			}
+		}
+	}
+	return nt
+}

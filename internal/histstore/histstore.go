@@ -86,6 +86,15 @@ type Options struct {
 	// appends are waiting, the fsync is issued without waiting out
 	// CommitInterval. 0 defaults to DefaultCommitBatchSize.
 	CommitBatchSize int
+	// Mirror, when non-nil, observes every WAL append for replication:
+	// AppendFrame is invoked under the shard lock immediately after the
+	// frame reaches the local WAL (so mirror order is exactly WAL
+	// order) with the raw on-disk frame bytes — the mirror must copy
+	// them before returning and must not block. WaitFrame is invoked
+	// outside the shard lock before the append is acknowledged; a
+	// mirror that replicates synchronously blocks there until the
+	// frame is on the standby (or it has decided to degrade).
+	Mirror Mirror
 	// Metrics, when non-nil, registers the store's health instruments
 	// (WAL append latency, checkpoint duration and failures, recovery
 	// time and recovered observation counts) on the given registry,
@@ -98,6 +107,18 @@ type Options struct {
 	MetricsStore string
 }
 
+// Mirror receives a copy of every WAL append; see Options.Mirror.
+// internal/cluster.Replicator is the production implementation.
+type Mirror interface {
+	// AppendFrame delivers one raw WAL frame. Called under the shard
+	// lock: must copy frame and return without blocking.
+	AppendFrame(shard string, seq uint64, frame []byte)
+	// WaitFrame blocks until the frame with sequence seq is replicated
+	// (or replication for the shard has been abandoned). Called outside
+	// the shard lock, after local durability.
+	WaitFrame(shard string, seq uint64) error
+}
+
 // Store is a root directory of named, independently recoverable
 // history shards. All methods are safe for concurrent use.
 type Store struct {
@@ -107,6 +128,12 @@ type Store struct {
 
 	mu     sync.Mutex
 	shards map[string]*shard
+
+	// Replica shards: WAL files this store appends raw mirrored frames
+	// to without ever opening them as histories (the standby half of
+	// cluster replication). Keyed by shard name, lazily initialised.
+	replMu   sync.Mutex
+	replicas map[string]*replica
 }
 
 // storeObs bundles the store's bound instruments, shared by every
@@ -205,6 +232,10 @@ func (s *Store) OpenHistory(name string, dim int, metrics []string) (*core.Histo
 	if sh, ok := s.shards[name]; ok {
 		return sh.hist, nil
 	}
+	// A standby promoting this shard (takeover) stops mirroring it the
+	// moment it becomes a live history; release the replica handle so
+	// the open owns the WAL file exclusively.
+	s.closeReplica(name)
 	sh, err := s.openShard(name, dim, metrics)
 	if err != nil {
 		return nil, err
@@ -233,17 +264,21 @@ func (s *Store) openShard(name string, dim int, metricNames []string) (*shard, e
 		return nil, fmt.Errorf("histstore: shard %q: %w", name, err)
 	}
 	validEnd, err := scanWAL(wal, func(seq uint64, o core.Observation) error {
-		if seq < snapCount {
-			// Covered by the snapshot: a checkpoint renamed the new
-			// snapshot but crashed before compacting the WAL.
+		if seq < uint64(h.Len()) {
+			// Already applied: either covered by the snapshot (a
+			// checkpoint renamed the new snapshot but crashed before
+			// compacting the WAL) or a duplicate frame (handoff and
+			// replication streams may deliver overlapping suffixes).
+			// Replay is idempotent: skip, don't fail.
 			return nil
 		}
-		// These frames passed their CRC, so a sequence gap or a shape
-		// the history rejects is not a torn write — it is a store
-		// opened with the wrong configuration (or a genuine bug), and
-		// truncating would destroy good data. Fail the open instead.
-		if seq != uint64(h.Len()) {
-			return fmt.Errorf("wal sequence %d, history has %d observations", seq, h.Len())
+		// A frame from the future, though: these frames passed their
+		// CRC, so a sequence gap is not a torn write — it means
+		// observations between h.Len() and seq are missing (a store
+		// opened with the wrong configuration, or genuine data loss),
+		// and truncating would destroy good data. Fail the open instead.
+		if seq > uint64(h.Len()) {
+			return fmt.Errorf("wal sequence gap: frame %d, history has %d observations", seq, h.Len())
 		}
 		return h.Append(o)
 	})
@@ -267,6 +302,7 @@ func (s *Store) openShard(name string, dim int, metricNames []string) (*shard, e
 		return nil, fmt.Errorf("histstore: shard %q: %w", name, err)
 	}
 	sh := &shard{
+		name:      name,
 		dir:       dir,
 		opts:      s.opts,
 		obs:       s.obs,
@@ -421,6 +457,14 @@ func (s *Store) Close() error {
 		sh.mu.Unlock()
 		delete(s.shards, name)
 	}
+	s.replMu.Lock()
+	for name, r := range s.replicas {
+		if err := r.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.replicas, name)
+	}
+	s.replMu.Unlock()
 	return first
 }
 
@@ -428,6 +472,7 @@ func (s *Store) Close() error {
 // core.HistorySink, so the History it recovered writes every new
 // observation through it.
 type shard struct {
+	name string
 	dir  string
 	opts Options
 	obs  *storeObs // nil when the store is unmetered
@@ -478,8 +523,8 @@ func (sh *shard) RecordObservation(o core.Observation) error {
 		return sh.WaitObservation(ticket)
 	}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if sh.broken != nil {
+		sh.mu.Unlock()
 		return fmt.Errorf("histstore: shard unusable: %w", sh.broken)
 	}
 	var began time.Time
@@ -488,16 +533,26 @@ func (sh *shard) RecordObservation(o core.Observation) error {
 	}
 	sh.buf = appendFrame(sh.buf[:0], sh.nextSeq, o)
 	if _, err := sh.wal.Write(sh.buf); err != nil {
+		sh.mu.Unlock()
 		return fmt.Errorf("histstore: wal append: %w", err)
 	}
 	if sh.opts.Fsync {
 		if err := sh.wal.Sync(); err != nil {
+			sh.mu.Unlock()
 			return fmt.Errorf("histstore: wal fsync: %w", err)
 		}
 	}
+	seq := sh.nextSeq
 	sh.nextSeq++
+	if sh.opts.Mirror != nil {
+		sh.opts.Mirror.AppendFrame(sh.name, seq, sh.buf)
+	}
 	if sh.obs != nil {
 		sh.obs.walAppendSeconds.Observe(time.Since(began).Seconds())
+	}
+	sh.mu.Unlock()
+	if sh.opts.Mirror != nil {
+		return sh.opts.Mirror.WaitFrame(sh.name, seq)
 	}
 	return nil
 }
@@ -528,6 +583,9 @@ func (sh *shard) RecordObservationPending(o core.Observation) (uint64, error) {
 	}
 	ticket := sh.nextSeq
 	sh.nextSeq++
+	if sh.opts.Mirror != nil {
+		sh.opts.Mirror.AppendFrame(sh.name, ticket, sh.buf)
+	}
 	if sh.obs != nil {
 		sh.obs.walAppendSeconds.Observe(time.Since(began).Seconds())
 	}
@@ -561,19 +619,28 @@ func (sh *shard) WaitObservation(ticket uint64) error {
 		return nil
 	}
 	sh.gcMu.Lock()
-	defer sh.gcMu.Unlock()
 	for {
 		if sh.gcSynced > ticket {
-			return nil
+			break
 		}
 		if sh.gcErr != nil {
-			return fmt.Errorf("histstore: group commit: %w", sh.gcErr)
+			err := sh.gcErr
+			sh.gcMu.Unlock()
+			return fmt.Errorf("histstore: group commit: %w", err)
 		}
 		if sh.gcClosed {
+			sh.gcMu.Unlock()
 			return errors.New("histstore: store closed before group commit")
 		}
 		sh.gcCond.Wait()
 	}
+	sh.gcMu.Unlock()
+	// Locally durable; now wait for the mirror (which never fails an
+	// acknowledged-durable write — it degrades instead).
+	if sh.opts.Mirror != nil {
+		return sh.opts.Mirror.WaitFrame(sh.name, ticket)
+	}
+	return nil
 }
 
 // commitLoop is the shard's committer goroutine: woken by the first

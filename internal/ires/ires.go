@@ -359,6 +359,22 @@ func (s *Scheduler) Checkpoint() error {
 	return first
 }
 
+// DropHistories detaches every history opened so far from its durable
+// sink and forgets it. The serving layer calls this when a tenant is
+// handed off to another node: the local copies stop persisting (the new
+// owner's appends are the live log now), and a later handoff back
+// reopens fresh histories from whatever state is re-imported. The plan
+// and feature caches are untouched — they depend only on the query
+// space, not the histories.
+func (s *Scheduler) DropHistories() {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	for q, h := range s.histories {
+		h.SetSink(nil)
+		delete(s.histories, q)
+	}
+}
+
 // lattice returns q's QEP lattice through planCache.
 func (s *Scheduler) lattice(q tpch.QueryID) (*federation.PlanLattice, error) {
 	s.planMu.RLock()

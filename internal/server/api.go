@@ -3,6 +3,8 @@ package server
 // Wire types of the HTTP/JSON API. cmd/midasload and external clients
 // marshal the same structs, so the contract lives in one place.
 
+import "repro/internal/cluster"
+
 // QueryRequest is the body of POST /v1/queries: which query to run on
 // which federation, under what policy.
 type QueryRequest struct {
@@ -64,6 +66,12 @@ type QueryResponse struct {
 	Coalesced bool `json:"coalesced"`
 	// LatencyMS is the server-side wall time of the round.
 	LatencyMS float64 `json:"latency_ms"`
+	// Node and Epoch stamp cluster-mode responses with the serving
+	// member and its routing-table epoch, so clients (midasload's
+	// per-node breakdown, debugging) can attribute every decision.
+	// Absent in standalone mode.
+	Node  string `json:"node,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // ObservationJSON is one recorded execution.
@@ -132,9 +140,64 @@ type StatsResponse struct {
 	UptimeS     float64                    `json:"uptime_s"`
 	Draining    bool                       `json:"draining"`
 	Federations map[string]FederationStats `json:"federations"`
+	// Cluster is present only in cluster mode.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats is the cluster slice of GET /v1/stats.
+type ClusterStats struct {
+	Node    string   `json:"node"`
+	Epoch   uint64   `json:"epoch"`
+	Members int      `json:"members"`
+	Owned   []string `json:"owned"`
 }
 
 // ErrorResponse carries a non-2xx outcome.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// ClusterResponse is the body of GET /v1/cluster: the routing table a
+// client needs to send each federation's requests straight to its
+// owner. Epoch orders tables; a client holding two should trust the
+// higher one.
+type ClusterResponse struct {
+	Node       string                      `json:"node"`
+	Epoch      uint64                      `json:"epoch"`
+	Members    []cluster.Member            `json:"members"`
+	Placements map[string]ClusterPlacement `json:"placements"`
+}
+
+// ClusterPlacement locates one federation: its owning member, its
+// standby (absent in a single-member cluster) and the *local* tenant
+// state on the answering node.
+type ClusterPlacement struct {
+	Owner   string `json:"owner"`
+	Standby string `json:"standby,omitempty"`
+	State   string `json:"state"`
+}
+
+// RouteUpdate is the body of POST /v1/admin/route (table gossip) and
+// its response: an epoch plus the override set that moves federations
+// off their ring placement. Higher epoch wins.
+type RouteUpdate struct {
+	Epoch     uint64            `json:"epoch"`
+	Overrides map[string]string `json:"overrides,omitempty"`
+}
+
+// ReplicateResponse reports the standby's next expected WAL sequence
+// after a replica append or shard import.
+type ReplicateResponse struct {
+	Next uint64 `json:"next"`
+}
+
+// HandoffResponse reports a completed handoff or takeover:
+// Observations maps each query to the history length that moved.
+type HandoffResponse struct {
+	Federation   string         `json:"federation"`
+	From         string         `json:"from,omitempty"`
+	To           string         `json:"to"`
+	Epoch        uint64         `json:"epoch"`
+	Observations map[string]int `json:"observations,omitempty"`
+	DurationMS   float64        `json:"duration_ms,omitempty"`
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cluster"
 	"repro/internal/histstore"
 	"repro/internal/ires"
 	"repro/internal/metrics"
@@ -31,8 +32,69 @@ type tenant struct {
 	// (see Server.registerMetrics); immutable once serving starts.
 	latency map[tpch.QueryID]*metrics.Histogram
 
+	// Cluster-mode ownership state (see cluster.go). The zero state is
+	// tenantActive, so standalone servers never touch any of this.
+	state atomic.Int32
+	// inflight counts submissions between the cluster routing gate and
+	// completion; an outbound handoff flips state to sending, then
+	// waits for this to reach zero before streaming the histories.
+	inflight atomic.Int64
+	// ownerHint names the handoff target while state is sending — the
+	// routing table only learns the new owner once the move commits.
+	ownerHint atomic.Pointer[cluster.Member]
+	// bootstrap is the spec's per-query bootstrap target, replayed when
+	// a cold tenant activates (handoff in, takeover).
+	bootstrap int
+	// actMu guards activated, the channel requests held during an
+	// inbound handoff wait on; closed when the handoff resolves.
+	actMu     sync.Mutex
+	activated chan struct{}
+
 	mu      sync.Mutex
 	pending map[tpch.QueryID]*sweepBatch
+}
+
+// beginReceiving flips the tenant remote→receiving and opens the
+// activation channel requests will wait on. False when the tenant is
+// not remote (already active here, or another handoff is in flight).
+func (t *tenant) beginReceiving() bool {
+	t.actMu.Lock()
+	defer t.actMu.Unlock()
+	if !t.state.CompareAndSwap(tenantRemote, tenantReceiving) {
+		return false
+	}
+	t.activated = make(chan struct{})
+	return true
+}
+
+// finishReceiving resolves an inbound handoff to final (tenantActive on
+// success, tenantRemote on abort) and releases every held request.
+func (t *tenant) finishReceiving(final int32) {
+	t.actMu.Lock()
+	defer t.actMu.Unlock()
+	t.state.Store(final)
+	if t.activated != nil {
+		close(t.activated)
+		t.activated = nil
+	}
+}
+
+// waitActive blocks a request while an inbound handoff resolves.
+// Returns true when the wait ended (re-check the state), false when
+// ctx expired first.
+func (t *tenant) waitActive(ctx context.Context) bool {
+	t.actMu.Lock()
+	ch := t.activated
+	t.actMu.Unlock()
+	if ch == nil {
+		return true // already resolved between the state load and here
+	}
+	select {
+	case <-ch:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 func newTenant(name string, sched QueryScheduler, queries []tpch.QueryID) *tenant {

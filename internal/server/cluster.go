@@ -1,0 +1,907 @@
+package server
+
+// Cluster mode: a midasd process can be one member of a consistent-hash
+// sharded cluster. Every node hosts every federation spec, but each
+// federation is *active* on exactly one node (its ring owner, possibly
+// moved by an override); the others hold cold tenants that answer the
+// federation's requests with a 307 redirect to the owner. Clients route
+// themselves (GET /v1/cluster), so there is no proxy hop on the hot
+// path — the serving loop pays one atomic load per request when
+// clustered, nothing when standalone.
+//
+// Ownership moves two ways:
+//
+//   - POST /v1/admin/handoff — a live migration. The owner drains the
+//     tenant's in-flight requests, checkpoints, streams every query
+//     shard (snapshot + WAL suffix, CRC-framed) to the target, and the
+//     target activates under a bumped routing epoch. Requests arriving
+//     mid-handoff are redirected to the target, which holds them until
+//     activation; nobody observes an error.
+//   - POST /v1/admin/takeover — disaster recovery. A standby that has
+//     been receiving the owner's WAL frames synchronously (see
+//     Replicate) promotes itself from the replicated state after the
+//     owner dies.
+//
+// Epochs order routing tables: every mutation bumps the epoch, nodes
+// gossip tables after mutations (POST /v1/admin/route), and the higher
+// epoch always wins, so a stale node converges on the first gossip or
+// redirect it sees.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/histstore"
+	"repro/internal/metrics"
+	"repro/internal/tpch"
+)
+
+// ClusterConfig makes a Server one member of a midasd cluster.
+type ClusterConfig struct {
+	// NodeID names this member; must appear in Peers.
+	NodeID string
+	// Peers is the full member set, this node included. Federation
+	// names are consistent-hashed over it.
+	Peers []cluster.Member
+	// VirtualNodes tunes ring balance (0 = cluster.DefaultVirtualNodes).
+	VirtualNodes int
+	// Replicate ships every owned federation's WAL appends to the
+	// federation's standby (the ring's next distinct member)
+	// synchronously: an acked write is on the standby before the
+	// response leaves, so a SIGKILLed owner loses nothing a takeover
+	// cannot serve. When the standby is down, replication degrades to
+	// local durability rather than failing writes, and the sync loop
+	// re-arms it with a fresh full sync once the standby answers again.
+	Replicate bool
+	// SyncInterval is the cadence of the standby sync loop (default 2s).
+	SyncInterval time.Duration
+	// PeerTimeout bounds one peer HTTP call (default 10s).
+	PeerTimeout time.Duration
+}
+
+func (c *ClusterConfig) setDefaults() {
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 2 * time.Second
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 10 * time.Second
+	}
+}
+
+// Tenant ownership states. The zero value is active so standalone
+// servers never touch the state machine.
+const (
+	// tenantActive: this node owns the federation and serves it.
+	tenantActive int32 = iota
+	// tenantRemote: another node owns it; requests get 307.
+	tenantRemote
+	// tenantReceiving: an inbound handoff or takeover is materializing
+	// state here; requests are held until activation.
+	tenantReceiving
+	// tenantSending: an outbound handoff is draining and streaming
+	// state away; requests are redirected at the target.
+	tenantSending
+)
+
+func tenantStateName(st int32) string {
+	switch st {
+	case tenantActive:
+		return "active"
+	case tenantRemote:
+		return "remote"
+	case tenantReceiving:
+		return "receiving"
+	case tenantSending:
+		return "sending"
+	}
+	return "unknown"
+}
+
+// Optional scheduler capabilities the cluster layer drives when
+// activating or releasing a tenant; ires.Scheduler implements all
+// three, stubs may implement none.
+type historyOpener interface {
+	OpenHistory(q tpch.QueryID) (*core.History, error)
+}
+
+type bootstrapper interface {
+	Bootstrap(q tpch.QueryID, n int) error
+}
+
+type historyDropper interface {
+	DropHistories()
+}
+
+// clusterState is the Server's cluster half: node identity, the
+// epoch-versioned routing table (atomically swapped, lock-free reads on
+// the hot path), per-federation replicators and the peer HTTP client.
+type clusterState struct {
+	cfg   ClusterConfig
+	self  cluster.Member
+	table atomic.Pointer[cluster.Table]
+	// repl holds one Replicator per federation when Replicate is on;
+	// it doubles as each tenant store's histstore.Mirror.
+	repl   map[string]*cluster.Replicator
+	client *http.Client
+	srv    *Server // set by newServer before any request or loop runs
+
+	syncDone chan struct{} // closed when the standby sync loop exits
+
+	redirects      *metrics.Counter
+	handoffsOut    *metrics.Counter
+	handoffsIn     *metrics.Counter
+	takeovers      *metrics.Counter
+	syncs          *metrics.Counter
+	framesShipped  *metrics.Counter
+	replDegradedN  *metrics.Counter
+	handoffSeconds *metrics.Histogram
+}
+
+// newClusterState validates cfg.Cluster and builds the ring and routing
+// table. Returns (nil, nil) when the config carries no cluster section.
+func newClusterState(cfg *ClusterConfig) (*clusterState, error) {
+	if cfg == nil {
+		return nil, nil
+	}
+	c := *cfg
+	c.setDefaults()
+	ring, err := cluster.NewRing(c.Peers, c.VirtualNodes)
+	if err != nil {
+		return nil, fmt.Errorf("server: cluster: %w", err)
+	}
+	table := cluster.NewTable(ring)
+	self, ok := table.Member(c.NodeID)
+	if !ok {
+		return nil, fmt.Errorf("server: cluster: node id %q is not in the peer set", c.NodeID)
+	}
+	cs := &clusterState{
+		cfg:    c,
+		self:   self,
+		repl:   make(map[string]*cluster.Replicator),
+		client: &http.Client{Timeout: c.PeerTimeout},
+	}
+	cs.table.Store(table)
+	return cs, nil
+}
+
+// owns reports whether this node is fed's owner under the current
+// table.
+func (cs *clusterState) owns(fed string) bool {
+	return cs.table.Load().Owner(fed).ID == cs.self.ID
+}
+
+// replicating reports whether this cluster ships WAL frames to
+// standbys at all (needs a second member to ship to).
+func (cs *clusterState) replicating() bool {
+	return cs.cfg.Replicate && len(cs.cfg.Peers) > 1
+}
+
+// newReplicator builds fed's replicator-mirror: frames ship to
+// whichever member the *current* table names as fed's standby.
+func (cs *clusterState) newReplicator(fed string) *cluster.Replicator {
+	rep := cluster.NewReplicator(func(shard string, from uint64, frames []byte, count int) error {
+		standby, ok := cs.table.Load().Standby(fed)
+		if !ok {
+			return fmt.Errorf("federation %q has no standby", fed)
+		}
+		url := fmt.Sprintf("%s/v1/admin/replicate?federation=%s&query=%s&from=%d",
+			standby.Addr, fed, shard, from)
+		if err := cs.post(url, bytes.NewReader(frames)); err != nil {
+			return err
+		}
+		cs.framesShipped.Add(float64(count))
+		return nil
+	})
+	rep.OnDegrade = func(shard string, err error) {
+		cs.replDegradedN.Inc()
+		cs.srv.log.Warn("replication degraded", "federation", fed, "query", shard, "error", err.Error())
+	}
+	cs.repl[fed] = rep
+	return rep
+}
+
+// post issues one peer POST and folds any non-2xx status into an error
+// carrying the peer's body (the peers speak ErrorResponse JSON).
+func (cs *clusterState) post(url string, body io.Reader) error {
+	resp, err := cs.client.Post(url, "application/octet-stream", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// applyOverride pins fed to node in the routing table, bumping the
+// epoch to at least minEpoch, and returns the resulting epoch.
+// Idempotent: a table that already places fed on node at minEpoch or
+// later (the move's gossip beat the local apply) is left untouched, so
+// one ownership change bumps the cluster-wide epoch exactly once.
+func (cs *clusterState) applyOverride(fed, node string, minEpoch uint64) uint64 {
+	for {
+		cur := cs.table.Load()
+		if cur.Epoch() >= minEpoch && cur.Owner(fed).ID == node {
+			return cur.Epoch()
+		}
+		next, ok := cur.WithOverride(fed, node)
+		if !ok {
+			return cur.Epoch() // unknown member: keep the table
+		}
+		next = next.WithEpochAtLeast(minEpoch)
+		if cs.table.CompareAndSwap(cur, next) {
+			return next.Epoch()
+		}
+	}
+}
+
+// adoptTable installs a gossiped table if its epoch is newer.
+func (cs *clusterState) adoptTable(epoch uint64, overrides map[string]string) bool {
+	for {
+		cur := cs.table.Load()
+		if cur.Epoch() >= epoch {
+			return false
+		}
+		if cs.table.CompareAndSwap(cur, cur.WithOverrides(epoch, overrides)) {
+			return true
+		}
+	}
+}
+
+// gossip pushes this node's routing table to every other peer,
+// best-effort and concurrently; losers of the epoch race simply ignore
+// it.
+func (cs *clusterState) gossip() {
+	tab := cs.table.Load()
+	body, _ := json.Marshal(RouteUpdate{Epoch: tab.Epoch(), Overrides: tab.Overrides()})
+	for _, m := range tab.Ring().Members() {
+		if m.ID == cs.self.ID {
+			continue
+		}
+		go func(addr string) {
+			_ = cs.post(addr+"/v1/admin/route", bytes.NewReader(body))
+		}(m.Addr)
+	}
+}
+
+// registerClusterMetrics publishes the midas_cluster_* series.
+func (s *Server) registerClusterMetrics() {
+	cs := s.cluster
+	reg := s.cfg.Metrics
+	reg.GaugeFunc("midas_cluster_epoch",
+		"Epoch of this node's routing table; cluster-wide agreement means all nodes report the same value.",
+		func() float64 { return float64(cs.table.Load().Epoch()) })
+	reg.GaugeFunc("midas_cluster_members",
+		"Configured cluster members.",
+		func() float64 { return float64(len(cs.cfg.Peers)) })
+	reg.GaugeFunc("midas_cluster_owned_federations",
+		"Federations this node currently serves (tenant state active).",
+		func() float64 {
+			n := 0
+			for _, t := range s.tenants {
+				if t.state.Load() == tenantActive {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	cs.redirects = reg.Counter("midas_cluster_redirects_total",
+		"Tenant requests answered with a 307 redirect at the owning node.")
+	hv := reg.CounterVec("midas_cluster_handoffs_total",
+		"Completed tenant handoffs, by this node's role.", "role")
+	cs.handoffsOut = hv.With("source")
+	cs.handoffsIn = hv.With("target")
+	cs.takeovers = reg.Counter("midas_cluster_takeovers_total",
+		"Federations this node promoted itself to own after an owner failure.")
+	cs.syncs = reg.Counter("midas_cluster_standby_syncs_total",
+		"Full shard syncs shipped to standbys (initial arms and re-arms after degrade).")
+	cs.framesShipped = reg.Counter("midas_cluster_frames_shipped_total",
+		"WAL frames shipped to standbys on the synchronous replication stream.")
+	cs.replDegradedN = reg.Counter("midas_cluster_replication_degraded_total",
+		"Times a shard's replication stream degraded to local-only durability.")
+	cs.handoffSeconds = reg.Histogram("midas_cluster_handoff_seconds",
+		"End-to-end duration of outbound tenant handoffs.",
+		metrics.ExponentialBuckets(1e-3, 4, 10))
+}
+
+// ---------------------------------------------------------------------
+// Hot-path routing
+// ---------------------------------------------------------------------
+
+// routeTenant is the cluster gate on the submit path. It returns
+// (0, true) when the request should be served locally; otherwise the
+// response (redirect or hold-timeout error) is already rendered and the
+// returned status stands. The caller has already registered the
+// request in t.inflight, so an outbound handoff's drain cannot miss it.
+func (s *Server) routeTenant(ctx context.Context, sc *serveScratch, t *tenant, resp *bytes.Buffer) (int, bool) {
+	for {
+		switch st := t.state.Load(); st {
+		case tenantActive:
+			return 0, true
+		case tenantReceiving:
+			// An inbound handoff is materializing this tenant here; it
+			// completes in milliseconds, so holding the request beats
+			// bouncing the client back to a source that is already
+			// redirecting forward.
+			if !t.waitActive(ctx) {
+				return writeErrorBuf(resp, http.StatusServiceUnavailable,
+					"federation %q handoff still in progress", t.name), false
+			}
+		default: // tenantRemote, tenantSending
+			return s.writeRedirect(sc, t, resp), false
+		}
+	}
+}
+
+// writeRedirect renders the 307: the owner's submit URL goes in the
+// Location header (handleSubmit copies it from the scratch), the body
+// says why.
+func (s *Server) writeRedirect(sc *serveScratch, t *tenant, resp *bytes.Buffer) int {
+	cs := s.cluster
+	tab := cs.table.Load()
+	owner := tab.Owner(t.name)
+	if owner.ID == cs.self.ID {
+		// Mid-handoff the table still points here; the hint set when
+		// the tenant entered sending names the real destination.
+		if m := t.ownerHint.Load(); m != nil {
+			owner = *m
+		}
+	}
+	cs.redirects.Inc()
+	sc.location = owner.Addr + "/v1/queries"
+	return writeErrorBuf(resp, http.StatusTemporaryRedirect,
+		"federation %q is served by %s (epoch %d)", t.name, owner.ID, tab.Epoch())
+}
+
+// ---------------------------------------------------------------------
+// Cluster endpoints
+// ---------------------------------------------------------------------
+
+// handleCluster (GET /v1/cluster) serves the routing table clients use
+// to send each federation's requests straight to its owner.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	cs := s.cluster
+	tab := cs.table.Load()
+	resp := ClusterResponse{
+		Node:       cs.self.ID,
+		Epoch:      tab.Epoch(),
+		Members:    tab.Ring().Members(),
+		Placements: make(map[string]ClusterPlacement, len(s.tenants)),
+	}
+	for name, t := range s.tenants {
+		p := ClusterPlacement{
+			Owner: tab.Owner(name).ID,
+			State: tenantStateName(t.state.Load()),
+		}
+		if standby, ok := tab.Standby(name); ok {
+			p.Standby = standby.ID
+		}
+		resp.Placements[name] = p
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReadyz (GET /readyz) is the load-balancer readiness probe:
+// false while draining and while any tenant handoff is in flight on
+// this node. Liveness stays on /healthz.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if s.cluster != nil {
+		for name, t := range s.tenants {
+			if st := t.state.Load(); st == tenantReceiving || st == tenantSending {
+				writeJSON(w, http.StatusServiceUnavailable,
+					map[string]string{"status": "handoff", "federation": name})
+				return
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleRoute (POST /v1/admin/route) is table gossip: adopt the body's
+// table if its epoch beats ours, answer with whichever table survived.
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	var upd RouteUpdate
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&upd); err != nil {
+		writeError(w, http.StatusBadRequest, "bad route update: %v", err)
+		return
+	}
+	s.cluster.adoptTable(upd.Epoch, upd.Overrides)
+	tab := s.cluster.table.Load()
+	writeJSON(w, http.StatusOK, RouteUpdate{Epoch: tab.Epoch(), Overrides: tab.Overrides()})
+}
+
+// handleReplicate (POST /v1/admin/replicate?federation=&query=&from=)
+// appends the body's raw WAL frames to the named shard's replica log —
+// the standby half of synchronous replication. 409 on a sequence gap
+// tells the owner to degrade and re-arm with a full sync.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	t, q, ok := s.clusterShardParams(w, r)
+	if !ok {
+		return
+	}
+	if t.state.Load() == tenantActive {
+		writeError(w, http.StatusConflict, "federation %q is active on this node", t.name)
+		return
+	}
+	if t.store == nil {
+		writeError(w, http.StatusBadRequest, "federation %q has no durable store", t.name)
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad from sequence: %v", err)
+		return
+	}
+	frames, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(maxShipBytes)))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading frames: %v", err)
+		return
+	}
+	next, err := t.store.AppendReplicaFrames(q.String(), from, frames)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, histstore.ErrReplicaGap) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReplicateResponse{Next: next})
+}
+
+// maxShipBytes bounds one replication or handoff section body (1 GiB,
+// matching histstore's stream section limit).
+const maxShipBytes = 1 << 30
+
+// clusterShardParams resolves the federation and query parameters
+// shared by the shard-granular cluster endpoints.
+func (s *Server) clusterShardParams(w http.ResponseWriter, r *http.Request) (*tenant, tpch.QueryID, bool) {
+	t, ok := s.tenants[r.URL.Query().Get("federation")]
+	if !ok {
+		writeError(w, http.StatusNotFound, "server: unknown federation %q", r.URL.Query().Get("federation"))
+		return nil, 0, false
+	}
+	q, err := tpch.ParseQueryID(r.URL.Query().Get("query"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, 0, false
+	}
+	if !t.queries[q] {
+		writeError(w, http.StatusBadRequest, "federation %q does not serve %v", t.name, q)
+		return nil, 0, false
+	}
+	return t, q, true
+}
+
+// ---------------------------------------------------------------------
+// Handoff: source side
+// ---------------------------------------------------------------------
+
+// handleHandoff (POST /v1/admin/handoff?federation=&target=) is the
+// operator entry point for a live migration, addressed to the current
+// owner.
+func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	cs := s.cluster
+	fed := r.URL.Query().Get("federation")
+	t, ok := s.tenants[fed]
+	if !ok {
+		writeError(w, http.StatusNotFound, "server: unknown federation %q", fed)
+		return
+	}
+	target, ok := cs.table.Load().Member(r.URL.Query().Get("target"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown target node %q", r.URL.Query().Get("target"))
+		return
+	}
+	if target.ID == cs.self.ID {
+		writeError(w, http.StatusBadRequest, "federation %q is already served here", fed)
+		return
+	}
+	began := time.Now()
+	epoch, moved, err := s.handoffTenant(r.Context(), t, target)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if t.state.Load() != tenantSending && t.state.Load() != tenantActive {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "handoff of %q to %s failed: %v", fed, target.ID, err)
+		return
+	}
+	cs.handoffsOut.Inc()
+	cs.handoffSeconds.Observe(time.Since(began).Seconds())
+	writeJSON(w, http.StatusOK, HandoffResponse{
+		Federation:   fed,
+		From:         cs.self.ID,
+		To:           target.ID,
+		Epoch:        epoch,
+		Observations: moved,
+		DurationMS:   float64(time.Since(began)) / float64(time.Millisecond),
+	})
+}
+
+// handoffTenant runs the source half of a live migration: flip to
+// sending (new requests now chase the target), drain in-flight ones,
+// checkpoint, stream every shard, activate the target under a bumped
+// epoch, then release local state and gossip the new table. Any
+// failure before activation aborts the target's half and restores the
+// tenant to active — the handoff is all-or-nothing.
+func (s *Server) handoffTenant(ctx context.Context, t *tenant, target cluster.Member) (uint64, map[string]int, error) {
+	cs := s.cluster
+	if !t.state.CompareAndSwap(tenantActive, tenantSending) {
+		return 0, nil, fmt.Errorf("federation is %s here, not active", tenantStateName(t.state.Load()))
+	}
+	t.ownerHint.Store(&target)
+	revert := func() {
+		t.state.Store(tenantActive)
+		t.ownerHint.Store(nil)
+	}
+	s.log.Info("handoff started", "federation", t.name, "target", target.ID)
+
+	fedQ := "?federation=" + t.name
+	if err := cs.post(target.Addr+"/v1/admin/handoff/prepare"+fedQ, nil); err != nil {
+		revert()
+		return 0, nil, fmt.Errorf("prepare: %w", err)
+	}
+	abort := func() {
+		if err := cs.post(target.Addr+"/v1/admin/handoff/abort"+fedQ, nil); err != nil {
+			s.log.Warn("handoff abort failed", "federation", t.name, "error", err.Error())
+		}
+		revert()
+	}
+
+	// Drain: requests that loaded state before the flip finish under
+	// the old owner; everything after redirects. The inflight counter
+	// is incremented before the state load, so a zero here proves no
+	// straggler is still appending history.
+	if err := t.drainInflight(ctx); err != nil {
+		abort()
+		return 0, nil, fmt.Errorf("drain: %w", err)
+	}
+	// Compact so the streamed state is a snapshot plus a short WAL
+	// suffix rather than the whole append log.
+	if err := t.checkpoint(); err != nil {
+		abort()
+		return 0, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	// The outbound stream supersedes any standby stream: the target
+	// rebuilds its replica from the handoff itself.
+	if rep := cs.repl[t.name]; rep != nil {
+		rep.DisarmAll()
+	}
+	moved := make(map[string]int, len(t.queries))
+	if t.store != nil {
+		for _, q := range sortedQueries(t) {
+			var buf bytes.Buffer
+			if err := t.store.ExportShard(q.String(), &buf, nil); err != nil {
+				abort()
+				return 0, nil, fmt.Errorf("export %v: %w", q, err)
+			}
+			url := fmt.Sprintf("%s/v1/admin/handoff/receive%s&query=%s&mode=active", target.Addr, fedQ, q)
+			if err := cs.post(url, bytes.NewReader(buf.Bytes())); err != nil {
+				abort()
+				return 0, nil, fmt.Errorf("ship %v: %w", q, err)
+			}
+			if h := t.sched.History(q); h != nil {
+				moved[q.String()] = h.Len()
+			}
+		}
+	}
+	// Activation commits the move: the target opens the shipped state,
+	// flips its tenant active and bumps the routing epoch.
+	epoch := cs.table.Load().Epoch() + 1
+	url := fmt.Sprintf("%s/v1/admin/handoff/activate%s&epoch=%d", target.Addr, fedQ, epoch)
+	if err := cs.post(url, nil); err != nil {
+		abort()
+		return 0, nil, fmt.Errorf("activate: %w", err)
+	}
+	// Point of no return: the target is serving. Release local state —
+	// the schedulers' histories and the store's WAL handles — so a
+	// later handoff back (or standby duty) starts from disk.
+	if hd, ok := t.sched.(historyDropper); ok {
+		hd.DropHistories()
+	}
+	if t.store != nil {
+		if err := t.store.Close(); err != nil {
+			s.log.Warn("closing store after handoff", "federation", t.name, "error", err.Error())
+		}
+	}
+	got := cs.applyOverride(t.name, target.ID, epoch)
+	t.state.Store(tenantRemote)
+	t.ownerHint.Store(nil)
+	cs.gossip()
+	s.log.Info("handoff complete", "federation", t.name, "target", target.ID, "epoch", got)
+	return got, moved, nil
+}
+
+// drainInflight waits for the tenant's in-flight requests to finish;
+// by the time it returns, every request routed before the state flip
+// has completed (or ctx expired).
+func (t *tenant) drainInflight(ctx context.Context) error {
+	for t.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%d requests still in flight: %w", t.inflight.Load(), ctx.Err())
+		case <-time.After(500 * time.Microsecond):
+		}
+	}
+	return nil
+}
+
+func sortedQueries(t *tenant) []tpch.QueryID {
+	qs := make([]tpch.QueryID, 0, len(t.queries))
+	for q := range t.queries {
+		qs = append(qs, q)
+	}
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	return qs
+}
+
+// ---------------------------------------------------------------------
+// Handoff: target side
+// ---------------------------------------------------------------------
+
+// handleHandoffPrepare flips the tenant remote→receiving: from here
+// until activate (or abort), this node holds the federation's requests
+// instead of redirecting them back at the sending source.
+func (s *Server) handleHandoffPrepare(w http.ResponseWriter, r *http.Request) {
+	fed := r.URL.Query().Get("federation")
+	t, ok := s.tenants[fed]
+	if !ok {
+		writeError(w, http.StatusNotFound, "server: unknown federation %q", fed)
+		return
+	}
+	if !t.beginReceiving() {
+		writeError(w, http.StatusConflict, "federation %q is %s here", fed, tenantStateName(t.state.Load()))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "receiving"})
+}
+
+// handleHandoffReceive imports one shard stream. mode=active is a step
+// of an inbound handoff (tenant must be receiving); mode=standby is the
+// full-sync half of standby replication (tenant must be remote).
+func (s *Server) handleHandoffReceive(w http.ResponseWriter, r *http.Request) {
+	t, q, ok := s.clusterShardParams(w, r)
+	if !ok {
+		return
+	}
+	st := t.state.Load()
+	switch r.URL.Query().Get("mode") {
+	case "active":
+		if st != tenantReceiving {
+			writeError(w, http.StatusConflict, "federation %q is %s, not receiving", t.name, tenantStateName(st))
+			return
+		}
+	case "standby":
+		if st != tenantRemote {
+			writeError(w, http.StatusConflict, "federation %q is %s, not remote", t.name, tenantStateName(st))
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "mode must be active or standby")
+		return
+	}
+	if t.store == nil {
+		writeError(w, http.StatusBadRequest, "federation %q has no durable store", t.name)
+		return
+	}
+	if err := t.store.ImportShard(q.String(), http.MaxBytesReader(w, r.Body, int64(maxShipBytes))); err != nil {
+		writeError(w, http.StatusInternalServerError, "import %v: %v", q, err)
+		return
+	}
+	next, err := t.store.ReplicaSeq(q.String())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReplicateResponse{Next: next})
+}
+
+// handleHandoffActivate commits an inbound handoff: open the shipped
+// state, start serving, bump the routing epoch.
+func (s *Server) handleHandoffActivate(w http.ResponseWriter, r *http.Request) {
+	cs := s.cluster
+	fed := r.URL.Query().Get("federation")
+	t, ok := s.tenants[fed]
+	if !ok {
+		writeError(w, http.StatusNotFound, "server: unknown federation %q", fed)
+		return
+	}
+	if t.state.Load() != tenantReceiving {
+		writeError(w, http.StatusConflict, "federation %q is %s, not receiving", fed, tenantStateName(t.state.Load()))
+		return
+	}
+	epoch, err := strconv.ParseUint(r.URL.Query().Get("epoch"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad epoch: %v", err)
+		return
+	}
+	if err := s.activateTenant(t); err != nil {
+		t.finishReceiving(tenantRemote)
+		writeError(w, http.StatusInternalServerError, "activating %q: %v", fed, err)
+		return
+	}
+	got := cs.applyOverride(fed, cs.self.ID, epoch)
+	t.finishReceiving(tenantActive)
+	cs.handoffsIn.Inc()
+	cs.gossip()
+	s.log.Info("handoff received", "federation", fed, "epoch", got)
+	writeJSON(w, http.StatusOK, map[string]uint64{"epoch": got})
+}
+
+// handleHandoffAbort rolls the target back to remote after a failed
+// handoff; held requests chase the (reverted) owner.
+func (s *Server) handleHandoffAbort(w http.ResponseWriter, r *http.Request) {
+	fed := r.URL.Query().Get("federation")
+	t, ok := s.tenants[fed]
+	if !ok {
+		writeError(w, http.StatusNotFound, "server: unknown federation %q", fed)
+		return
+	}
+	if t.state.Load() == tenantReceiving {
+		t.finishReceiving(tenantRemote)
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "aborted"})
+}
+
+// handleTakeover (POST /v1/admin/takeover?federation=) promotes this
+// node to fed's owner from locally replicated state — the recovery
+// path after the owner died. The receiving state holds requests that
+// arrive mid-promotion.
+func (s *Server) handleTakeover(w http.ResponseWriter, r *http.Request) {
+	cs := s.cluster
+	fed := r.URL.Query().Get("federation")
+	t, ok := s.tenants[fed]
+	if !ok {
+		writeError(w, http.StatusNotFound, "server: unknown federation %q", fed)
+		return
+	}
+	if !t.beginReceiving() {
+		writeError(w, http.StatusConflict, "federation %q is %s here", fed, tenantStateName(t.state.Load()))
+		return
+	}
+	if err := s.activateTenant(t); err != nil {
+		t.finishReceiving(tenantRemote)
+		writeError(w, http.StatusInternalServerError, "takeover of %q: %v", fed, err)
+		return
+	}
+	epoch := cs.applyOverride(fed, cs.self.ID, cs.table.Load().Epoch()+1)
+	t.finishReceiving(tenantActive)
+	cs.takeovers.Inc()
+	cs.gossip()
+	recovered := make(map[string]int, len(t.queries))
+	for _, q := range sortedQueries(t) {
+		if h := t.sched.History(q); h != nil {
+			recovered[q.String()] = h.Len()
+		}
+	}
+	s.log.Info("takeover complete", "federation", fed, "epoch", epoch)
+	writeJSON(w, http.StatusOK, HandoffResponse{
+		Federation:   fed,
+		To:           cs.self.ID,
+		Epoch:        epoch,
+		Observations: recovered,
+	})
+}
+
+// activateTenant materializes a cold tenant's serving state: open each
+// query's history (recovering whatever the store holds — a shipped
+// handoff stream, a replica log, or nothing) and bootstrap any
+// shortfall below the spec's target, exactly like a warm boot.
+func (s *Server) activateTenant(t *tenant) error {
+	qs := sortedQueries(t)
+	if op, ok := t.sched.(historyOpener); ok {
+		for _, q := range qs {
+			if _, err := op.OpenHistory(q); err != nil {
+				return err
+			}
+		}
+	}
+	if bs, ok := t.sched.(bootstrapper); ok {
+		for _, q := range qs {
+			h := t.sched.History(q)
+			if h == nil {
+				continue
+			}
+			if need := t.bootstrap - h.Len(); need > 0 {
+				if err := bs.Bootstrap(q, need); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Standby sync loop
+// ---------------------------------------------------------------------
+
+// syncLoop keeps every owned tenant's standby armed: any shard whose
+// replication stream is not currently streaming (never armed, or
+// degraded by a standby outage) gets a fresh full sync — checkpoint,
+// export, ship, release — after which the synchronous frame stream
+// resumes. Runs until the server's lifetime context ends.
+func (s *Server) syncLoop() {
+	cs := s.cluster
+	defer close(cs.syncDone)
+	tick := time.NewTicker(cs.cfg.SyncInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.lifeCtx.Done():
+			return
+		case <-tick.C:
+			for _, t := range s.tenants {
+				s.syncTenant(t)
+			}
+		}
+	}
+}
+
+// syncTenant full-syncs every non-streaming shard of one owned tenant
+// to its standby.
+func (s *Server) syncTenant(t *tenant) {
+	cs := s.cluster
+	rep := cs.repl[t.name]
+	if rep == nil || t.store == nil || t.state.Load() != tenantActive {
+		return
+	}
+	standby, ok := cs.table.Load().Standby(t.name)
+	if !ok {
+		return
+	}
+	checkpointed := false
+	for _, q := range sortedQueries(t) {
+		shard := q.String()
+		if rep.Streaming(shard) {
+			continue
+		}
+		if !checkpointed {
+			// One compaction per round keeps each export a snapshot
+			// plus a short suffix.
+			if err := t.checkpoint(); err != nil {
+				s.log.Warn("standby sync checkpoint failed", "federation", t.name, "error", err.Error())
+				return
+			}
+			checkpointed = true
+		}
+		// Hold the stream at the export cut: frames appended while the
+		// snapshot is in flight buffer locally and ship only after the
+		// standby confirms the import they extend.
+		var buf bytes.Buffer
+		err := t.store.ExportShard(shard, &buf, func(next uint64) { rep.Hold(shard, next) })
+		if err != nil {
+			s.log.Warn("standby sync export failed", "federation", t.name, "query", shard, "error", err.Error())
+			continue
+		}
+		url := fmt.Sprintf("%s/v1/admin/handoff/receive?federation=%s&query=%s&mode=standby",
+			standby.Addr, t.name, shard)
+		if err := cs.post(url, bytes.NewReader(buf.Bytes())); err != nil {
+			rep.Disarm(shard)
+			s.log.Warn("standby sync ship failed", "federation", t.name, "query", shard,
+				"standby", standby.ID, "error", err.Error())
+			continue
+		}
+		rep.Release(shard)
+		cs.syncs.Inc()
+		s.log.Info("standby armed", "federation", t.name, "query", shard, "standby", standby.ID)
+	}
+}

@@ -1,0 +1,694 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/tpch"
+)
+
+// lateHandler lets an httptest.Server start before the midas Server
+// whose handler it will front exists — cluster member addresses must
+// be known when the Server is built.
+type lateHandler struct{ h atomic.Pointer[http.Handler] }
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := l.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "not ready", http.StatusServiceUnavailable)
+}
+
+// testCluster is n stub-backed cluster members hosting the same
+// federations.
+type testCluster struct {
+	servers []*Server
+	https   []*httptest.Server
+	members []cluster.Member
+}
+
+func newTestCluster(t *testing.T, n int, feds []string) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	late := make([]*lateHandler, n)
+	for i := 0; i < n; i++ {
+		late[i] = &lateHandler{}
+		ts := httptest.NewServer(late[i])
+		t.Cleanup(ts.Close)
+		tc.https = append(tc.https, ts)
+		tc.members = append(tc.members, cluster.Member{ID: fmt.Sprintf("n%d", i), Addr: ts.URL})
+	}
+	for i := 0; i < n; i++ {
+		scheds := make(map[string]QueryScheduler, len(feds))
+		for _, f := range feds {
+			scheds[f] = &stubSched{}
+		}
+		cfg := Config{Cluster: &ClusterConfig{
+			NodeID:      tc.members[i].ID,
+			Peers:       tc.members,
+			PeerTimeout: 5 * time.Second,
+		}}
+		srv, err := NewWithSchedulers(cfg, scheds, tpch.AllQueries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := srv.Handler()
+		late[i].h.Store(&h)
+		tc.servers = append(tc.servers, srv)
+	}
+	return tc
+}
+
+// ownerIdx returns the index of the node whose tenant for fed is
+// active.
+func (tc *testCluster) ownerIdx(t *testing.T, fed string) int {
+	t.Helper()
+	for i, srv := range tc.servers {
+		if srv.tenants[fed].state.Load() == tenantActive {
+			return i
+		}
+	}
+	t.Fatalf("no node owns %q", fed)
+	return -1
+}
+
+// noRedirectClient surfaces 307s instead of following them.
+var noRedirectClient = &http.Client{
+	CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+}
+
+func postQueryNoRedirect(t *testing.T, url string, req QueryRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := noRedirectClient.Post(url+"/v1/queries", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func getClusterTable(t *testing.T, url string) ClusterResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cr ClusterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	return cr
+}
+
+func TestClusterRoutingAndRedirect(t *testing.T) {
+	tc := newTestCluster(t, 2, []string{"alpha"})
+	owner := tc.ownerIdx(t, "alpha")
+	other := 1 - owner
+	req := QueryRequest{Federation: "alpha", Query: "Q12", Weights: []float64{1, 1}}
+
+	// The non-owner answers with 307 + the owner's submit URL.
+	resp, body := postQueryNoRedirect(t, tc.https[other].URL, req)
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("non-owner returned %d: %s", resp.StatusCode, body)
+	}
+	wantLoc := tc.members[owner].Addr + "/v1/queries"
+	if loc := resp.Header.Get("Location"); loc != wantLoc {
+		t.Fatalf("Location %q, want %q", loc, wantLoc)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || !strings.Contains(er.Error, tc.members[owner].ID) {
+		t.Fatalf("redirect body %q should name the owner (err %v)", body, err)
+	}
+
+	// The owner serves, stamping node and epoch.
+	resp, body = postQueryNoRedirect(t, tc.https[owner].URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner returned %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Node != tc.members[owner].ID || qr.Epoch != 1 {
+		t.Fatalf("response stamped node=%q epoch=%d, want %q/1", qr.Node, qr.Epoch, tc.members[owner].ID)
+	}
+
+	// Both nodes publish the same routing table.
+	for i := range tc.https {
+		cr := getClusterTable(t, tc.https[i].URL)
+		if cr.Epoch != 1 || len(cr.Members) != 2 {
+			t.Fatalf("node %d table: epoch=%d members=%d", i, cr.Epoch, len(cr.Members))
+		}
+		p := cr.Placements["alpha"]
+		if p.Owner != tc.members[owner].ID {
+			t.Fatalf("node %d places alpha on %q, want %q", i, p.Owner, tc.members[owner].ID)
+		}
+		if p.Standby != tc.members[other].ID {
+			t.Fatalf("node %d standby %q, want %q", i, p.Standby, tc.members[other].ID)
+		}
+	}
+}
+
+func TestReadyzTracksDrainAndHandoff(t *testing.T) {
+	tc := newTestCluster(t, 2, []string{"alpha"})
+	other := 1 - tc.ownerIdx(t, "alpha")
+
+	getStatus := func(url string) (int, map[string]string) {
+		t.Helper()
+		resp, err := http.Get(url + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&m)
+		return resp.StatusCode, m
+	}
+	if code, _ := getStatus(tc.https[other].URL); code != http.StatusOK {
+		t.Fatalf("idle readyz = %d", code)
+	}
+	// A prepared (receiving) handoff flips readiness off…
+	resp, err := http.Post(tc.https[other].URL+"/v1/admin/handoff/prepare?federation=alpha", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prepare = %d", resp.StatusCode)
+	}
+	code, m := getStatus(tc.https[other].URL)
+	if code != http.StatusServiceUnavailable || m["status"] != "handoff" {
+		t.Fatalf("mid-handoff readyz = %d %v", code, m)
+	}
+	// …and liveness stays on.
+	resp, err = http.Get(tc.https[other].URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mid-handoff healthz = %d", resp.StatusCode)
+	}
+	// Abort restores readiness.
+	resp, err = http.Post(tc.https[other].URL+"/v1/admin/handoff/abort?federation=alpha", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if code, _ := getStatus(tc.https[other].URL); code != http.StatusOK {
+		t.Fatalf("post-abort readyz = %d", code)
+	}
+	// Draining flips it off for good.
+	if err := tc.servers[other].Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	code, m = getStatus(tc.https[other].URL)
+	if code != http.StatusServiceUnavailable || m["status"] != "draining" {
+		t.Fatalf("draining readyz = %d %v", code, m)
+	}
+}
+
+func TestClusterHandoffMovesOwnership(t *testing.T) {
+	tc := newTestCluster(t, 3, []string{"alpha"})
+	owner := tc.ownerIdx(t, "alpha")
+	target := (owner + 1) % 3
+	req := QueryRequest{Federation: "alpha", Query: "Q12", Weights: []float64{1, 1}}
+
+	// Handoff must be addressed to the owner.
+	resp, err := http.Post(tc.https[target].URL+"/v1/admin/handoff?federation=alpha&target="+tc.members[owner].ID, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("handoff initiated at a non-owner succeeded")
+	}
+
+	resp, err = http.Post(tc.https[owner].URL+"/v1/admin/handoff?federation=alpha&target="+tc.members[target].ID, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr HandoffResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("handoff = %d", resp.StatusCode)
+	}
+	if hr.From != tc.members[owner].ID || hr.To != tc.members[target].ID || hr.Epoch != 2 {
+		t.Fatalf("handoff response %+v", hr)
+	}
+
+	// The old owner now redirects at the new one…
+	resp2, _ := postQueryNoRedirect(t, tc.https[owner].URL, req)
+	if resp2.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("old owner returned %d", resp2.StatusCode)
+	}
+	if loc := resp2.Header.Get("Location"); loc != tc.members[target].Addr+"/v1/queries" {
+		t.Fatalf("old owner redirects to %q", loc)
+	}
+	// …and the new owner serves under the bumped epoch.
+	resp2, body := postQueryNoRedirect(t, tc.https[target].URL, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("new owner returned %d: %s", resp2.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Node != tc.members[target].ID || qr.Epoch != 2 {
+		t.Fatalf("post-handoff response node=%q epoch=%d", qr.Node, qr.Epoch)
+	}
+
+	// Gossip converges the third node's table (async, so poll).
+	third := 3 - owner - target
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if cr := getClusterTable(t, tc.https[third].URL); cr.Epoch >= 2 {
+			if cr.Placements["alpha"].Owner != tc.members[target].ID {
+				t.Fatalf("third node places alpha on %q", cr.Placements["alpha"].Owner)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gossip never reached the third node")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClusterHandoffSubmitHammer bounces ownership back and forth
+// while clients hammer both nodes; every request must complete 200
+// after at most a few redirects — nobody may observe an error from the
+// migration machinery. Run with -race this doubles as the concurrency
+// check on the tenant state machine.
+func TestClusterHandoffSubmitHammer(t *testing.T) {
+	tc := newTestCluster(t, 2, []string{"alpha"})
+	req, _ := json.Marshal(QueryRequest{Federation: "alpha", Query: "Q12", Weights: []float64{1, 1}})
+
+	stop := make(chan struct{})
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Start at alternating nodes and follow redirects by
+				// hand, bounded by a budget.
+				url := tc.https[(w+i)%2].URL + "/v1/queries"
+				status := 0
+				for hop := 0; hop < 8; hop++ {
+					resp, err := noRedirectClient.Post(url, "application/json", strings.NewReader(string(req)))
+					if err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					status = resp.StatusCode
+					if status == http.StatusTemporaryRedirect {
+						url = resp.Header.Get("Location")
+						continue
+					}
+					break
+				}
+				if status != http.StatusOK {
+					select {
+					case errCh <- fmt.Errorf("request ended %d", status):
+					default:
+					}
+					return
+				}
+				completed.Add(1)
+			}
+		}(w)
+	}
+
+	// Bounce ownership back and forth under load.
+	for round := 0; round < 6; round++ {
+		owner := tc.ownerIdx(t, "alpha")
+		target := 1 - owner
+		resp, err := http.Post(tc.https[owner].URL+"/v1/admin/handoff?federation=alpha&target="+tc.members[target].ID, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d handoff: %d %s", round, resp.StatusCode, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("hammer worker failed: %v", err)
+	default:
+	}
+	if completed.Load() == 0 {
+		t.Fatal("no requests completed")
+	}
+	// Six handoffs bump the epoch six times.
+	for i, srv := range tc.servers {
+		if e := srv.cluster.table.Load().Epoch(); e != 7 {
+			t.Fatalf("node %d at epoch %d, want 7", i, e)
+		}
+	}
+}
+
+// TestClusterMigrationDeterminism is the acceptance test for the
+// tentpole: a live handoff moves a federation between two real nodes
+// mid-workload and the first decision on the new owner is byte-
+// identical (plan, estimates, Pareto front) to a control that never
+// moved — and no acked write is lost.
+func TestClusterMigrationDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serving stack")
+	}
+	spec := FederationSpec{
+		Name:        "paper",
+		SF:          0.05,
+		NodeChoices: []int{1, 2},
+		Bootstrap:   12,
+		Queries:     []string{"Q12"},
+	}
+	// Two real nodes, separate data dirs, shared ring.
+	late := []*lateHandler{{}, {}}
+	var https []*httptest.Server
+	var members []cluster.Member
+	for i := 0; i < 2; i++ {
+		ts := httptest.NewServer(late[i])
+		defer ts.Close()
+		https = append(https, ts)
+		members = append(members, cluster.Member{ID: fmt.Sprintf("n%d", i), Addr: ts.URL})
+	}
+	var servers []*Server
+	for i := 0; i < 2; i++ {
+		srv, err := New(Config{
+			Federations: []FederationSpec{spec},
+			Store:       StoreConfig{Dir: t.TempDir()},
+			Cluster: &ClusterConfig{
+				NodeID: members[i].ID, Peers: members, PeerTimeout: 30 * time.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := srv.Handler()
+		late[i].h.Store(&h)
+		servers = append(servers, srv)
+	}
+	owner := -1
+	for i, srv := range servers {
+		if srv.tenants["paper"].state.Load() == tenantActive {
+			owner = i
+		}
+	}
+	if owner < 0 {
+		t.Fatal("no owner")
+	}
+	target := 1 - owner
+
+	submitQ := func(url string) QueryResponse {
+		t.Helper()
+		resp, body := postQueryNoRedirect(t, url, QueryRequest{Federation: "paper", Query: "Q12", Weights: []float64{1, 1}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit: %d %s", resp.StatusCode, body)
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		return qr
+	}
+	histLen := func(url string) int {
+		t.Helper()
+		resp, err := http.Get(url + "/v1/history/Q12?federation=paper&limit=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var hr HistoryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+			t.Fatal(err)
+		}
+		return hr.Len
+	}
+
+	// Two decisions on the original owner.
+	submitQ(https[owner].URL)
+	submitQ(https[owner].URL)
+
+	// Control: identical spec and request sequence on a standalone
+	// server that never migrates.
+	ctrl, err := New(Config{Federations: []FederationSpec{spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsC := httptest.NewServer(ctrl.Handler())
+	defer tsC.Close()
+	submitQ(tsC.URL)
+	submitQ(tsC.URL)
+	want := submitQ(tsC.URL) // the control's third decision
+
+	// Live migration.
+	resp, err := http.Post(https[owner].URL+"/v1/admin/handoff?federation=paper&target="+members[target].ID, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr HandoffResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("handoff: %d (%+v)", resp.StatusCode, hr)
+	}
+	// Zero acked-write loss: all 14 observations (12 bootstrap + 2
+	// decisions) crossed.
+	if hr.Observations["Q12"] != 14 {
+		t.Fatalf("handoff moved %d observations, want 14", hr.Observations["Q12"])
+	}
+	if got := histLen(https[target].URL); got != 14 {
+		t.Fatalf("new owner history = %d, want 14", got)
+	}
+
+	// The first post-handoff decision must match the never-moved
+	// control exactly: estimation is a pure function of (history, plan
+	// space), both of which the handoff moved bit-for-bit.
+	got := submitQ(https[target].URL)
+	if got.Plan != want.Plan {
+		t.Fatalf("post-handoff plan %+v, control chose %+v", got.Plan, want.Plan)
+	}
+	if got.EstimatedTimeS != want.EstimatedTimeS || got.EstimatedUSD != want.EstimatedUSD {
+		t.Fatalf("post-handoff estimates (%v, %v), control (%v, %v)",
+			got.EstimatedTimeS, got.EstimatedUSD, want.EstimatedTimeS, want.EstimatedUSD)
+	}
+	if got.ParetoSize != want.ParetoSize || got.PlanSpace != want.PlanSpace {
+		t.Fatalf("post-handoff front %d/%d, control %d/%d",
+			got.ParetoSize, got.PlanSpace, want.ParetoSize, want.PlanSpace)
+	}
+	if got.Node != members[target].ID || got.Epoch != 2 {
+		t.Fatalf("post-handoff stamp node=%q epoch=%d", got.Node, got.Epoch)
+	}
+
+	// The old owner redirects, and a handoff *back* works too (the
+	// source rebuilt serving state from the returned stream).
+	resp2, _ := postQueryNoRedirect(t, https[owner].URL, QueryRequest{Federation: "paper", Query: "Q12"})
+	if resp2.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("old owner returned %d", resp2.StatusCode)
+	}
+	resp, err = http.Post(https[target].URL+"/v1/admin/handoff?federation=paper&target="+members[owner].ID, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("handoff back: %d", resp.StatusCode)
+	}
+	if got := histLen(https[owner].URL); got != 15 {
+		t.Fatalf("after round trip history = %d, want 15", got)
+	}
+	for _, srv := range servers {
+		if err := srv.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ctrl.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterReplicationTakeover kills an owner (no drain, no
+// checkpoint) and promotes the standby from its synchronously
+// replicated WAL: every acked decision must survive.
+func TestClusterReplicationTakeover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serving stack")
+	}
+	spec := FederationSpec{
+		Name:        "paper",
+		SF:          0.05,
+		NodeChoices: []int{1, 2},
+		Bootstrap:   12,
+		Queries:     []string{"Q12"},
+	}
+	late := []*lateHandler{{}, {}}
+	var https []*httptest.Server
+	var members []cluster.Member
+	for i := 0; i < 2; i++ {
+		ts := httptest.NewServer(late[i])
+		defer ts.Close()
+		https = append(https, ts)
+		members = append(members, cluster.Member{ID: fmt.Sprintf("n%d", i), Addr: ts.URL})
+	}
+	var servers []*Server
+	for i := 0; i < 2; i++ {
+		srv, err := New(Config{
+			Federations: []FederationSpec{spec},
+			Store:       StoreConfig{Dir: t.TempDir()},
+			Cluster: &ClusterConfig{
+				NodeID: members[i].ID, Peers: members,
+				Replicate:    true,
+				SyncInterval: 50 * time.Millisecond,
+				PeerTimeout:  30 * time.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := srv.Handler()
+		late[i].h.Store(&h)
+		servers = append(servers, srv)
+	}
+	owner := -1
+	for i, srv := range servers {
+		if srv.tenants["paper"].state.Load() == tenantActive {
+			owner = i
+		}
+	}
+	if owner < 0 {
+		t.Fatal("no owner")
+	}
+	standby := 1 - owner
+
+	// Wait for the sync loop to arm the replication stream.
+	rep := servers[owner].cluster.repl["paper"]
+	deadline := time.Now().Add(15 * time.Second)
+	for !rep.Streaming("Q12") {
+		if time.Now().After(deadline) {
+			t.Fatal("replication never armed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Acked decisions on the owner; each one's WAL frame is on the
+	// standby before the response returns.
+	for i := 0; i < 3; i++ {
+		resp, body := postQueryNoRedirect(t, https[owner].URL,
+			QueryRequest{Federation: "paper", Query: "Q12", Weights: []float64{1, 1}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+
+	// Kill the owner: close its listener without drain or checkpoint.
+	https[owner].Close()
+
+	// Promote the standby from replicated state.
+	resp, err := http.Post(https[standby].URL+"/v1/admin/takeover?federation=paper", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr HandoffResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("takeover: %d (%+v)", resp.StatusCode, hr)
+	}
+	// Zero acked-write loss: 12 bootstrap + 3 decisions.
+	if hr.Observations["Q12"] != 15 {
+		t.Fatalf("takeover recovered %d observations, want 15", hr.Observations["Q12"])
+	}
+	// The promoted node serves.
+	resp2, body := postQueryNoRedirect(t, https[standby].URL,
+		QueryRequest{Federation: "paper", Query: "Q12", Weights: []float64{1, 1}})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-takeover submit: %d %s", resp2.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Node != members[standby].ID || qr.Epoch != 2 {
+		t.Fatalf("post-takeover stamp node=%q epoch=%d", qr.Node, qr.Epoch)
+	}
+	if err := servers[standby].Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterStatsAndResponseEpochs covers the epoch-stamped stats
+// surface in cluster mode.
+func TestClusterStatsEpochStamp(t *testing.T) {
+	tc := newTestCluster(t, 2, []string{"alpha", "beta"})
+	resp, err := http.Get(tc.https[0].URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cluster == nil {
+		t.Fatal("cluster stats absent in cluster mode")
+	}
+	if sr.Cluster.Node != "n0" || sr.Cluster.Epoch != 1 || sr.Cluster.Members != 2 {
+		t.Fatalf("cluster stats %+v", sr.Cluster)
+	}
+	owned := 0
+	for _, fed := range []string{"alpha", "beta"} {
+		if tc.servers[0].tenants[fed].state.Load() == tenantActive {
+			owned++
+		}
+	}
+	if len(sr.Cluster.Owned) != owned {
+		t.Fatalf("stats report %d owned, state machine says %d", len(sr.Cluster.Owned), owned)
+	}
+}

@@ -119,7 +119,15 @@ func (sp *FederationSpec) queries() ([]tpch.QueryID, error) {
 // (recovering whatever the store holds) and bootstrapped only up to
 // the shortfall: a warm-started tenant whose recovered history already
 // meets the bootstrap target executes nothing before serving.
-func buildTenant(spec FederationSpec, storeCfg StoreConfig, reg *metrics.Registry) (*tenant, error) {
+//
+// cold builds the tenant without opening or bootstrapping histories —
+// the shape of a cluster node that does not own the federation. The
+// scheduler assembly itself is deterministic (same spec, same seed →
+// same topology, calibration and models on every node), so a cold
+// tenant activated later by a handoff or takeover decides exactly as a
+// warm-built one would. mirror, when non-nil, receives every WAL
+// append of the tenant's store (cluster replication).
+func buildTenant(spec FederationSpec, storeCfg StoreConfig, reg *metrics.Registry, cold bool, mirror histstore.Mirror) (*tenant, error) {
 	sp := spec.withDefaults()
 	if sp.Name == "" {
 		return nil, fmt.Errorf("server: federation spec without a name")
@@ -177,6 +185,7 @@ func buildTenant(spec FederationSpec, storeCfg StoreConfig, reg *metrics.Registr
 			GroupCommit:     storeCfg.GroupCommit,
 			CommitInterval:  storeCfg.CommitInterval,
 			CommitBatchSize: storeCfg.CommitBatch,
+			Mirror:          mirror,
 			Metrics:         reg,
 			MetricsStore:    sp.Name,
 		})
@@ -196,22 +205,25 @@ func buildTenant(spec FederationSpec, storeCfg StoreConfig, reg *metrics.Registr
 	if err != nil {
 		return fail(fmt.Errorf("server: federation %q: %w", sp.Name, err))
 	}
-	for _, q := range queries {
-		// Opening here recovers durable state, so corruption fails the
-		// boot (not a request), and a warm start only bootstraps the
-		// shortfall below the target.
-		h, err := sched.OpenHistory(q)
-		if err != nil {
-			return fail(fmt.Errorf("server: federation %q: %w", sp.Name, err))
-		}
-		if need := sp.Bootstrap - h.Len(); need > 0 {
-			if err := sched.Bootstrap(q, need); err != nil {
-				return fail(fmt.Errorf("server: federation %q: bootstrap %v: %w", sp.Name, q, err))
+	if !cold {
+		for _, q := range queries {
+			// Opening here recovers durable state, so corruption fails
+			// the boot (not a request), and a warm start only
+			// bootstraps the shortfall below the target.
+			h, err := sched.OpenHistory(q)
+			if err != nil {
+				return fail(fmt.Errorf("server: federation %q: %w", sp.Name, err))
+			}
+			if need := sp.Bootstrap - h.Len(); need > 0 {
+				if err := sched.Bootstrap(q, need); err != nil {
+					return fail(fmt.Errorf("server: federation %q: bootstrap %v: %w", sp.Name, q, err))
+				}
 			}
 		}
 	}
 	t := newTenant(sp.Name, sched, queries)
 	t.store = store
+	t.bootstrap = sp.Bootstrap
 	t.stats.prunePolicy = pruner.Name()
 	return t, nil
 }

@@ -44,22 +44,22 @@ func TestSpecDefaults(t *testing.T) {
 }
 
 func TestSpecValidation(t *testing.T) {
-	if _, err := buildTenant(FederationSpec{}, StoreConfig{}, nil); err == nil {
+	if _, err := buildTenant(FederationSpec{}, StoreConfig{}, nil, false, nil); err == nil {
 		t.Fatal("nameless spec should error")
 	}
-	if _, err := buildTenant(FederationSpec{Name: "x", Topology: "mars"}, StoreConfig{}, nil); err == nil {
+	if _, err := buildTenant(FederationSpec{Name: "x", Topology: "mars"}, StoreConfig{}, nil, false, nil); err == nil {
 		t.Fatal("unknown topology should error")
 	}
-	if _, err := buildTenant(FederationSpec{Name: "x", Queries: []string{"Q1"}}, StoreConfig{}, nil); err == nil {
+	if _, err := buildTenant(FederationSpec{Name: "x", Queries: []string{"Q1"}}, StoreConfig{}, nil, false, nil); err == nil {
 		t.Fatal("unstudied query should error")
 	}
-	if _, err := buildTenant(FederationSpec{Name: "x", PrunePolicy: "mars"}, StoreConfig{}, nil); err == nil {
+	if _, err := buildTenant(FederationSpec{Name: "x", PrunePolicy: "mars"}, StoreConfig{}, nil, false, nil); err == nil {
 		t.Fatal("unknown prune policy should error")
 	}
-	if _, err := buildTenant(FederationSpec{Name: "x", PruneBudget: 100}, StoreConfig{}, nil); err == nil {
+	if _, err := buildTenant(FederationSpec{Name: "x", PruneBudget: 100}, StoreConfig{}, nil, false, nil); err == nil {
 		t.Fatal("prune budget without a pruning policy should error")
 	}
-	if _, err := buildTenant(FederationSpec{Name: "x", PrunePolicy: "greedy", PruneBudget: -1}, StoreConfig{}, nil); err == nil {
+	if _, err := buildTenant(FederationSpec{Name: "x", PrunePolicy: "greedy", PruneBudget: -1}, StoreConfig{}, nil, false, nil); err == nil {
 		t.Fatal("negative prune budget should error")
 	}
 	if _, err := New(Config{}); err == nil {

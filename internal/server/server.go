@@ -14,6 +14,13 @@
 // boot — a restarted midasd estimates from exactly the history it had
 // when it stopped.
 //
+// With Config.Cluster set, the server is one member of a consistent-
+// hash sharded cluster (see cluster.go): it owns a subset of the hosted
+// federations, answers requests for the rest with 307 + the owner's
+// address, and can hand live tenants off to peers (or take over a dead
+// peer's tenants from their replicated WALs) without losing an acked
+// write.
+//
 // Endpoints:
 //
 //	POST /v1/queries          submit a query + policy, get the decision
@@ -21,6 +28,17 @@
 //	GET  /v1/stats            counters and latency percentiles
 //	POST /v1/admin/checkpoint compact histories to durable snapshots
 //	GET  /healthz             liveness (503 while draining)
+//	GET  /readyz              readiness (503 while draining or mid-handoff)
+//
+// Cluster mode only:
+//
+//	GET  /v1/cluster          epoch-versioned routing table
+//	POST /v1/admin/handoff    live-migrate a federation to a peer
+//	POST /v1/admin/takeover   promote this standby after an owner death
+//	POST /v1/admin/route      table gossip (server-to-server)
+//	POST /v1/admin/replicate  standby WAL shipping (server-to-server)
+//	POST /v1/admin/handoff/{prepare,receive,activate,abort}
+//	                          handoff sub-steps (server-to-server)
 package server
 
 import (
@@ -32,11 +50,13 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/histstore"
 	"repro/internal/ires"
 	"repro/internal/metrics"
 	"repro/internal/tpch"
@@ -101,6 +121,10 @@ type Config struct {
 	// Store makes tenant histories durable; the zero value keeps them
 	// in memory.
 	Store StoreConfig
+	// Cluster makes this server one member of a consistent-hash
+	// sharded midasd cluster (see cluster.go); nil — the default —
+	// serves every federation standalone.
+	Cluster *ClusterConfig
 	// Metrics is the registry every layer under this server publishes
 	// into — request latency histograms, sweep and model-cache series,
 	// histstore WAL health — and the registry GET /metrics renders. Nil
@@ -174,6 +198,10 @@ type Server struct {
 	// cpDone is closed when the periodic checkpoint loop exits; nil
 	// when no loop was started.
 	cpDone chan struct{}
+
+	// cluster is this server's cluster membership; nil in standalone
+	// mode, which keeps the submit hot path to a single pointer check.
+	cluster *clusterState
 }
 
 // beginRequest registers an in-flight request unless the server is
@@ -224,6 +252,10 @@ func New(cfg Config) (*Server, error) {
 		}
 		seen[name] = true
 	}
+	cs, err := newClusterState(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
 	tenants := make(map[string]*tenant, len(cfg.Federations))
 	// A failed build releases the WAL handles of every tenant already
 	// built, so a caller retrying New does not leak file descriptors.
@@ -233,7 +265,16 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	for i := range cfg.Federations {
-		t, err := buildTenant(cfg.Federations[i], cfg.Store, cfg.Metrics)
+		// In cluster mode every node builds every tenant — the
+		// scheduler assembly is deterministic, so activation after a
+		// handoff or takeover only has to open histories — but only
+		// the ring owner's tenants open and bootstrap theirs now.
+		owned := cs == nil || cs.owns(cfg.Federations[i].Name)
+		var mirror histstore.Mirror
+		if cs != nil && cs.replicating() {
+			mirror = cs.newReplicator(cfg.Federations[i].Name)
+		}
+		t, err := buildTenant(cfg.Federations[i], cfg.Store, cfg.Metrics, !owned, mirror)
 		if err != nil {
 			closeBuilt()
 			return nil, err
@@ -243,9 +284,12 @@ func New(cfg Config) (*Server, error) {
 			closeBuilt()
 			return nil, fmt.Errorf("server: duplicate federation name %q", t.name)
 		}
+		if !owned {
+			t.state.Store(tenantRemote)
+		}
 		tenants[t.name] = t
 	}
-	return newServer(cfg, tenants), nil
+	return newServer(cfg, tenants, cs), nil
 }
 
 // NewWithSchedulers wires pre-built schedulers directly into a Server —
@@ -255,14 +299,22 @@ func NewWithSchedulers(cfg Config, scheds map[string]QueryScheduler, queries []t
 	if len(scheds) == 0 {
 		return nil, errors.New("server: no schedulers")
 	}
+	cs, err := newClusterState(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
 	tenants := make(map[string]*tenant, len(scheds))
 	for name, sched := range scheds {
-		tenants[name] = newTenant(name, sched, queries)
+		t := newTenant(name, sched, queries)
+		if cs != nil && !cs.owns(name) {
+			t.state.Store(tenantRemote)
+		}
+		tenants[name] = t
 	}
-	return newServer(cfg, tenants), nil
+	return newServer(cfg, tenants, cs), nil
 }
 
-func newServer(cfg Config, tenants map[string]*tenant) *Server {
+func newServer(cfg Config, tenants map[string]*tenant, cs *clusterState) *Server {
 	cfg.setDefaults()
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
@@ -274,6 +326,7 @@ func newServer(cfg Config, tenants map[string]*tenant) *Server {
 		lifeStop: stop,
 	}
 	s.sweepCtx = s.newSweepCtx
+	s.cluster = cs
 	// Admission is sharded per tenant: each federation gets its own
 	// QueueDepth-slot semaphore, so a hot tenant saturating its queue
 	// sheds its own load without head-of-line-blocking the others.
@@ -286,6 +339,14 @@ func newServer(cfg Config, tenants map[string]*tenant) *Server {
 		}
 	}
 	s.registerMetrics()
+	if cs != nil {
+		cs.srv = s
+		s.registerClusterMetrics()
+		if cs.replicating() {
+			cs.syncDone = make(chan struct{})
+			go s.syncLoop()
+		}
+	}
 	if cfg.Store.CheckpointInterval > 0 {
 		s.cpDone = make(chan struct{})
 		go s.checkpointLoop()
@@ -395,7 +456,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
+	if s.cluster != nil {
+		mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+		mux.HandleFunc("POST /v1/admin/handoff", s.handleHandoff)
+		mux.HandleFunc("POST /v1/admin/handoff/prepare", s.handleHandoffPrepare)
+		mux.HandleFunc("POST /v1/admin/handoff/receive", s.handleHandoffReceive)
+		mux.HandleFunc("POST /v1/admin/handoff/activate", s.handleHandoffActivate)
+		mux.HandleFunc("POST /v1/admin/handoff/abort", s.handleHandoffAbort)
+		mux.HandleFunc("POST /v1/admin/route", s.handleRoute)
+		mux.HandleFunc("POST /v1/admin/replicate", s.handleReplicate)
+		mux.HandleFunc("POST /v1/admin/takeover", s.handleTakeover)
+	}
 	return mux
 }
 
@@ -446,11 +519,14 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // stopCheckpointLoop cancels the server lifetime context and waits for
-// the periodic checkpoint loop (if any) to exit.
+// the periodic checkpoint and standby sync loops (if any) to exit.
 func (s *Server) stopCheckpointLoop() {
 	s.lifeStop()
 	if s.cpDone != nil {
 		<-s.cpDone
+	}
+	if s.cluster != nil && s.cluster.syncDone != nil {
+		<-s.cluster.syncDone
 	}
 }
 
@@ -554,6 +630,10 @@ type serveScratch struct {
 	buf  bytes.Buffer
 	dst  swapWriter
 	enc  *json.Encoder
+	// location, when set by a cluster redirect, becomes the response's
+	// Location header (the body buffer API has nowhere else to carry
+	// it); cleared at the top of every serveSubmit.
+	location string
 	// rd + dec decode request bodies: a long-lived json.Decoder keeps
 	// its scanner state across requests (json.Unmarshal rebuilds it
 	// per call), so steady-state decoding only allocates the decoded
@@ -655,6 +735,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	sc.buf.Reset()
 	status := s.serveSubmit(r.Context(), sc, body, &sc.buf)
+	if sc.location != "" {
+		w.Header().Set("Location", sc.location)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_, _ = w.Write(sc.buf.Bytes())
@@ -674,6 +757,7 @@ func (s *Server) ServeSubmit(ctx context.Context, body []byte, resp *bytes.Buffe
 }
 
 func (s *Server) serveSubmit(ctx context.Context, sc *serveScratch, body []byte, resp *bytes.Buffer) int {
+	sc.location = ""
 	if s.draining.Load() {
 		return writeErrorBuf(resp, http.StatusServiceUnavailable, "server is draining")
 	}
@@ -690,6 +774,16 @@ func (s *Server) serveSubmit(ctx context.Context, sc *serveScratch, body []byte,
 	}
 	if !t.queries[q] {
 		return writeErrorBuf(resp, http.StatusBadRequest, "federation %q does not serve %v", t.name, q)
+	}
+	if s.cluster != nil {
+		// The inflight registration precedes the state load, so an
+		// outbound handoff that flips the state afterwards still sees
+		// this request in its drain.
+		t.inflight.Add(1)
+		defer t.inflight.Add(-1)
+		if status, local := s.routeTenant(ctx, sc, t, resp); !local {
+			return status
+		}
 	}
 	pol, err := policyOf(&sc.req)
 	if err != nil {
@@ -786,6 +880,10 @@ func (s *Server) serveSubmit(ctx context.Context, sc *serveScratch, body []byte,
 		PrunePolicy:    dec.PrunePolicy,
 		Coalesced:      coalesced,
 		LatencyMS:      float64(latency) / float64(time.Millisecond),
+	}
+	if cs := s.cluster; cs != nil {
+		sc.resp.Node = cs.self.ID
+		sc.resp.Epoch = cs.table.Load().Epoch()
 	}
 	sc.dst.w = resp
 	_ = sc.enc.Encode(&sc.resp)
@@ -932,6 +1030,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	for name, t := range s.tenants {
 		resp.Federations[name] = t.stats.snapshot()
+	}
+	if cs := s.cluster; cs != nil {
+		tab := cs.table.Load()
+		owned := make([]string, 0, len(s.tenants))
+		for name, t := range s.tenants {
+			if t.state.Load() == tenantActive {
+				owned = append(owned, name)
+			}
+		}
+		sort.Strings(owned)
+		resp.Cluster = &ClusterStats{
+			Node:    cs.self.ID,
+			Epoch:   tab.Epoch(),
+			Members: tab.Ring().Size(),
+			Owned:   owned,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

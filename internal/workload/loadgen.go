@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/server"
@@ -25,6 +27,18 @@ import (
 type LoadConfig struct {
 	// BaseURL of the midasd instance, e.g. "http://localhost:8642".
 	BaseURL string
+	// Addrs lists every cluster member's base URL. When set, the
+	// generator is routing-table aware: it learns each federation's
+	// owner from GET /v1/cluster and from 307 redirects, sends requests
+	// straight to the owner, and falls back through the other members
+	// when a node dies mid-run. Empty means single-node mode on BaseURL.
+	Addrs []string
+	// RedirectBudget bounds the 307 follows plus transport retries one
+	// request may spend before counting as exhausted (default 4).
+	RedirectBudget int
+	// RetryBackoff is the pause before retrying after a transport error
+	// or retryable status (default 50ms).
+	RetryBackoff time.Duration
 	// Federation and Query name what to submit (Federation may stay
 	// empty on a single-tenant server; Query defaults to "Q12").
 	Federation string
@@ -45,8 +59,20 @@ type LoadConfig struct {
 }
 
 func (c *LoadConfig) setDefaults() error {
+	for i, a := range c.Addrs {
+		c.Addrs[i] = strings.TrimRight(a, "/")
+	}
+	if c.BaseURL == "" && len(c.Addrs) > 0 {
+		c.BaseURL = c.Addrs[0]
+	}
 	if c.BaseURL == "" {
 		return errors.New("workload: load config needs a BaseURL")
+	}
+	if c.RedirectBudget == 0 {
+		c.RedirectBudget = 4
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 50 * time.Millisecond
 	}
 	if c.Query == "" {
 		c.Query = "Q12"
@@ -89,6 +115,21 @@ type LoadReport struct {
 	// StatusCounts tallies responses by HTTP status (0 = transport
 	// error).
 	StatusCounts map[int]int
+	// Redirects counts 307 ownership redirects followed; Exhausted the
+	// requests that ran out of RedirectBudget (each also counted as an
+	// error under its final status).
+	Redirects int
+	Exhausted int
+	// PerNode breaks successful requests down by the serving cluster
+	// member (from QueryResponse.Node; key "server" in standalone mode).
+	PerNode map[string]NodeStats
+}
+
+// NodeStats is one cluster member's slice of a load run.
+type NodeStats struct {
+	Requests     int
+	QPS          float64
+	P50MS, P99MS float64
 }
 
 func (r *LoadReport) String() string {
@@ -103,6 +144,97 @@ type clientResult struct {
 	latencies []float64
 	statuses  map[int]int
 	coalesced int
+	perNode   map[string][]float64
+	redirects int
+	exhausted int
+}
+
+// router directs each request at its federation's current owner. It
+// caches the owner address learned from successful responses, 307
+// Location headers and GET /v1/cluster, and falls back to round-robin
+// over the seed list while no owner is known (or after the cached one
+// stopped answering).
+type router struct {
+	seeds []string
+	next  atomic.Uint64
+	mu    sync.Mutex
+	owner string
+}
+
+func newRouter(cfg *LoadConfig) *router {
+	seeds := cfg.Addrs
+	if len(seeds) == 0 {
+		seeds = []string{cfg.BaseURL}
+	}
+	return &router{seeds: seeds}
+}
+
+// target picks the base URL for the next attempt.
+func (rt *router) target() string {
+	rt.mu.Lock()
+	u := rt.owner
+	rt.mu.Unlock()
+	if u != "" {
+		return u
+	}
+	return rt.seeds[rt.next.Add(1)%uint64(len(rt.seeds))]
+}
+
+func (rt *router) setOwner(base string) {
+	rt.mu.Lock()
+	rt.owner = base
+	rt.mu.Unlock()
+}
+
+// forget drops the cached owner if it still is base, forcing the next
+// attempt back onto the seed rotation.
+func (rt *router) forget(base string) {
+	rt.mu.Lock()
+	if rt.owner == base {
+		rt.owner = ""
+	}
+	rt.mu.Unlock()
+}
+
+// refresh re-reads the routing table from any live seed and re-resolves
+// the federation's owner. Best-effort: a cluster that is entirely
+// unreachable just leaves the cache empty.
+func (rt *router) refresh(ctx context.Context, client *http.Client, fed string) {
+	for range rt.seeds {
+		base := rt.seeds[rt.next.Add(1)%uint64(len(rt.seeds))]
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/cluster", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			continue
+		}
+		var cr server.ClusterResponse
+		err = json.NewDecoder(resp.Body).Decode(&cr)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		name := fed
+		if name == "" && len(cr.Placements) == 1 {
+			for n := range cr.Placements {
+				name = n
+			}
+		}
+		p, ok := cr.Placements[name]
+		if !ok {
+			return
+		}
+		for _, m := range cr.Members {
+			if m.ID == p.Owner {
+				rt.setOwner(m.Addr)
+				return
+			}
+		}
+		return
+	}
 }
 
 // RunLoad drives the configured clients against the server and blocks
@@ -120,7 +252,6 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	url := cfg.BaseURL + "/v1/queries"
 	client := &http.Client{
 		Timeout: cfg.HTTPTimeout,
 		Transport: &http.Transport{
@@ -128,6 +259,17 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			MaxIdleConns:        cfg.Clients,
 			MaxIdleConnsPerHost: cfg.Clients,
 		},
+		// 307s are followed by hand so each hop updates the routing
+		// cache and spends the request's redirect budget.
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	rt := newRouter(&cfg)
+	if len(cfg.Addrs) > 0 {
+		// Learn the initial owner so the run starts on target instead of
+		// paying a redirect per client.
+		rt.refresh(ctx, client, cfg.Federation)
 	}
 
 	// Duration bounds the run only in open-ended mode: a fixed-count
@@ -146,21 +288,32 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		go func(res *clientResult) {
 			defer wg.Done()
 			res.statuses = make(map[int]int)
+			res.perNode = make(map[string][]float64)
 			for n := 0; cfg.Requests == 0 || n < cfg.Requests; n++ {
 				if ctx.Err() != nil {
 					return
 				}
 				began := time.Now()
-				status, coalesced := submitOnce(ctx, client, url, body)
+				shot := submitShot(ctx, client, rt, &cfg, body)
 				// A shot cut down by the run deadline is not a server
 				// error; drop it rather than misreport.
-				if status == 0 && ctx.Err() != nil {
+				if shot.status == 0 && ctx.Err() != nil {
 					return
 				}
-				res.statuses[status]++
-				if status == http.StatusOK {
-					res.latencies = append(res.latencies, float64(time.Since(began))/float64(time.Millisecond))
-					if coalesced {
+				res.statuses[shot.status]++
+				res.redirects += shot.redirects
+				if shot.exhausted {
+					res.exhausted++
+				}
+				if shot.status == http.StatusOK {
+					lat := float64(time.Since(began)) / float64(time.Millisecond)
+					res.latencies = append(res.latencies, lat)
+					node := shot.node
+					if node == "" {
+						node = "server"
+					}
+					res.perNode[node] = append(res.perNode[node], lat)
+					if shot.coalesced {
 						res.coalesced++
 					}
 				}
@@ -179,8 +332,10 @@ func summarize(results []clientResult, clients int, elapsed time.Duration) *Load
 		Clients:      clients,
 		Elapsed:      elapsed,
 		StatusCounts: make(map[int]int),
+		PerNode:      make(map[string]NodeStats),
 	}
 	var all []float64
+	perNode := make(map[string][]float64)
 	for i := range results {
 		res := &results[i]
 		for status, n := range res.statuses {
@@ -191,7 +346,22 @@ func summarize(results []clientResult, clients int, elapsed time.Duration) *Load
 			}
 		}
 		report.Coalesced += res.coalesced
+		report.Redirects += res.redirects
+		report.Exhausted += res.exhausted
 		all = append(all, res.latencies...)
+		for node, lats := range res.perNode {
+			perNode[node] = append(perNode[node], lats...)
+		}
+	}
+	for node, lats := range perNode {
+		ns := NodeStats{Requests: len(lats)}
+		if elapsed > 0 {
+			ns.QPS = float64(len(lats)) / elapsed.Seconds()
+		}
+		if qs, err := stats.Quantiles(lats, 0.50, 0.99); err == nil {
+			ns.P50MS, ns.P99MS = qs[0], qs[1]
+		}
+		report.PerNode[node] = ns
 	}
 	if elapsed > 0 {
 		report.QPS = float64(len(all)) / elapsed.Seconds()
@@ -204,26 +374,84 @@ func summarize(results []clientResult, clients int, elapsed time.Duration) *Load
 	return report
 }
 
-// submitOnce fires one POST and reports (status, coalesced); status 0
-// means the request never produced an HTTP response.
-func submitOnce(ctx context.Context, client *http.Client, url string, body []byte) (int, bool) {
+// shotResult is the outcome of one logical request, after redirect
+// following and retries.
+type shotResult struct {
+	status    int
+	node      string
+	coalesced bool
+	redirects int
+	exhausted bool
+}
+
+// submitShot fires one logical request: POST at the routed target,
+// follow 307s by hand, retry transport errors and 503s against a
+// refreshed routing table — all within cfg.RedirectBudget attempts.
+func submitShot(ctx context.Context, client *http.Client, rt *router, cfg *LoadConfig, body []byte) shotResult {
+	var out shotResult
+	base := rt.target()
+	for attempt := 0; ; attempt++ {
+		status, node, coalesced, loc := postOnce(ctx, client, base+"/v1/queries", body)
+		out.status, out.node, out.coalesced = status, node, coalesced
+		retryable := status == http.StatusTemporaryRedirect ||
+			status == http.StatusServiceUnavailable || status == 0
+		if !retryable {
+			if status == http.StatusOK {
+				rt.setOwner(base)
+			}
+			return out
+		}
+		if attempt >= cfg.RedirectBudget {
+			out.exhausted = true
+			return out
+		}
+		switch status {
+		case http.StatusTemporaryRedirect:
+			// The redirect names the owner directly — no backoff needed.
+			next := strings.TrimSuffix(loc, "/v1/queries")
+			if next == "" || next == base {
+				out.exhausted = true
+				return out
+			}
+			base = next
+			rt.setOwner(base)
+			out.redirects++
+		default:
+			// Dead or draining node: drop it from the cache, re-learn the
+			// table from the surviving members, back off, try again.
+			rt.forget(base)
+			select {
+			case <-time.After(cfg.RetryBackoff):
+			case <-ctx.Done():
+				return out
+			}
+			rt.refresh(ctx, client, cfg.Federation)
+			base = rt.target()
+		}
+	}
+}
+
+// postOnce fires one POST and reports (status, node, coalesced,
+// location); status 0 means the request never produced an HTTP
+// response.
+func postOnce(ctx context.Context, client *http.Client, url string, body []byte) (int, string, bool, string) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, false
+		return 0, "", false, ""
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, false
+		return 0, "", false, ""
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, false
+		return resp.StatusCode, "", false, resp.Header.Get("Location")
 	}
 	var qr server.QueryResponse
 	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-		return 0, false
+		return 0, "", false, ""
 	}
-	return resp.StatusCode, qr.Coalesced
+	return resp.StatusCode, qr.Node, qr.Coalesced, ""
 }

@@ -3,6 +3,7 @@ package workload
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -192,5 +194,130 @@ func TestRunLoadValidation(t *testing.T) {
 	}
 	if _, err := RunLoad(context.Background(), LoadConfig{BaseURL: "http://x", Clients: -1}); err == nil {
 		t.Fatal("negative clients should error")
+	}
+}
+
+// fakeCluster is two fake midasd nodes: node 0 owns federation "fed"
+// and stamps its responses; node 1 answers with a 307 at node 0. Both
+// serve /v1/cluster.
+func fakeCluster(t *testing.T) (urls [2]string, close0 func()) {
+	t.Helper()
+	var ts [2]*httptest.Server
+	handler := func(i int) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			switch r.URL.Path {
+			case "/v1/cluster":
+				_ = json.NewEncoder(w).Encode(server.ClusterResponse{
+					Node:  nodeID(i),
+					Epoch: 1,
+					Members: []cluster.Member{
+						{ID: "n0", Addr: ts[0].URL},
+						{ID: "n1", Addr: ts[1].URL},
+					},
+					Placements: map[string]server.ClusterPlacement{
+						"fed": {Owner: "n0", Standby: "n1", State: "active"},
+					},
+				})
+			case "/v1/queries":
+				if i != 0 {
+					w.Header().Set("Location", ts[0].URL+"/v1/queries")
+					w.WriteHeader(http.StatusTemporaryRedirect)
+					return
+				}
+				_ = json.NewEncoder(w).Encode(server.QueryResponse{
+					Query: "Q12", Node: "n0", Epoch: 1,
+				})
+			default:
+				http.NotFound(w, r)
+			}
+		}
+	}
+	ts[0] = httptest.NewServer(handler(0))
+	ts[1] = httptest.NewServer(handler(1))
+	t.Cleanup(ts[1].Close)
+	return [2]string{ts[0].URL, ts[1].URL}, ts[0].Close
+}
+
+func nodeID(i int) string { return fmt.Sprintf("n%d", i) }
+
+// TestRunLoadClusterRouting: with the full seed list the generator
+// learns the owner up front and every request lands on n0 directly.
+func TestRunLoadClusterRouting(t *testing.T) {
+	urls, close0 := fakeCluster(t)
+	defer close0()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		Addrs:      []string{urls[1], urls[0]}, // non-owner listed first
+		Federation: "fed",
+		Clients:    4,
+		Requests:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Exhausted != 0 {
+		t.Fatalf("errors=%d exhausted=%d: %v", rep.Errors, rep.Exhausted, rep.StatusCounts)
+	}
+	if rep.Requests != 20 {
+		t.Fatalf("requests = %d", rep.Requests)
+	}
+	if ns := rep.PerNode["n0"]; ns.Requests != 20 || ns.QPS <= 0 {
+		t.Fatalf("per-node stats: %+v", rep.PerNode)
+	}
+	// The table was fetched up front, so nothing needed a redirect.
+	if rep.Redirects != 0 {
+		t.Fatalf("redirects = %d, want 0 (owner learned from /v1/cluster)", rep.Redirects)
+	}
+}
+
+// TestRunLoadFollowsRedirects: pointed only at the non-owner, every
+// client's first shot bounces once and then sticks to the owner.
+func TestRunLoadFollowsRedirects(t *testing.T) {
+	urls, close0 := fakeCluster(t)
+	defer close0()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:  urls[1],
+		Clients:  2,
+		Requests: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Requests != 8 {
+		t.Fatalf("errors=%d requests=%d", rep.Errors, rep.Requests)
+	}
+	if rep.Redirects == 0 {
+		t.Fatal("no redirects followed")
+	}
+	if ns := rep.PerNode["n0"]; ns.Requests != 8 {
+		t.Fatalf("per-node stats: %+v", rep.PerNode)
+	}
+}
+
+// TestRunLoadFailsOverDeadNode: the cached owner dies mid-run; the
+// budgeted retry path re-learns the table from the surviving seed.
+// Here the survivor still 307s at the dead node, so requests exhaust
+// their budget — the report must say so.
+func TestRunLoadReportsExhaustion(t *testing.T) {
+	urls, close0 := fakeCluster(t)
+	close0() // owner is dead from the start
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		Addrs:          []string{urls[1]},
+		Federation:     "fed",
+		Clients:        2,
+		Requests:       1,
+		RedirectBudget: 2,
+		RetryBackoff:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exhausted != 2 {
+		t.Fatalf("exhausted = %d, want 2 (owner dead, redirects loop): %v", rep.Exhausted, rep.StatusCounts)
+	}
+	if rep.Errors != 2 {
+		t.Fatalf("errors = %d, want 2", rep.Errors)
 	}
 }

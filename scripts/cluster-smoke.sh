@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# cluster-smoke.sh — three-node midasd cluster end-to-end smoke:
+#
+#   1. boot three replicating nodes hosting three federations,
+#   2. drive routing-aware load at every federation (exits non-zero on
+#      any failed request, so the load run is itself an assertion),
+#   3. SIGKILL one node mid-cluster (no drain, no checkpoint),
+#   4. promote the standbys of its federations from their shipped WALs,
+#   5. assert zero acked-write loss (history lengths are unchanged) and
+#      that the survivors serve every federation.
+#
+# Requirements: go, curl, jq. Usage: scripts/cluster-smoke.sh [workdir]
+set -euo pipefail
+
+WORK="${1:-$(mktemp -d /tmp/midas-cluster-smoke.XXXXXX)}"
+MIDASD="${MIDASD:-$WORK/midasd}"
+MIDASLOAD="${MIDASLOAD:-$WORK/midasload}"
+BASE_PORT="${BASE_PORT:-9101}"
+FEDS=(fedA fedB fedC)
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill -KILL "$pid" 2> /dev/null || true; done
+}
+trap cleanup EXIT
+
+log() { echo "[cluster-smoke] $*"; }
+
+[ -x "$MIDASD" ] || go build -o "$MIDASD" ./cmd/midasd
+[ -x "$MIDASLOAD" ] || go build -o "$MIDASLOAD" ./cmd/midasload
+
+# --- membership -------------------------------------------------------
+peers=""
+addrs=""
+for i in 1 2 3; do
+  port=$((BASE_PORT + i - 1))
+  peers="${peers:+$peers,}n$i=http://127.0.0.1:$port"
+  addrs="${addrs:+$addrs,}http://127.0.0.1:$port"
+done
+
+cat > "$WORK/federations.json" <<'EOF'
+{"federations": [
+  {"name": "fedA", "sf": 0.05, "bootstrap": 12, "node_choices": [1, 2], "queries": ["Q12"]},
+  {"name": "fedB", "sf": 0.05, "bootstrap": 12, "node_choices": [1, 2], "queries": ["Q12"]},
+  {"name": "fedC", "sf": 0.05, "bootstrap": 12, "node_choices": [1, 2], "queries": ["Q12"]}
+]}
+EOF
+
+# --- boot -------------------------------------------------------------
+for i in 1 2 3; do
+  port=$((BASE_PORT + i - 1))
+  "$MIDASD" -addr "127.0.0.1:$port" -config "$WORK/federations.json" \
+    -data-dir "$WORK/n$i" -node-id "n$i" -cluster-peers "$peers" \
+    -cluster-replicate -cluster-sync-interval 200ms \
+    > "$WORK/n$i.log" 2>&1 &
+  PIDS+=($!)
+done
+for i in 1 2 3; do
+  port=$((BASE_PORT + i - 1))
+  for _ in $(seq 1 120); do
+    curl -sf "http://127.0.0.1:$port/readyz" > /dev/null && break
+    kill -0 "${PIDS[$((i - 1))]}" 2> /dev/null || { log "n$i died during startup"; cat "$WORK/n$i.log"; exit 1; }
+    sleep 1
+  done
+  curl -sf "http://127.0.0.1:$port/readyz" > /dev/null || { log "n$i never became ready"; exit 1; }
+done
+log "three nodes up: $peers"
+
+table() { curl -sf "http://127.0.0.1:$BASE_PORT/v1/cluster" 2> /dev/null \
+  || curl -sf "http://127.0.0.1:$((BASE_PORT + 1))/v1/cluster" \
+  || curl -sf "http://127.0.0.1:$((BASE_PORT + 2))/v1/cluster"; }
+owner_of() { table | jq -r ".placements[\"$1\"].owner"; }
+standby_of() { table | jq -r ".placements[\"$1\"].standby"; }
+addr_of() { table | jq -r ".members[] | select(.id == \"$1\") | .addr"; }
+hist_len() { # hist_len <addr> <federation>
+  curl -sf "$1/v1/history/Q12?federation=$2&limit=0" | jq .len
+}
+
+# --- load against every federation, through the routing table ---------
+for fed in "${FEDS[@]}"; do
+  log "load: $fed (owner $(owner_of "$fed"))"
+  "$MIDASLOAD" -addr "$addrs" -federation "$fed" -clients 10 -requests 3
+done
+
+# Let the 200ms standby sync ship anything appended before its stream
+# armed; once armed, every acked write is on the standby synchronously.
+sleep 1
+
+declare -A BEFORE
+for fed in "${FEDS[@]}"; do
+  BEFORE[$fed]="$(hist_len "$(addr_of "$(owner_of "$fed")")" "$fed")"
+  log "$fed: ${BEFORE[$fed]} acked observations on $(owner_of "$fed")"
+done
+
+# --- kill one owner outright ------------------------------------------
+victim="$(owner_of fedA)"
+vidx="${victim#n}"
+log "SIGKILL $victim (owner of fedA)"
+kill -KILL "${PIDS[$((vidx - 1))]}"
+wait "${PIDS[$((vidx - 1))]}" 2> /dev/null || true
+
+# --- promote standbys for every federation the victim owned -----------
+for fed in "${FEDS[@]}"; do
+  if [ "$(owner_of "$fed")" != "$victim" ]; then continue; fi
+  sb="$(standby_of "$fed")"
+  [ "$sb" != "$victim" ] && [ -n "$sb" ] || { log "$fed has no surviving standby"; exit 1; }
+  log "takeover: $fed -> $sb"
+  curl -sf -X POST "$(addr_of "$sb")/v1/admin/takeover?federation=$fed" | jq -c .
+done
+
+# --- zero acked-write loss + survivors serve everything ---------------
+for fed in "${FEDS[@]}"; do
+  owner="$(owner_of "$fed")"
+  [ "$owner" != "$victim" ] || { log "$fed still routed at the dead node"; exit 1; }
+  after="$(hist_len "$(addr_of "$owner")" "$fed")"
+  if [ "$after" != "${BEFORE[$fed]}" ]; then
+    log "FAIL: $fed lost acked writes across the kill: ${BEFORE[$fed]} -> $after"
+    exit 1
+  fi
+  log "$fed: $after observations intact on $owner"
+done
+
+# The routing-aware client must ride out the dead seed: it refreshes
+# the table from the survivors and lands every request.
+for fed in "${FEDS[@]}"; do
+  "$MIDASLOAD" -addr "$addrs" -federation "$fed" -clients 5 -requests 2
+done
+
+log "PASS: node kill survived with zero acked-write loss"
