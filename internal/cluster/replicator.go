@@ -21,9 +21,12 @@ const (
 	// full sync and after a handoff away.
 	replDisarmed replState = iota
 	// replHeld: a full sync is in flight. Frames are buffered (the
-	// stream stays contiguous with the sync point) but not shipped,
-	// and acks wait, until Release confirms the standby imported the
-	// snapshot — or Disarm abandons the sync.
+	// stream stays contiguous with the sync point) but not shipped
+	// until Release confirms the standby imported the snapshot — or
+	// Disarm abandons the sync. Acks do NOT wait: until the sync
+	// completes the shard is still in its degraded-to-local-durability
+	// window, and blocking writes on a standby that may be hung is
+	// exactly the stall the held state must not cause.
 	replHeld
 	// replStreaming: the standby holds a contiguous prefix; new frames
 	// are buffered and shipped in batches, and acks wait for shipment.
@@ -91,10 +94,13 @@ func (r *Replicator) Arm(shard string, next uint64) {
 
 // Hold is the first half of a two-phase Arm: the stream starts
 // buffering at next (call it at the sync cut, under the WAL lock, like
-// Arm) but nothing ships — and acks wait — until Release confirms the
-// standby actually imported the synced state. Without the hold, frames
-// appended during the sync transfer could reach the standby before the
-// snapshot they extend.
+// Arm) but nothing ships until Release confirms the standby actually
+// imported the synced state. Without the hold, frames appended during
+// the sync transfer could reach the standby before the snapshot they
+// extend. Acks are not blocked while held — the shard was running on
+// local durability before the sync began and keeps doing so until the
+// stream is actually live — so a hung standby can slow only its own
+// re-arm, never the write path.
 func (r *Replicator) Hold(shard string, next uint64) {
 	r.arm(shard, next, replHeld)
 }
@@ -169,6 +175,12 @@ func (r *Replicator) Streaming(shard string) bool {
 	return s.state == replStreaming
 }
 
+// maxBufferedBytes bounds the frames buffered for shipment per shard.
+// A held stream no longer blocks acks, so a standby hung mid-sync would
+// otherwise let the buffer grow without bound; past this the stream
+// degrades to local durability and waits for the next full sync.
+const maxBufferedBytes = 8 << 20
+
 // AppendFrame buffers one raw WAL frame for shipment. Called under the
 // shard's WAL lock; must not block or ship inline.
 func (r *Replicator) AppendFrame(shard string, seq uint64, frame []byte) {
@@ -189,6 +201,18 @@ func (r *Replicator) AppendFrame(shard string, seq uint64, frame []byte) {
 		s.mu.Unlock()
 		if r.OnDegrade != nil {
 			r.OnDegrade(shard, errSeqGap{shard: shard, want: want, got: seq})
+		}
+		return
+	}
+	if len(s.buf)+len(frame) > maxBufferedBytes {
+		s.state = replDegraded
+		s.buf = nil
+		s.bufCount = 0
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if r.OnDegrade != nil {
+			r.OnDegrade(shard, fmt.Errorf("cluster: replication buffer for %s exceeded %d bytes (standby stalled)",
+				shard, maxBufferedBytes))
 		}
 		return
 	}
@@ -245,11 +269,14 @@ func (r *Replicator) run(shard string, s *replShard) {
 // WaitFrame blocks until the frame with sequence seq has been shipped
 // to the standby, the shard degrades, or the shard is disarmed. It
 // never returns an error: degraded replication falls back to local
-// durability by design (the caller's fsync already happened).
+// durability by design (the caller's fsync already happened). A held
+// shard does not block either — until its full sync completes the
+// shard is still in the local-durability window, and a hung standby
+// must not stall the write path for the whole sync attempt.
 func (r *Replicator) WaitFrame(shard string, seq uint64) error {
 	s := r.shard(shard)
 	s.mu.Lock()
-	for s.state == replHeld || (s.state == replStreaming && s.synced <= seq) {
+	for s.state == replStreaming && s.synced <= seq {
 		s.cond.Wait()
 	}
 	s.mu.Unlock()

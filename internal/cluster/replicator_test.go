@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -129,29 +130,27 @@ func TestReplicatorHoldBuffersUntilRelease(t *testing.T) {
 	r.Hold("Q12", 5)
 	r.AppendFrame("Q12", 5, []byte{1})
 	r.AppendFrame("Q12", 6, []byte{2})
-	// Nothing ships while held, and waiters block.
+	// Nothing ships while held, but acks are NOT blocked: until the
+	// full sync completes the shard is in its local-durability window,
+	// so a hung standby must not stall the write path.
 	waited := make(chan struct{})
 	go func() {
 		_ = r.WaitFrame("Q12", 5)
 		close(waited)
 	}()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitFrame blocked on a held shard")
+	}
 	time.Sleep(10 * time.Millisecond)
 	c.mu.Lock()
 	if c.calls != 0 {
 		t.Fatalf("held shard shipped %d times", c.calls)
 	}
 	c.mu.Unlock()
-	select {
-	case <-waited:
-		t.Fatal("WaitFrame returned while held")
-	default:
-	}
 	r.Release("Q12")
-	select {
-	case <-waited:
-	case <-time.After(5 * time.Second):
-		t.Fatal("Release left a waiter blocked")
-	}
+	// Once streaming, acks wait for shipment again.
 	if err := r.WaitFrame("Q12", 6); err != nil {
 		t.Fatal(err)
 	}
@@ -159,6 +158,31 @@ func TestReplicatorHoldBuffersUntilRelease(t *testing.T) {
 	defer c.mu.Unlock()
 	if string(c.frames) != string([]byte{1, 2}) || c.next != 7 {
 		t.Fatalf("after release: frames=%v next=%d", c.frames, c.next)
+	}
+}
+
+func TestReplicatorHeldBufferOverflowDegrades(t *testing.T) {
+	c := &collectShip{}
+	r := NewReplicator(c.ship)
+	var degraded atomic.Bool
+	r.OnDegrade = func(string, error) { degraded.Store(true) }
+	r.Hold("Q12", 0)
+	// A standby hung mid-sync cannot buffer frames forever: past the
+	// cap the stream degrades to local durability.
+	frame := make([]byte, 1<<20)
+	for seq := uint64(0); seq < 16; seq++ {
+		r.AppendFrame("Q12", seq, frame)
+		if r.Degraded("Q12") {
+			break
+		}
+	}
+	if !r.Degraded("Q12") || !degraded.Load() {
+		t.Fatal("held buffer grew past the cap without degrading")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.calls != 0 {
+		t.Fatalf("degraded held shard shipped %d times", c.calls)
 	}
 }
 

@@ -303,13 +303,18 @@ func (s *Store) closeReplica(name string) {
 //
 // The shard must not be open as a live history on this store.
 func (s *Store) AppendReplicaFrames(name string, from uint64, frames []byte) (uint64, error) {
+	// replMu is acquired while s.mu is still held: a takeover's
+	// OpenHistory (which runs under s.mu and closes the replica handle
+	// under replMu) cannot interleave between the open-check and the
+	// append, so a replica handle can never be re-opened on a wal.log a
+	// now-live shard is appending to.
 	s.mu.Lock()
-	_, open := s.shards[name]
-	s.mu.Unlock()
-	if open {
+	if _, open := s.shards[name]; open {
+		s.mu.Unlock()
 		return 0, fmt.Errorf("histstore: replica append to open shard %q", name)
 	}
 	s.replMu.Lock()
+	s.mu.Unlock()
 	defer s.replMu.Unlock()
 	r, err := s.openReplica(name)
 	if err != nil {
@@ -369,9 +374,18 @@ func (s *Store) AppendReplicaFrames(name string, from uint64, frames []byte) (ui
 }
 
 // ReplicaSeq reports the next sequence the named replica shard expects
-// (0 for an empty replica). Useful for observability and tests.
+// (0 for an empty replica). Useful for observability and tests. Like
+// AppendReplicaFrames it refuses to touch a shard that is open as a
+// live history — opening a replica handle would scan (and possibly
+// torn-tail-truncate) a WAL mid-append.
 func (s *Store) ReplicaSeq(name string) (uint64, error) {
+	s.mu.Lock()
+	if _, open := s.shards[name]; open {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("histstore: replica query of open shard %q", name)
+	}
 	s.replMu.Lock()
+	s.mu.Unlock()
 	defer s.replMu.Unlock()
 	r, err := s.openReplica(name)
 	if err != nil {

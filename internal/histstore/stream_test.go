@@ -225,6 +225,65 @@ func TestReplicaAppendOverlapAndGap(t *testing.T) {
 	if _, err := dst.AppendReplicaFrames("Q12", 10, nil); err == nil {
 		t.Error("replica append to open shard succeeded")
 	}
+	if _, err := dst.ReplicaSeq("Q12"); err == nil {
+		t.Error("replica query of open shard succeeded")
+	}
+}
+
+// TestReplicaAppendVsPromotionRace hammers the takeover interleaving:
+// replica appends racing the OpenHistory that promotes the shard to a
+// live history. The open-check and the append are atomic with respect
+// to the promotion, so every append either lands before the shard goes
+// live or is refused — never a second handle on the live WAL.
+func TestReplicaAppendVsPromotionRace(t *testing.T) {
+	srcDir := t.TempDir()
+	src := openStore(t, srcDir, Options{})
+	defer src.Close()
+	h := openHist(t, src, "Q12")
+	appendN(t, h, 0, 12)
+	raw, bounds := walFrames(t, srcDir, "Q12")
+
+	dst := openStore(t, t.TempDir(), Options{})
+	defer dst.Close()
+	if next, err := dst.AppendReplicaFrames("Q12", 0, raw[:bounds[6]]); err != nil || next != 6 {
+		t.Fatalf("seed append: next=%d err=%v", next, err)
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				// Overlapping suffix batches, as a retrying shipper sends.
+				_, _ = dst.AppendReplicaFrames("Q12", 4, raw[bounds[4]:])
+			}
+		}()
+	}
+	wg.Add(1)
+	var promoted *core.History
+	go func() {
+		defer wg.Done()
+		<-start
+		var err error
+		promoted, err = dst.OpenHistory("Q12", 1, testMetrics)
+		if err != nil {
+			t.Errorf("promotion open: %v", err)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	// The promoted history is an intact prefix of the source, and the
+	// shard refuses replica traffic from here on.
+	if promoted == nil || promoted.Len() < 6 || promoted.Len() > 12 {
+		t.Fatalf("promoted history has %d observations, want 6..12", promoted.Len())
+	}
+	wantPrefix(t, promoted, promoted.Len())
+	if _, err := dst.AppendReplicaFrames("Q12", 4, raw[bounds[4]:]); err == nil {
+		t.Error("replica append to promoted shard succeeded")
+	}
 }
 
 // mirrorLog is a test Mirror recording (seq, frame) pairs.

@@ -49,6 +49,12 @@ type tenant struct {
 	// inbound handoff wait on; closed when the handoff resolves.
 	actMu     sync.Mutex
 	activated chan struct{}
+	// activateMu single-flights inbound activation (handoff activate,
+	// takeover) and serializes it against abort: a retried activate —
+	// the source re-sends after a lost ack, activation being idempotent
+	// — blocks here until the first attempt resolves instead of racing
+	// a second OpenHistory pass over the same shards.
+	activateMu sync.Mutex
 
 	mu      sync.Mutex
 	pending map[tpch.QueryID]*sweepBatch

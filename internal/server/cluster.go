@@ -226,6 +226,21 @@ func (cs *clusterState) post(url string, body io.Reader) error {
 	return nil
 }
 
+// postJSON issues one peer POST and decodes the 2xx response body into
+// out.
+func (cs *clusterState) postJSON(url string, body []byte, out any) error {
+	resp, err := cs.client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(out)
+}
+
 // applyOverride pins fed to node in the routing table, bumping the
 // epoch to at least minEpoch, and returns the resulting epoch.
 // Idempotent: a table that already places fed on node at minEpoch or
@@ -248,12 +263,32 @@ func (cs *clusterState) applyOverride(fed, node string, minEpoch uint64) uint64 
 	}
 }
 
-// adoptTable installs a gossiped table if its epoch is newer.
+// adoptTable installs a gossiped table if its epoch is newer. Epochs
+// are minted as local-epoch+1 with no global allocator, so two
+// concurrent ownership changes (of different federations, or of the
+// same one after a partition) can produce distinct tables at the SAME
+// epoch; adopting one at an equal epoch merges the override sets
+// deterministically — union, lexicographically smaller member ID on a
+// per-federation conflict, so every node computes the same table
+// regardless of arrival order — and bumps past both inputs so the
+// merged table wins everywhere. Callers that adopt must reconcile local
+// tenant state against the new table (Server.reconcileTenants).
 func (cs *clusterState) adoptTable(epoch uint64, overrides map[string]string) bool {
 	for {
 		cur := cs.table.Load()
-		if cur.Epoch() >= epoch {
+		if epoch < cur.Epoch() {
 			return false
+		}
+		if epoch == cur.Epoch() {
+			curOv := cur.Overrides()
+			if overridesEqual(curOv, overrides) {
+				return false
+			}
+			next := cur.WithOverrides(epoch+1, mergeOverrides(curOv, overrides))
+			if cs.table.CompareAndSwap(cur, next) {
+				return true
+			}
+			continue
 		}
 		if cs.table.CompareAndSwap(cur, cur.WithOverrides(epoch, overrides)) {
 			return true
@@ -261,9 +296,43 @@ func (cs *clusterState) adoptTable(epoch uint64, overrides map[string]string) bo
 	}
 }
 
+// overridesEqual reports whether two override maps place the same
+// federations on the same members.
+func overridesEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for fed, id := range a {
+		if b[fed] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeOverrides unions two override sets; a federation present in both
+// with different owners resolves to the lexicographically smaller
+// member ID. The merge is commutative, so nodes merging the same pair
+// of tables in either order agree; the losing owner is demoted by the
+// reconcile pass when the merged table reaches it.
+func mergeOverrides(a, b map[string]string) map[string]string {
+	out := make(map[string]string, len(a)+len(b))
+	for fed, id := range a {
+		out[fed] = id
+	}
+	for fed, id := range b {
+		if cur, ok := out[fed]; !ok || id < cur {
+			out[fed] = id
+		}
+	}
+	return out
+}
+
 // gossip pushes this node's routing table to every other peer,
-// best-effort and concurrently; losers of the epoch race simply ignore
-// it.
+// best-effort and concurrently. Each exchange is bidirectional: the
+// peer answers with whichever table survived on its side, and a newer
+// (or mergeable same-epoch) answer is adopted here — so one exchange
+// converges both ends, whichever was stale.
 func (cs *clusterState) gossip() {
 	tab := cs.table.Load()
 	body, _ := json.Marshal(RouteUpdate{Epoch: tab.Epoch(), Overrides: tab.Overrides()})
@@ -272,7 +341,13 @@ func (cs *clusterState) gossip() {
 			continue
 		}
 		go func(addr string) {
-			_ = cs.post(addr+"/v1/admin/route", bytes.NewReader(body))
+			var peer RouteUpdate
+			if err := cs.postJSON(addr+"/v1/admin/route", body, &peer); err != nil {
+				return
+			}
+			if cs.adoptTable(peer.Epoch, peer.Overrides) {
+				cs.srv.reconcileTenants()
+			}
 		}(m.Addr)
 	}
 }
@@ -422,7 +497,9 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad route update: %v", err)
 		return
 	}
-	s.cluster.adoptTable(upd.Epoch, upd.Overrides)
+	if s.cluster.adoptTable(upd.Epoch, upd.Overrides) {
+		s.reconcileTenants()
+	}
 	tab := s.cluster.table.Load()
 	writeJSON(w, http.StatusOK, RouteUpdate{Epoch: tab.Epoch(), Overrides: tab.Overrides()})
 }
@@ -524,7 +601,6 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "handoff of %q to %s failed: %v", fed, target.ID, err)
 		return
 	}
-	cs.handoffsOut.Inc()
 	cs.handoffSeconds.Observe(time.Since(began).Seconds())
 	writeJSON(w, http.StatusOK, HandoffResponse{
 		Federation:   fed,
@@ -541,7 +617,10 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 // checkpoint, stream every shard, activate the target under a bumped
 // epoch, then release local state and gossip the new table. Any
 // failure before activation aborts the target's half and restores the
-// tenant to active — the handoff is all-or-nothing.
+// tenant to active — the handoff is all-or-nothing. Activation itself
+// is the one step whose failure cannot be taken at face value (the
+// target may have committed and the ack been lost), so an activate
+// error is settled by verification before anything is reverted.
 func (s *Server) handoffTenant(ctx context.Context, t *tenant, target cluster.Member) (uint64, map[string]int, error) {
 	cs := s.cluster
 	if !t.state.CompareAndSwap(tenantActive, tenantSending) {
@@ -608,26 +687,162 @@ func (s *Server) handoffTenant(ctx context.Context, t *tenant, target cluster.Me
 	epoch := cs.table.Load().Epoch() + 1
 	url := fmt.Sprintf("%s/v1/admin/handoff/activate%s&epoch=%d", target.Addr, fedQ, epoch)
 	if err := cs.post(url, nil); err != nil {
-		abort()
-		return 0, nil, fmt.Errorf("activate: %w", err)
+		// A failed POST does not mean a failed activation: opening the
+		// shipped shards can outlive PeerTimeout, and the ack may have
+		// been lost after the target committed. Reverting to active
+		// while the target serves at a higher epoch would fork the
+		// federation's history, so settle the outcome first — activation
+		// is idempotent, making both the retry and the question safe.
+		committed, known := s.verifyActivation(t, target, url)
+		switch {
+		case committed:
+			// The move happened; fall through to the commit path.
+		case known:
+			// The target is verifiably not active: the all-or-nothing
+			// abort is safe.
+			abort()
+			return 0, nil, fmt.Errorf("activate: %w", err)
+		default:
+			// Target unreachable: the outcome is unknowable right now.
+			// The tenant stays in sending — redirecting at the target,
+			// which is correct whichever way it resolves — and a
+			// background resolver completes or rolls back the move once
+			// the target answers again.
+			go s.resolveHandoff(t, target, epoch, url)
+			return 0, nil, fmt.Errorf("activate outcome unknown (target unreachable), resolving in background: %w", err)
+		}
 	}
-	// Point of no return: the target is serving. Release local state —
-	// the schedulers' histories and the store's WAL handles — so a
-	// later handoff back (or standby duty) starts from disk.
+	got := s.finishHandoffSource(t, target, epoch)
+	return got, moved, nil
+}
+
+// finishHandoffSource commits the source half of a handoff whose
+// activation is known to have succeeded: release local state — the
+// schedulers' histories and the store's WAL handles, so a later handoff
+// back (or standby duty) starts from disk — adopt the override and
+// gossip the new table. The sending→remote CAS makes it single-entry,
+// so the synchronous path and the background resolver cannot both
+// commit.
+func (s *Server) finishHandoffSource(t *tenant, target cluster.Member, epoch uint64) uint64 {
+	cs := s.cluster
+	if !t.state.CompareAndSwap(tenantSending, tenantRemote) {
+		return cs.table.Load().Epoch()
+	}
+	s.releaseTenantState(t)
+	got := cs.applyOverride(t.name, target.ID, epoch)
+	t.ownerHint.Store(nil)
+	cs.handoffsOut.Inc()
+	cs.gossip()
+	s.log.Info("handoff complete", "federation", t.name, "target", target.ID, "epoch", got)
+	return got
+}
+
+// releaseTenantState drops the scheduler's in-memory histories and
+// closes the tenant's WAL handles; the next activation (handoff back,
+// takeover) rebuilds from disk.
+func (s *Server) releaseTenantState(t *tenant) {
 	if hd, ok := t.sched.(historyDropper); ok {
 		hd.DropHistories()
 	}
 	if t.store != nil {
 		if err := t.store.Close(); err != nil {
-			s.log.Warn("closing store after handoff", "federation", t.name, "error", err.Error())
+			s.log.Warn("closing store on ownership release", "federation", t.name, "error", err.Error())
 		}
 	}
-	got := cs.applyOverride(t.name, target.ID, epoch)
-	t.state.Store(tenantRemote)
-	t.ownerHint.Store(nil)
-	cs.gossip()
-	s.log.Info("handoff complete", "federation", t.name, "target", target.ID, "epoch", got)
-	return got, moved, nil
+}
+
+// verifyActivation settles an activate POST that errored: committed
+// reports whether the target activated, known whether the outcome could
+// be determined at all. The target's /v1/cluster placement state is the
+// source of truth; while it reads "receiving" (activation may still be
+// running behind a lost ack) the idempotent activate is retried.
+func (s *Server) verifyActivation(t *tenant, target cluster.Member, activateURL string) (committed, known bool) {
+	cs := s.cluster
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			time.Sleep(250 * time.Millisecond)
+		}
+		st, err := s.peerTenantState(target, t.name)
+		if err == nil {
+			switch st {
+			case "active":
+				return true, true
+			case "remote":
+				return false, true
+			}
+		}
+		if err := cs.post(activateURL, nil); err == nil {
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// peerTenantState asks a peer which ownership state its tenant for fed
+// is in, via the placement section of its /v1/cluster table.
+func (s *Server) peerTenantState(peer cluster.Member, fed string) (string, error) {
+	resp, err := s.cluster.client.Get(peer.Addr + "/v1/cluster")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s", peer.Addr, resp.Status)
+	}
+	var cr ClusterResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&cr); err != nil {
+		return "", err
+	}
+	p, ok := cr.Placements[fed]
+	if !ok {
+		return "", fmt.Errorf("peer %s does not host federation %q", peer.ID, fed)
+	}
+	return p.State, nil
+}
+
+// resolveHandoff settles a handoff whose activation outcome could not
+// be determined synchronously. The tenant stays in sending — new
+// requests chase the target, which is correct in both outcomes — until
+// the target answers: active commits the source half, remote rolls the
+// tenant back to serving here. Runs until resolution or server
+// shutdown.
+func (s *Server) resolveHandoff(t *tenant, target cluster.Member, epoch uint64, activateURL string) {
+	cs := s.cluster
+	tick := time.NewTicker(cs.cfg.SyncInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.lifeCtx.Done():
+			return
+		case <-tick.C:
+		}
+		if t.state.Load() != tenantSending {
+			return // resolved by another path
+		}
+		st, err := s.peerTenantState(target, t.name)
+		if err != nil {
+			continue
+		}
+		switch st {
+		case "active":
+			s.finishHandoffSource(t, target, epoch)
+			return
+		case "remote":
+			if t.state.CompareAndSwap(tenantSending, tenantActive) {
+				t.ownerHint.Store(nil)
+				s.log.Warn("handoff rolled back, target never activated",
+					"federation", t.name, "target", target.ID)
+			}
+			return
+		default:
+			// Still receiving: the activation may have been lost before
+			// reaching the target — nudge the idempotent activate.
+			if cs.post(activateURL, nil) == nil {
+				s.finishHandoffSource(t, target, epoch)
+				return
+			}
+		}
+	}
 }
 
 // drainInflight waits for the tenant's in-flight requests to finish;
@@ -715,7 +930,12 @@ func (s *Server) handleHandoffReceive(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHandoffActivate commits an inbound handoff: open the shipped
-// state, start serving, bump the routing epoch.
+// state, start serving, bump the routing epoch. Idempotent — a source
+// whose ack was lost (activation can outlive its PeerTimeout) re-sends
+// the activate, and a tenant already activated by this handoff answers
+// with the committed epoch instead of an error. activateMu single-
+// flights the commit, so the retry waits for the first attempt rather
+// than racing a second open of the same shards.
 func (s *Server) handleHandoffActivate(w http.ResponseWriter, r *http.Request) {
 	cs := s.cluster
 	fed := r.URL.Query().Get("federation")
@@ -724,13 +944,23 @@ func (s *Server) handleHandoffActivate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "server: unknown federation %q", fed)
 		return
 	}
-	if t.state.Load() != tenantReceiving {
-		writeError(w, http.StatusConflict, "federation %q is %s, not receiving", fed, tenantStateName(t.state.Load()))
-		return
-	}
 	epoch, err := strconv.ParseUint(r.URL.Query().Get("epoch"), 10, 64)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad epoch: %v", err)
+		return
+	}
+	t.activateMu.Lock()
+	defer t.activateMu.Unlock()
+	switch st := t.state.Load(); st {
+	case tenantActive:
+		// Retried commit: re-assert the override at the requested epoch
+		// and report success again.
+		got := cs.applyOverride(fed, cs.self.ID, epoch)
+		writeJSON(w, http.StatusOK, map[string]uint64{"epoch": got})
+		return
+	case tenantReceiving:
+	default:
+		writeError(w, http.StatusConflict, "federation %q is %s, not receiving", fed, tenantStateName(st))
 		return
 	}
 	if err := s.activateTenant(t); err != nil {
@@ -747,7 +977,10 @@ func (s *Server) handleHandoffActivate(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHandoffAbort rolls the target back to remote after a failed
-// handoff; held requests chase the (reverted) owner.
+// handoff; held requests chase the (reverted) owner. Serialized with
+// activation: an abort racing an in-flight activate waits, then finds
+// the tenant active and leaves it alone — the source only aborts after
+// verifying the target did not activate.
 func (s *Server) handleHandoffAbort(w http.ResponseWriter, r *http.Request) {
 	fed := r.URL.Query().Get("federation")
 	t, ok := s.tenants[fed]
@@ -755,9 +988,11 @@ func (s *Server) handleHandoffAbort(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "server: unknown federation %q", fed)
 		return
 	}
+	t.activateMu.Lock()
 	if t.state.Load() == tenantReceiving {
 		t.finishReceiving(tenantRemote)
 	}
+	t.activateMu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]string{"status": "aborted"})
 }
 
@@ -777,13 +1012,16 @@ func (s *Server) handleTakeover(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "federation %q is %s here", fed, tenantStateName(t.state.Load()))
 		return
 	}
+	t.activateMu.Lock()
 	if err := s.activateTenant(t); err != nil {
 		t.finishReceiving(tenantRemote)
+		t.activateMu.Unlock()
 		writeError(w, http.StatusInternalServerError, "takeover of %q: %v", fed, err)
 		return
 	}
 	epoch := cs.applyOverride(fed, cs.self.ID, cs.table.Load().Epoch()+1)
 	t.finishReceiving(tenantActive)
+	t.activateMu.Unlock()
 	cs.takeovers.Inc()
 	cs.gossip()
 	recovered := make(map[string]int, len(t.queries))
@@ -831,6 +1069,101 @@ func (s *Server) activateTenant(t *tenant) error {
 }
 
 // ---------------------------------------------------------------------
+// Table reconciliation
+// ---------------------------------------------------------------------
+
+// reconcileTenants squares local tenant state with the current routing
+// table: any tenant this node is serving (active) that the table maps
+// to another member is demoted. This is the convergence path for a
+// former owner that slept through a takeover or handoff — a restarted
+// node boots at epoch 1 with its ring-owned tenants active, and without
+// this step it would keep serving stale state forever after gossip
+// hands it the newer table. Called after every table adoption.
+func (s *Server) reconcileTenants() {
+	cs := s.cluster
+	tab := cs.table.Load()
+	for name, t := range s.tenants {
+		owner := tab.Owner(name)
+		if owner.ID == cs.self.ID || t.state.Load() != tenantActive {
+			continue
+		}
+		// Demotion drains and does peer-free file work; keep it off the
+		// gossip handler's request path.
+		go s.demoteStaleOwner(t, owner)
+	}
+}
+
+// demoteStaleOwner stops serving a federation the routing table has
+// moved elsewhere: redirect new requests at the adopted owner, drain
+// the in-flight ones, then release local state so the next activation
+// here starts from disk. The active→sending CAS makes it single-entry
+// and yields to a concurrent operator-driven handoff.
+func (s *Server) demoteStaleOwner(t *tenant, owner cluster.Member) {
+	cs := s.cluster
+	if !t.state.CompareAndSwap(tenantActive, tenantSending) {
+		return
+	}
+	if cs.table.Load().Owner(t.name).ID == cs.self.ID {
+		// The table moved back underneath the CAS; keep serving.
+		t.state.Store(tenantActive)
+		return
+	}
+	t.ownerHint.Store(&owner)
+	ctx, cancel := context.WithTimeout(s.lifeCtx, cs.cfg.PeerTimeout)
+	err := t.drainInflight(ctx)
+	cancel()
+	if err != nil {
+		// Stragglers get errors from the closed store rather than this
+		// node silently forking the federation's history.
+		s.log.Warn("demotion drain incomplete", "federation", t.name, "error", err.Error())
+	}
+	if rep := cs.repl[t.name]; rep != nil {
+		rep.DisarmAll()
+	}
+	s.releaseTenantState(t)
+	t.state.Store(tenantRemote)
+	t.ownerHint.Store(nil)
+	s.log.Warn("demoted stale ownership", "federation", t.name,
+		"owner", owner.ID, "epoch", cs.table.Load().Epoch())
+}
+
+// bootstrapRoutes exchanges routing tables with peers at boot, so a
+// restarted node (whose table is back at epoch 1) learns about
+// ownership moves it slept through before serving stale state for
+// long, even if no further mutation ever gossips. Best-effort: retries
+// until at least one peer answers, then leaves freshness to
+// gossip-on-mutation and the reconcile pass.
+func (s *Server) bootstrapRoutes() {
+	cs := s.cluster
+	for {
+		tab := cs.table.Load()
+		body, _ := json.Marshal(RouteUpdate{Epoch: tab.Epoch(), Overrides: tab.Overrides()})
+		reached := false
+		for _, m := range tab.Ring().Members() {
+			if m.ID == cs.self.ID {
+				continue
+			}
+			var peer RouteUpdate
+			if err := cs.postJSON(m.Addr+"/v1/admin/route", body, &peer); err != nil {
+				continue
+			}
+			reached = true
+			if cs.adoptTable(peer.Epoch, peer.Overrides) {
+				s.reconcileTenants()
+			}
+		}
+		if reached {
+			return
+		}
+		select {
+		case <-s.lifeCtx.Done():
+			return
+		case <-time.After(cs.cfg.SyncInterval):
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
 // Standby sync loop
 // ---------------------------------------------------------------------
 
@@ -838,37 +1171,60 @@ func (s *Server) activateTenant(t *tenant) error {
 // replication stream is not currently streaming (never armed, or
 // degraded by a standby outage) gets a fresh full sync — checkpoint,
 // export, ship, release — after which the synchronous frame stream
-// resumes. Runs until the server's lifetime context ends.
+// resumes. A standby that keeps failing (down, hung, partitioned) is
+// retried under exponential backoff — up to 2^5 intervals between
+// attempts — so a dead peer costs one slow ship per backoff window
+// instead of one per tick. Holding a stream no longer blocks acks (see
+// cluster.Replicator.Hold), so even an in-flight failed attempt never
+// stalls the write path. Runs until the server's lifetime context ends.
 func (s *Server) syncLoop() {
 	cs := s.cluster
 	defer close(cs.syncDone)
 	tick := time.NewTicker(cs.cfg.SyncInterval)
 	defer tick.Stop()
+	// Per-tenant backoff state, touched only by this goroutine.
+	skip := make(map[string]int)
+	fails := make(map[string]int)
 	for {
 		select {
 		case <-s.lifeCtx.Done():
 			return
 		case <-tick.C:
 			for _, t := range s.tenants {
-				s.syncTenant(t)
+				if skip[t.name] > 0 {
+					skip[t.name]--
+					continue
+				}
+				if s.syncTenant(t) {
+					fails[t.name] = 0
+					continue
+				}
+				fails[t.name]++
+				n := fails[t.name]
+				if n > 5 {
+					n = 5
+				}
+				skip[t.name] = 1 << n
 			}
 		}
 	}
 }
 
 // syncTenant full-syncs every non-streaming shard of one owned tenant
-// to its standby.
-func (s *Server) syncTenant(t *tenant) {
+// to its standby. Returns false when any shard's sync failed, so the
+// loop can back off instead of re-attempting every tick.
+func (s *Server) syncTenant(t *tenant) bool {
 	cs := s.cluster
 	rep := cs.repl[t.name]
 	if rep == nil || t.store == nil || t.state.Load() != tenantActive {
-		return
+		return true
 	}
 	standby, ok := cs.table.Load().Standby(t.name)
 	if !ok {
-		return
+		return true
 	}
 	checkpointed := false
+	healthy := true
 	for _, q := range sortedQueries(t) {
 		shard := q.String()
 		if rep.Streaming(shard) {
@@ -879,17 +1235,19 @@ func (s *Server) syncTenant(t *tenant) {
 			// plus a short suffix.
 			if err := t.checkpoint(); err != nil {
 				s.log.Warn("standby sync checkpoint failed", "federation", t.name, "error", err.Error())
-				return
+				return false
 			}
 			checkpointed = true
 		}
 		// Hold the stream at the export cut: frames appended while the
 		// snapshot is in flight buffer locally and ship only after the
-		// standby confirms the import they extend.
+		// standby confirms the import they extend. Acks do not wait on
+		// a held stream, so a hung standby slows only this sync.
 		var buf bytes.Buffer
 		err := t.store.ExportShard(shard, &buf, func(next uint64) { rep.Hold(shard, next) })
 		if err != nil {
 			s.log.Warn("standby sync export failed", "federation", t.name, "query", shard, "error", err.Error())
+			healthy = false
 			continue
 		}
 		url := fmt.Sprintf("%s/v1/admin/handoff/receive?federation=%s&query=%s&mode=standby",
@@ -898,10 +1256,12 @@ func (s *Server) syncTenant(t *tenant) {
 			rep.Disarm(shard)
 			s.log.Warn("standby sync ship failed", "federation", t.name, "query", shard,
 				"standby", standby.ID, "error", err.Error())
+			healthy = false
 			continue
 		}
 		rep.Release(shard)
 		cs.syncs.Inc()
 		s.log.Info("standby armed", "federation", t.name, "query", shard, "standby", standby.ID)
 	}
+	return healthy
 }

@@ -36,6 +36,9 @@ type testCluster struct {
 	servers []*Server
 	https   []*httptest.Server
 	members []cluster.Member
+	// late are the swappable handlers fronting each member; a test can
+	// re-Store one to wrap a node's real handler with fault injection.
+	late []*lateHandler
 }
 
 func newTestCluster(t *testing.T, n int, feds []string) *testCluster {
@@ -49,6 +52,7 @@ func newTestCluster(t *testing.T, n int, feds []string) *testCluster {
 		tc.https = append(tc.https, ts)
 		tc.members = append(tc.members, cluster.Member{ID: fmt.Sprintf("n%d", i), Addr: ts.URL})
 	}
+	tc.late = late
 	for i := 0; i < n; i++ {
 		scheds := make(map[string]QueryScheduler, len(feds))
 		for _, f := range feds {
@@ -690,5 +694,205 @@ func TestClusterStatsEpochStamp(t *testing.T) {
 	}
 	if len(sr.Cluster.Owned) != owned {
 		t.Fatalf("stats report %d owned, state machine says %d", len(sr.Cluster.Owned), owned)
+	}
+}
+
+// TestClusterHandoffActivateAckLost drives the two-generals corner of
+// a handoff: the target commits activation but the source never sees
+// the ack (the response is swallowed and replaced with a 502). The
+// source must NOT revert to active — that would leave two owners at
+// different epochs — but verify the outcome against the target and
+// commit its half of the move.
+func TestClusterHandoffActivateAckLost(t *testing.T) {
+	tc := newTestCluster(t, 2, []string{"alpha"})
+	owner := tc.ownerIdx(t, "alpha")
+	target := 1 - owner
+
+	// Wrap the target: the first activate POST runs through the real
+	// handler (so activation commits) but the caller gets a 502.
+	real := tc.servers[target].Handler()
+	var swallowed atomic.Bool
+	wrapped := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/admin/handoff/activate" && swallowed.CompareAndSwap(false, true) {
+			rec := httptest.NewRecorder()
+			real.ServeHTTP(rec, r)
+			if rec.Code != http.StatusOK {
+				t.Errorf("real activate handler returned %d: %s", rec.Code, rec.Body)
+			}
+			http.Error(w, "injected: ack lost", http.StatusBadGateway)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	tc.late[target].h.Store(&wrapped)
+
+	resp, err := http.Post(tc.https[owner].URL+"/v1/admin/handoff?federation=alpha&target="+tc.members[target].ID, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("handoff with lost activate ack = %d: %s", resp.StatusCode, body)
+	}
+	var hr HandoffResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Epoch != 2 || hr.To != tc.members[target].ID {
+		t.Fatalf("handoff response %+v", hr)
+	}
+	if !swallowed.Load() {
+		t.Fatal("fault injection never fired")
+	}
+
+	// Exactly one owner: source remote, target active.
+	if st := tc.servers[owner].tenants["alpha"].state.Load(); st != tenantRemote {
+		t.Fatalf("source tenant is %s, want remote", tenantStateName(st))
+	}
+	if st := tc.servers[target].tenants["alpha"].state.Load(); st != tenantActive {
+		t.Fatalf("target tenant is %s, want active", tenantStateName(st))
+	}
+
+	// The source redirects at the target, which serves at the new epoch.
+	req := QueryRequest{Federation: "alpha", Query: "Q12", Weights: []float64{1, 1}}
+	resp2, _ := postQueryNoRedirect(t, tc.https[owner].URL, req)
+	if resp2.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("old owner returned %d", resp2.StatusCode)
+	}
+	if loc := resp2.Header.Get("Location"); loc != tc.members[target].Addr+"/v1/queries" {
+		t.Fatalf("old owner redirects to %q", loc)
+	}
+	resp2, qbody := postQueryNoRedirect(t, tc.https[target].URL, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("new owner returned %d: %s", resp2.StatusCode, qbody)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(qbody, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Node != tc.members[target].ID || qr.Epoch < 2 {
+		t.Fatalf("post-handoff response node=%q epoch=%d", qr.Node, qr.Epoch)
+	}
+}
+
+// TestClusterStaleOwnerDemoted exercises the split-brain convergence
+// path: ownership moves via takeover while the old owner is alive (the
+// stand-in for a restarted former owner that boots with its ring-owned
+// tenants active), and the old owner must demote itself once gossip
+// hands it the newer table instead of serving stale state forever.
+func TestClusterStaleOwnerDemoted(t *testing.T) {
+	tc := newTestCluster(t, 2, []string{"alpha"})
+	owner := tc.ownerIdx(t, "alpha")
+	other := 1 - owner
+
+	resp, err := http.Post(tc.https[other].URL+"/v1/admin/takeover?federation=alpha", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("takeover = %d: %s", resp.StatusCode, body)
+	}
+
+	// Gossip carries the epoch-2 table to the old owner, whose
+	// reconcile pass demotes the now-stale tenant (both async; poll).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if tc.servers[owner].tenants["alpha"].state.Load() == tenantRemote {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("old owner never demoted; state=%s table-epoch=%d",
+				tenantStateName(tc.servers[owner].tenants["alpha"].state.Load()),
+				tc.servers[owner].cluster.table.Load().Epoch())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The demoted node redirects at the adopted owner.
+	req := QueryRequest{Federation: "alpha", Query: "Q12", Weights: []float64{1, 1}}
+	resp2, _ := postQueryNoRedirect(t, tc.https[owner].URL, req)
+	if resp2.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("demoted node returned %d", resp2.StatusCode)
+	}
+	if loc := resp2.Header.Get("Location"); loc != tc.members[other].Addr+"/v1/queries" {
+		t.Fatalf("demoted node redirects to %q", loc)
+	}
+	// Both tables agree on the new owner.
+	for i := range tc.https {
+		cr := getClusterTable(t, tc.https[i].URL)
+		if cr.Epoch < 2 || cr.Placements["alpha"].Owner != tc.members[other].ID {
+			t.Fatalf("node %d table epoch=%d owner=%q", i, cr.Epoch, cr.Placements["alpha"].Owner)
+		}
+	}
+}
+
+// TestAdoptTableMergesEqualEpochs pins the equal-epoch merge: epochs
+// are minted locally, so two concurrent moves can produce distinct
+// tables at the same epoch, and adoption must merge them the same way
+// on every node rather than ignoring one side.
+func TestAdoptTableMergesEqualEpochs(t *testing.T) {
+	mk := func() *clusterState {
+		cs, err := newClusterState(&ClusterConfig{
+			NodeID: "a",
+			Peers: []cluster.Member{
+				{ID: "a", Addr: "http://a"},
+				{ID: "b", Addr: "http://b"},
+				{ID: "c", Addr: "http://c"},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cs
+	}
+
+	cs := mk()
+	if got := cs.applyOverride("f1", "b", 2); got != 2 {
+		t.Fatalf("applyOverride epoch = %d", got)
+	}
+	// A disjoint same-epoch table merges: union, epoch bumped past both.
+	if !cs.adoptTable(2, map[string]string{"f2": "c"}) {
+		t.Fatal("same-epoch disjoint table not adopted")
+	}
+	tab := cs.table.Load()
+	if tab.Epoch() != 3 || tab.Owner("f1").ID != "b" || tab.Owner("f2").ID != "c" {
+		t.Fatalf("merged table epoch=%d f1=%q f2=%q", tab.Epoch(), tab.Owner("f1").ID, tab.Owner("f2").ID)
+	}
+	// Adopting an identical table is a no-op, not an epoch bump.
+	if cs.adoptTable(tab.Epoch(), tab.Overrides()) {
+		t.Fatal("identical table adopted")
+	}
+	// A same-federation conflict resolves to the smaller member ID.
+	if !cs.adoptTable(3, map[string]string{"f1": "a", "f2": "c"}) {
+		t.Fatal("same-epoch conflicting table not adopted")
+	}
+	tab = cs.table.Load()
+	if tab.Epoch() != 4 || tab.Owner("f1").ID != "a" {
+		t.Fatalf("conflict merge epoch=%d f1=%q", tab.Epoch(), tab.Owner("f1").ID)
+	}
+	// Stale epochs are refused.
+	if cs.adoptTable(1, map[string]string{"f1": "c"}) {
+		t.Fatal("stale table adopted")
+	}
+
+	// The merge is commutative: two nodes seeing the same pair of
+	// same-epoch tables in opposite orders converge on one table.
+	ovA := map[string]string{"f1": "b", "f3": "c"}
+	ovB := map[string]string{"f1": "a", "f2": "b"}
+	cs1, cs2 := mk(), mk()
+	cs1.adoptTable(2, ovA)
+	cs1.adoptTable(2, ovB)
+	cs2.adoptTable(2, ovB)
+	cs2.adoptTable(2, ovA)
+	t1, t2 := cs1.table.Load(), cs2.table.Load()
+	if t1.Epoch() != t2.Epoch() || !overridesEqual(t1.Overrides(), t2.Overrides()) {
+		t.Fatalf("merge not commutative: epoch %d vs %d, overrides %v vs %v",
+			t1.Epoch(), t2.Epoch(), t1.Overrides(), t2.Overrides())
+	}
+	if t1.Owner("f1").ID != "a" {
+		t.Fatalf("commutative merge f1=%q, want a", t1.Owner("f1").ID)
 	}
 }

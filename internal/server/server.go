@@ -342,6 +342,12 @@ func newServer(cfg Config, tenants map[string]*tenant, cs *clusterState) *Server
 	if cs != nil {
 		cs.srv = s
 		s.registerClusterMetrics()
+		if len(cs.cfg.Peers) > 1 {
+			// Catch up on routing moves this node slept through (a
+			// restarted former owner must not serve stale tenants until
+			// the next mutation happens to gossip).
+			go s.bootstrapRoutes()
+		}
 		if cs.replicating() {
 			cs.syncDone = make(chan struct{})
 			go s.syncLoop()
