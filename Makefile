@@ -5,7 +5,7 @@ GO ?= go
 
 # Coverage floor (percent) enforced on the packages new code lands in.
 COVER_FLOOR ?= 60
-COVER_PKGS ?= ./internal/server ./internal/core ./internal/histstore ./internal/metrics ./internal/cluster
+COVER_PKGS ?= ./internal/server ./internal/core ./internal/histstore ./internal/metrics ./internal/cluster ./internal/scenario
 
 # The regression-gated benchmarks: the Q12/Q13 serving sweeps, the
 # cold (uncached) window searches the incremental shared-Gram solver
@@ -21,7 +21,7 @@ SWEEP_COUNT ?= 5
 # Where `make profile-sweep` drops its CPU profiles.
 PROFILE_DIR ?= profiles
 
-.PHONY: all build vet fmt-check lint linkcheck test test-short bench bench-smoke bench-sweep bench-json ablate-prune profile-sweep profile-serve cover help
+.PHONY: all build vet fmt-check lint linkcheck test test-short bench bench-smoke bench-sweep bench-json ablate-prune scenarios profile-sweep profile-serve cover help
 
 all: build lint test
 
@@ -70,6 +70,10 @@ bench-sweep:
 ## ablate-prune: full-vs-GreedyPrune quality smoke — fails if pruned decisions drift past tolerance
 ablate-prune:
 	$(GO) test -run TestAblationPrune -v ./internal/experiments
+
+## scenarios: the fixed-seed scenario sweep — MRE, regret and p99 per (arrival × chaos) cell
+scenarios:
+	$(GO) run ./cmd/midasctl scenarios
 
 ## profile-sweep: CPU profile of the cold window-search benchmarks into $(PROFILE_DIR)/
 profile-sweep:

@@ -15,6 +15,8 @@
 //	fig3        print the Figure 3 comparison (GA vs WSM MOQP)
 //	example31   print the Example 3.1 estimation-throughput study
 //	ablations   print the four design-choice ablations
+//	scenarios   print the scenario sweep: MRE, regret and latency
+//	            percentiles per (arrival process × chaos profile) cell
 //	run-query   run one full pipeline round (enumerate→estimate→
 //	            optimize→select→execute) and print the decision
 //	gen         print generator statistics for a scale factor
@@ -35,15 +37,16 @@ import (
 
 func main() {
 	var (
-		seed  = flag.Int64("seed", 42, "base random seed")
-		reps  = flag.Int("reps", 5, "repetitions for the MRE campaigns")
-		hist  = flag.Int("history", 60, "history size for the MRE campaigns")
-		tests = flag.Int("tests", 30, "test queries for the MRE campaigns")
-		sf    = flag.Float64("sf", 0.01, "scale factor for gen/run-query")
-		query = flag.String("query", "Q12", "TPC-H query for run-query (Q12, Q13, Q14, Q17)")
+		seed   = flag.Int64("seed", 42, "base random seed")
+		reps   = flag.Int("reps", 5, "repetitions for the MRE campaigns")
+		hist   = flag.Int("history", 60, "history size for the MRE campaigns")
+		tests  = flag.Int("tests", 30, "test queries for the MRE campaigns")
+		sf     = flag.Float64("sf", 0.01, "scale factor for gen/run-query")
+		query  = flag.String("query", "Q12", "TPC-H query for run-query (Q12, Q13, Q14, Q17)")
+		events = flag.Int("events", 120, "events per scenario for the scenarios sweep")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: midasctl [flags] <pricing|table2|table3|table4|fig3|example31|ablations|run-query|gen|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: midasctl [flags] <pricing|table2|table3|table4|fig3|example31|ablations|scenarios|run-query|gen|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -83,6 +86,8 @@ func main() {
 		err = printExample31(*seed)
 	case "ablations":
 		err = printAblations(*seed)
+	case "scenarios":
+		err = printScenarios(*seed, *events)
 	case "run-query":
 		err = runQuery(*seed, *sf, q)
 	case "gen":
@@ -165,6 +170,15 @@ func printAblations(seed int64) error {
 		}
 		fmt.Println(t.Render())
 	}
+	return nil
+}
+
+func printScenarios(seed int64, events int) error {
+	_, t, err := experiments.RunScenarios(experiments.ScenarioOptions{Seed: seed, Events: events})
+	if err != nil {
+		return err
+	}
+	fmt.Println(t.Render())
 	return nil
 }
 

@@ -24,6 +24,12 @@
 // -wal-commit-interval and -wal-commit-batch) — no response leaves the
 // daemon before the fsync covering its recorded execution returns.
 //
+// With -chaos, a named fault-injection profile (site outages,
+// stragglers, price spikes, autoscaling resizes — see
+// docs/operations.md) is attached to the simulated cloud after
+// bootstrap; -chaos-seed makes the fault schedule replayable
+// independently of the topology seed.
+//
 // Observability: the daemon logs structured JSON (log/slog) to stderr
 // — request-scoped lines carry federation, query, decision, status and
 // duration, and -log-level debug turns per-request logging on — and
@@ -57,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cloud"
 	"repro/internal/cluster"
 	"repro/internal/server"
 )
@@ -101,6 +108,8 @@ func run() error {
 		queries     = flag.String("queries", "", "comma-separated query subset (default: all)")
 		prunePolicy = flag.String("prune-policy", "full", "plan-sweep prune policy: full (estimate every QEP), greedy (cost-ordered walk with early termination), topk (deterministic sample)")
 		pruneBudget = flag.Int("prune-budget", 0, "max QEPs estimated per sweep for greedy/topk (0 = policy default)")
+		chaos       = flag.String("chaos", "", "fault-injection profile applied to the simulated cloud after bootstrap: "+strings.Join(cloud.ChaosProfileNames(), ", "))
+		chaosSeed   = flag.Int64("chaos-seed", 0, "seed for the fault schedule (0 = -seed)")
 
 		queueDepth     = flag.Int("queue-depth", 1024, "bounded admission queue depth")
 		requestTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request budget (exceeded → 504)")
@@ -135,7 +144,8 @@ func run() error {
 	slog.SetDefault(logger)
 
 	specs, err := federationSpecs(*configPath, *name, *topology, *seed, *sf, *calibSF,
-		*parallelism, *cacheSize, *nodeChoices, *bootstrap, *queries, *prunePolicy, *pruneBudget)
+		*parallelism, *cacheSize, *nodeChoices, *bootstrap, *queries, *prunePolicy, *pruneBudget,
+		*chaos, *chaosSeed)
 	if err != nil {
 		return err
 	}
@@ -255,7 +265,7 @@ func debugMux(srv *server.Server) *http.ServeMux {
 // to the single-federation mode).
 func federationSpecs(configPath, name, topology string, seed int64, sf, calibSF float64,
 	parallelism, cacheSize int, nodeChoices string, bootstrap int, queries,
-	prunePolicy string, pruneBudget int) ([]server.FederationSpec, error) {
+	prunePolicy string, pruneBudget int, chaos string, chaosSeed int64) ([]server.FederationSpec, error) {
 	if configPath != "" {
 		specs, err := server.LoadSpecsFile(configPath)
 		if err != nil {
@@ -282,6 +292,8 @@ func federationSpecs(configPath, name, topology string, seed int64, sf, calibSF 
 		Bootstrap:   bootstrap,
 		PrunePolicy: prunePolicy,
 		PruneBudget: pruneBudget,
+		Chaos:       chaos,
+		ChaosSeed:   chaosSeed,
 	}
 	if queries != "" {
 		spec.Queries = strings.Split(queries, ",")

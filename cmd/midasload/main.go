@@ -1,12 +1,22 @@
-// Command midasload drives a running midasd with N concurrent
-// closed-loop clients and reports sustained QPS plus latency
-// percentiles — the regression-gated "how fast is serving really"
-// number.
+// Command midasload drives a running midasd and reports sustained QPS
+// plus latency percentiles — the regression-gated "how fast is serving
+// really" number.
+//
+// Two modes. The default is closed loop: N clients submitting back to
+// back, arrival rate coupled to service rate. With -arrival the run is
+// open loop: requests fire at the offsets of a seeded arrival-process
+// schedule (poisson, bursty, diurnal) regardless of how fast the server
+// answers. -record writes the schedule to a CRC-framed trace file;
+// -replay fires a previously recorded trace, byte-exactly, including
+// against a cluster (comma-separated -addr).
 //
 // Usage:
 //
 //	midasload -addr http://localhost:8642 -clients 200 -duration 10s
 //	midasload -addr http://localhost:8642 -clients 50 -requests 20 -query Q13
+//	midasload -addr http://localhost:8642 -arrival bursty -rate 80 -events 1000 -seed 7
+//	midasload -addr http://localhost:8642 -arrival poisson -record run.trace
+//	midasload -addr http://localhost:8642 -replay run.trace
 //
 // The run fails (exit 1) when any request errors, so a smoke run
 // doubles as a correctness gate.
@@ -23,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -46,6 +57,15 @@ func run() error {
 		allowErrs  = flag.Bool("allow-errors", false, "exit 0 even when requests failed")
 		redirects  = flag.Int("redirect-budget", 4, "307 follows + retries each request may spend")
 		backoff    = flag.Duration("retry-backoff", 50*time.Millisecond, "pause before retrying a dead node")
+
+		arrival  = flag.String("arrival", "", "open-loop arrival process: "+strings.Join(scenario.ArrivalKinds(), ", ")+" (empty = closed loop)")
+		rate     = flag.Float64("rate", 50, "open-loop mean arrival rate, events/second")
+		events   = flag.Int("events", 500, "open-loop schedule length")
+		seed     = flag.Int64("seed", 42, "open-loop schedule seed")
+		record   = flag.String("record", "", "write the generated schedule to this trace file (implies open loop)")
+		replay   = flag.String("replay", "", "fire the schedule recorded in this trace file instead of generating one")
+		inflight = flag.Int("max-inflight", 0, "open-loop concurrent request cap (0 = default 256)")
+		speed    = flag.Float64("speed", 1, "open-loop schedule time scale: 2 fires it twice as fast")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -73,12 +93,60 @@ func run() error {
 	} else {
 		cfg.BaseURL = strings.TrimRight(*addr, "/")
 	}
-	rep, err := workload.RunLoad(context.Background(), cfg)
-	if err != nil {
-		return err
+
+	var rep *workload.LoadReport
+	switch {
+	case *replay != "":
+		if *arrival != "" || *record != "" {
+			return fmt.Errorf("-replay is exclusive with -arrival and -record")
+		}
+		schedule, err := readTrace(*replay)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replaying %d events from %s\n", len(schedule), *replay)
+		rep, err = workload.RunOpenLoad(context.Background(), workload.OpenLoadConfig{
+			LoadConfig: cfg, Events: schedule, MaxInFlight: *inflight, Speed: *speed,
+		})
+		if err != nil {
+			return err
+		}
+	case *arrival != "" || *record != "":
+		spec := scenario.Spec{
+			Arrival:    *arrival,
+			Rate:       *rate,
+			Events:     *events,
+			Seed:       *seed,
+			Federation: *federation,
+			Queries:    []string{*query},
+		}
+		schedule, err := spec.Generate()
+		if err != nil {
+			return err
+		}
+		if *record != "" {
+			if err := writeTrace(*record, schedule); err != nil {
+				return err
+			}
+			fmt.Printf("recorded %d events to %s\n", len(schedule), *record)
+		}
+		rep, err = workload.RunOpenLoad(context.Background(), workload.OpenLoadConfig{
+			LoadConfig: cfg, Events: schedule, MaxInFlight: *inflight, Speed: *speed,
+		})
+		if err != nil {
+			return err
+		}
+	default:
+		rep, err = workload.RunLoad(context.Background(), cfg)
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Println(rep)
+	if rep.Skipped > 0 {
+		fmt.Printf("  events skipped (cancelled)   %d\n", rep.Skipped)
+	}
 	statuses := make([]int, 0, len(rep.StatusCounts))
 	for s := range rep.StatusCounts {
 		statuses = append(statuses, s)
@@ -113,6 +181,30 @@ func run() error {
 		return fmt.Errorf("%d of %d requests failed", rep.Errors, rep.Requests)
 	}
 	return nil
+}
+
+// writeTrace records a schedule to a trace file; the write is atomic
+// enough for a load tool (full file or an error, no torn header).
+func writeTrace(path string, events []scenario.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := scenario.WriteTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readTrace loads a recorded schedule, rejecting corrupt files.
+func readTrace(path string) ([]scenario.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return scenario.ReadTrace(f)
 }
 
 func parseFloats(csv string) ([]float64, error) {

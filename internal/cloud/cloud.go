@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/stats"
 )
@@ -39,6 +40,24 @@ type Provider struct {
 	Instances []InstanceType
 	// EgressPerGiB is the price of data leaving the provider (USD/GiB).
 	EgressPerGiB float64
+
+	// chaos, when attached, scales prices during injected spike windows.
+	// Atomic so attachment can race with concurrent cost evaluations.
+	chaos atomic.Pointer[SiteChaos]
+}
+
+// AttachChaos routes this provider's pricing through a per-site fault
+// injector; Cluster.Cost and TransferCost multiply by its PriceFactor.
+// A nil injector detaches.
+func (p *Provider) AttachChaos(sc *SiteChaos) { p.chaos.Store(sc) }
+
+// priceFactor is the active price multiplier (1 when no chaos is
+// attached or no spike window is open).
+func (p *Provider) priceFactor() float64 {
+	if sc := p.chaos.Load(); sc != nil {
+		return sc.PriceFactor()
+	}
+	return 1
 }
 
 // Instance looks up an instance type by name.
@@ -134,7 +153,7 @@ func (c *Cluster) Cost(seconds float64) float64 {
 	if seconds < 0 {
 		return 0
 	}
-	return c.PricePerHour() * seconds / 3600
+	return c.PricePerHour() * seconds / 3600 * c.Provider.priceFactor()
 }
 
 // Link models a wide-area connection between two sites.
@@ -160,7 +179,7 @@ func TransferCost(from *Provider, bytes float64) float64 {
 	if bytes <= 0 {
 		return 0
 	}
-	return from.EgressPerGiB * bytes / (1024 * 1024 * 1024)
+	return from.EgressPerGiB * bytes / (1024 * 1024 * 1024) * from.priceFactor()
 }
 
 // LoadProcess is a time-varying multiplicative load factor for one
@@ -186,10 +205,22 @@ type LoadProcess struct {
 	// MinFactor/MaxFactor clamp the factor; defaults 0.4 and 3.0.
 	MinFactor, MaxFactor float64
 
-	mu   sync.Mutex
-	rng  *stats.RNG
-	walk float64
-	tick int
+	mu    sync.Mutex
+	rng   *stats.RNG
+	walk  float64
+	tick  int
+	chaos *SiteChaos
+}
+
+// AttachChaos routes this load process through a per-site fault
+// injector. The injector's multiplier is applied *after* the
+// [MinFactor, MaxFactor] clamp so an outage can push the factor far
+// outside the normal operating range — that is the point of the fault.
+// A nil injector detaches.
+func (lp *LoadProcess) AttachChaos(sc *SiteChaos) {
+	lp.mu.Lock()
+	lp.chaos = sc
+	lp.mu.Unlock()
 }
 
 // NewLoadProcess returns a load process with the given seed; zero
@@ -239,6 +270,9 @@ func (lp *LoadProcess) Tick() float64 {
 	if f > lp.MaxFactor {
 		f = lp.MaxFactor
 	}
+	if lp.chaos != nil {
+		f *= lp.chaos.advance(lp.tick)
+	}
 	return f
 }
 
@@ -254,6 +288,9 @@ func (lp *LoadProcess) Current() float64 {
 	}
 	if f > lp.MaxFactor {
 		f = lp.MaxFactor
+	}
+	if lp.chaos != nil {
+		f *= lp.chaos.current()
 	}
 	return f
 }

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/scenario"
+)
+
+// One spec per arrival kind, crossed with distinct chaos profiles, so
+// the reproducibility family exercises every process and the seam
+// without paying for the full 15-cell matrix in the race suite.
+func reproSpecs() []scenario.Spec {
+	return []scenario.Spec{
+		{Arrival: "poisson", Chaos: "none", Events: 25, Seed: 101},
+		{Arrival: "bursty", Chaos: "mixed", Events: 25, Seed: 202},
+		{Arrival: "diurnal", Chaos: "outages", Events: 25, Seed: 303},
+	}
+}
+
+// The seed-reproducibility family: every scenario run twice with the
+// same seed must produce a byte-identical event trace AND an identical
+// decision sequence — plans, estimates, measurements, Pareto sizes.
+func TestScenarioSeedReproducibility(t *testing.T) {
+	for _, spec := range reproSpecs() {
+		spec := spec
+		t.Run(spec.Arrival+"_"+spec.Chaos, func(t *testing.T) {
+			t.Parallel()
+			evA, err := spec.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			evB, err := spec.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ba, bb bytes.Buffer
+			if err := scenario.WriteTrace(&ba, evA); err != nil {
+				t.Fatal(err)
+			}
+			if err := scenario.WriteTrace(&bb, evB); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+				t.Fatal("same seed produced different trace bytes")
+			}
+
+			queries := []string{"Q12", "Q13"}
+			r1, err := RunScenario(spec, queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := RunScenario(spec, queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r1.Decisions, r2.Decisions) {
+				for i := range r1.Decisions {
+					if !reflect.DeepEqual(r1.Decisions[i], r2.Decisions[i]) {
+						t.Fatalf("decision %d diverged across identically seeded runs:\n run1 %+v\n run2 %+v",
+							i, r1.Decisions[i], r2.Decisions[i])
+					}
+				}
+				t.Fatal("decision sequences diverged across identically seeded runs")
+			}
+			if r1.Faults != r2.Faults {
+				t.Fatalf("fault schedules diverged: %+v vs %+v", r1.Faults, r2.Faults)
+			}
+		})
+	}
+}
+
+func TestRunScenariosRendersTable(t *testing.T) {
+	rows, table, err := RunScenarios(ScenarioOptions{
+		Seed:   7,
+		Events: 20,
+		Specs: []scenario.Spec{
+			{Arrival: "poisson", Chaos: "none", Seed: 7},
+			{Arrival: "bursty", Chaos: "stragglers", Seed: 8},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || len(table.Rows) != 2 {
+		t.Fatalf("got %d rows / %d table rows, want 2/2", len(rows), len(table.Rows))
+	}
+	for _, r := range rows {
+		if r.Events != 20 {
+			t.Fatalf("%s: ran %d events, want 20", r.Spec.Name, r.Events)
+		}
+		if r.MRETime <= 0 || r.P99TimeS < r.P50TimeS {
+			t.Fatalf("%s: degenerate metrics %+v", r.Spec.Name, r)
+		}
+		if len(r.Decisions) != r.Events {
+			t.Fatalf("%s: %d decisions for %d events", r.Spec.Name, len(r.Decisions), r.Events)
+		}
+	}
+	// rows[0] is the chaos-free cell: nothing may have been injected.
+	if f := rows[0].Faults; f != (cloud.FaultCounts{}) {
+		t.Fatalf("chaos-free scenario reported faults %+v", f)
+	}
+	out := table.Render()
+	if len(out) == 0 {
+		t.Fatal("empty table render")
+	}
+}
+
+func TestRunScenarioRejectsUnknownChaos(t *testing.T) {
+	if _, err := RunScenario(scenario.Spec{Chaos: "nope", Seed: 1}, []string{"Q12"}); err == nil {
+		t.Fatal("unknown chaos profile must error")
+	}
+}

@@ -1,0 +1,166 @@
+// Package scenario is the deterministic workload engine behind the
+// chaos harness: open-loop arrival processes (Poisson, bursty MMPP,
+// diurnal), a CRC-framed trace format for byte-exact record/replay,
+// and named scenario specs that combine an arrival process with a
+// cloud.ChaosProfile. Everything draws from explicitly seeded RNGs so
+// the same spec and seed always produce the same trace — the
+// reproducibility contract the scenario matrix and the cluster chaos
+// tests pin.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// ArrivalProcess produces inter-arrival gaps for an open-loop load
+// schedule. Implementations are deterministic given their seed and are
+// NOT safe for concurrent use; generate the schedule up front (see
+// Spec.Generate) and share the resulting events instead.
+type ArrivalProcess interface {
+	// Name identifies the process kind ("poisson", "bursty", "diurnal").
+	Name() string
+	// Next returns the gap between the previous arrival and the next.
+	Next() time.Duration
+}
+
+// arrivalKinds registers the constructors; rate is the mean arrival
+// rate in events/second, seed drives the process RNG.
+var arrivalKinds = map[string]func(rate float64, seed int64) ArrivalProcess{
+	"poisson": func(rate float64, seed int64) ArrivalProcess {
+		return &poisson{rng: stats.NewRNG(seed), mean: 1 / rate}
+	},
+	"bursty": func(rate float64, seed int64) ArrivalProcess {
+		// Two-state MMPP: a calm state at rate/3 and a burst state at
+		// 3×rate, with mean dwell times chosen so the long-run average
+		// stays at the requested rate (equal expected arrivals per
+		// state visit: calm dwells 3× longer than bursts).
+		return &mmpp{
+			rng:   stats.NewRNG(seed),
+			rates: [2]float64{rate / 3, 3 * rate},
+			dwell: [2]float64{6, 2}, // seconds
+		}
+	},
+	"diurnal": func(rate float64, seed int64) ArrivalProcess {
+		// Nonhomogeneous Poisson via thinning: λ(t) = rate·(1 + 0.8·sin)
+		// over a 60-second "day" — compressed so short runs still see
+		// both the peak and the trough.
+		return &diurnal{
+			rng:    stats.NewRNG(seed),
+			base:   rate,
+			amp:    0.8,
+			period: 60,
+		}
+	},
+}
+
+// ArrivalKinds lists the registered process kinds, sorted.
+func ArrivalKinds() []string {
+	kinds := make([]string, 0, len(arrivalKinds))
+	for k := range arrivalKinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// NewArrival builds a named arrival process at the given mean rate
+// (events/second) and seed.
+func NewArrival(kind string, rate float64, seed int64) (ArrivalProcess, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("scenario: arrival rate must be positive, got %v", rate)
+	}
+	mk, ok := arrivalKinds[kind]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown arrival process %q (have %s)",
+			kind, strings.Join(ArrivalKinds(), ", "))
+	}
+	return mk(rate, seed), nil
+}
+
+// poisson is the memoryless baseline: exponential gaps.
+type poisson struct {
+	rng  *stats.RNG
+	mean float64 // seconds between arrivals
+}
+
+func (p *poisson) Name() string { return "poisson" }
+
+func (p *poisson) Next() time.Duration {
+	return secondsToDuration(p.rng.Exponential(p.mean))
+}
+
+// mmpp is a two-state Markov-modulated Poisson process: arrivals are
+// Poisson at the current state's rate, and the state itself flips after
+// an exponentially distributed dwell — calm traffic punctuated by
+// bursts several times the mean rate.
+type mmpp struct {
+	rng   *stats.RNG
+	rates [2]float64 // arrivals/second per state
+	dwell [2]float64 // mean seconds spent in each state
+
+	state     int
+	remaining float64 // seconds left in the current state
+}
+
+func (m *mmpp) Name() string { return "bursty" }
+
+func (m *mmpp) Next() time.Duration {
+	var total float64
+	for {
+		if m.remaining <= 0 {
+			m.remaining = m.rng.Exponential(m.dwell[m.state])
+		}
+		gap := m.rng.Exponential(1 / m.rates[m.state])
+		if gap <= m.remaining {
+			m.remaining -= gap
+			return secondsToDuration(total + gap)
+		}
+		// The state flips before the drawn arrival: consume the dwell
+		// and redraw in the new state. Discarding the rest of the gap
+		// is exact — the exponential is memoryless.
+		total += m.remaining
+		m.remaining = 0
+		m.state = 1 - m.state
+	}
+}
+
+// diurnal is a nonhomogeneous Poisson process with sinusoidal rate,
+// sampled by Lewis–Shedler thinning against the peak rate.
+type diurnal struct {
+	rng    *stats.RNG
+	base   float64 // mean arrivals/second
+	amp    float64 // relative amplitude in [0, 1)
+	period float64 // seconds per cycle
+
+	now float64 // seconds since schedule start
+}
+
+func (d *diurnal) Name() string { return "diurnal" }
+
+func (d *diurnal) Next() time.Duration {
+	lambdaMax := d.base * (1 + d.amp)
+	start := d.now
+	for {
+		d.now += d.rng.Exponential(1 / lambdaMax)
+		rate := d.base * (1 + d.amp*math.Sin(2*math.Pi*d.now/d.period))
+		if d.rng.Float64()*lambdaMax <= rate {
+			return secondsToDuration(d.now - start)
+		}
+	}
+}
+
+// secondsToDuration converts with a 1µs floor so two arrivals never
+// collapse onto the same trace timestamp.
+func secondsToDuration(s float64) time.Duration {
+	dur := time.Duration(s * float64(time.Second))
+	if dur < time.Microsecond {
+		dur = time.Microsecond
+	}
+	return dur
+}

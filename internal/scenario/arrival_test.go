@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func gaps(t *testing.T, kind string, rate float64, seed int64, n int) []time.Duration {
+	t.Helper()
+	arr, err := NewArrival(kind, rate, seed)
+	if err != nil {
+		t.Fatalf("NewArrival(%q): %v", kind, err)
+	}
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = arr.Next()
+	}
+	return out
+}
+
+func TestArrivalSameSeedSameGaps(t *testing.T) {
+	for _, kind := range ArrivalKinds() {
+		a := gaps(t, kind, 50, 42, 5000)
+		b := gaps(t, kind, 50, 42, 5000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: gap %d diverged with the same seed: %v vs %v", kind, i, a[i], b[i])
+			}
+		}
+		c := gaps(t, kind, 50, 43, 5000)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical gap sequences", kind)
+		}
+	}
+}
+
+func TestArrivalMeanRate(t *testing.T) {
+	const rate, n = 40.0, 40000
+	for _, kind := range ArrivalKinds() {
+		var total float64
+		for _, g := range gaps(t, kind, rate, 7, n) {
+			total += g.Seconds()
+		}
+		got := float64(n) / total
+		if math.Abs(got-rate)/rate > 0.10 {
+			t.Fatalf("%s: long-run rate %.2f/s, want %.0f/s ±10%%", kind, got, rate)
+		}
+	}
+}
+
+// The MMPP must be visibly burstier than Poisson: its gap coefficient
+// of variation exceeds the exponential's CV of 1.
+func TestBurstyIsBurstier(t *testing.T) {
+	cv := func(kind string) float64 {
+		gs := gaps(t, kind, 40, 11, 30000)
+		var sum, sumSq float64
+		for _, g := range gs {
+			s := g.Seconds()
+			sum += s
+			sumSq += s * s
+		}
+		mean := sum / float64(len(gs))
+		variance := sumSq/float64(len(gs)) - mean*mean
+		return math.Sqrt(variance) / mean
+	}
+	pois, burst := cv("poisson"), cv("bursty")
+	if burst < pois*1.2 {
+		t.Fatalf("bursty CV %.2f is not materially above poisson CV %.2f", burst, pois)
+	}
+}
+
+// The diurnal process must actually modulate: the densest window of
+// the cycle sees substantially more arrivals than the sparsest.
+func TestDiurnalModulates(t *testing.T) {
+	arr, err := NewArrival("diurnal", 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket arrivals by phase within the 60s period (4 buckets).
+	var buckets [4]int
+	var now float64
+	for i := 0; i < 20000; i++ {
+		now += arr.Next().Seconds()
+		phase := math.Mod(now, 60) / 60
+		buckets[int(phase*4)%4]++
+	}
+	lo, hi := buckets[0], buckets[0]
+	for _, b := range buckets[1:] {
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	if float64(hi) < 1.5*float64(lo) {
+		t.Fatalf("diurnal peak/trough ratio %.2f too flat (buckets %v)", float64(hi)/float64(lo), buckets)
+	}
+}
+
+func TestNewArrivalRejectsBadInput(t *testing.T) {
+	if _, err := NewArrival("poisson", 0, 1); err == nil {
+		t.Fatal("zero rate must error")
+	}
+	if _, err := NewArrival("tidal", 10, 1); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}

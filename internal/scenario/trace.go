@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+)
+
+// Event is one arrival in a recorded or generated schedule: fire the
+// named query against the named federation Offset after the schedule
+// starts. Offsets are absolute from the start (not inter-arrival gaps)
+// so a replayer that falls behind can tell how late it is.
+type Event struct {
+	Offset     time.Duration
+	Federation string
+	Query      string
+}
+
+// Trace file layout — the histstore WAL framing with a magic header:
+//
+//	8 bytes  magic "MIDTRC01" (format version in the last two bytes)
+//	frames:  len uint32 LE | crc uint32 LE | payload
+//	payload: offsetNanos uint64 LE
+//	         fedLen uint16 LE | federation bytes
+//	         qLen   uint16 LE | query bytes
+//
+// The CRC is crc32.Castagnoli over the payload. Unlike the WAL, a
+// torn or corrupt frame is a hard error: a trace is a complete
+// artifact, and replaying a silent prefix would break the byte-exact
+// reproducibility contract.
+var traceMagic = [8]byte{'M', 'I', 'D', 'T', 'R', 'C', '0', '1'}
+
+var traceCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTraceCorrupt reports a malformed or truncated trace file.
+var ErrTraceCorrupt = errors.New("scenario: corrupt trace")
+
+const maxTracePayload = 1 << 16
+
+// TraceWriter streams events into a trace; NewTraceWriter writes the
+// header immediately so even an empty trace is well formed.
+type TraceWriter struct {
+	w   io.Writer
+	buf []byte
+	n   int
+}
+
+// NewTraceWriter writes the trace header and returns a writer.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	if _, err := w.Write(traceMagic[:]); err != nil {
+		return nil, fmt.Errorf("scenario: write trace header: %w", err)
+	}
+	return &TraceWriter{w: w}, nil
+}
+
+// Events returns how many events have been appended.
+func (tw *TraceWriter) Events() int { return tw.n }
+
+// Append frames and writes one event.
+func (tw *TraceWriter) Append(ev Event) error {
+	if ev.Offset < 0 {
+		return fmt.Errorf("scenario: negative event offset %v", ev.Offset)
+	}
+	if len(ev.Federation) > maxTracePayload/4 || len(ev.Query) > maxTracePayload/4 {
+		return fmt.Errorf("scenario: event names too long (federation %d, query %d bytes)",
+			len(ev.Federation), len(ev.Query))
+	}
+	payload := 8 + 2 + len(ev.Federation) + 2 + len(ev.Query)
+	need := 8 + payload
+	if cap(tw.buf) < need {
+		tw.buf = make([]byte, need)
+	}
+	b := tw.buf[:need]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(payload))
+	p := b[8:]
+	binary.LittleEndian.PutUint64(p[0:8], uint64(ev.Offset))
+	binary.LittleEndian.PutUint16(p[8:10], uint16(len(ev.Federation)))
+	off := 10 + copy(p[10:], ev.Federation)
+	binary.LittleEndian.PutUint16(p[off:off+2], uint16(len(ev.Query)))
+	copy(p[off+2:], ev.Query)
+	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(p, traceCRC))
+	if _, err := tw.w.Write(b); err != nil {
+		return fmt.Errorf("scenario: write trace frame: %w", err)
+	}
+	tw.n++
+	return nil
+}
+
+// WriteTrace writes a complete trace in one call.
+func WriteTrace(w io.Writer, events []Event) error {
+	tw, err := NewTraceWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, ev := range events {
+		if err := tw.Append(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTrace parses a complete trace, verifying the header and every
+// frame CRC.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrTraceCorrupt, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrTraceCorrupt, magic[:])
+	}
+	var events []Event
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return events, nil
+			}
+			return nil, fmt.Errorf("%w: torn frame header: %v", ErrTraceCorrupt, err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		if n < 12 || n > maxTracePayload {
+			return nil, fmt.Errorf("%w: frame payload %d bytes", ErrTraceCorrupt, n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("%w: torn frame payload: %v", ErrTraceCorrupt, err)
+		}
+		if crc32.Checksum(payload, traceCRC) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return nil, fmt.Errorf("%w: frame %d CRC mismatch", ErrTraceCorrupt, len(events))
+		}
+		fedLen := int(binary.LittleEndian.Uint16(payload[8:10]))
+		if 10+fedLen+2 > int(n) {
+			return nil, fmt.Errorf("%w: frame %d name lengths exceed payload", ErrTraceCorrupt, len(events))
+		}
+		qOff := 10 + fedLen
+		qLen := int(binary.LittleEndian.Uint16(payload[qOff : qOff+2]))
+		if qOff+2+qLen != int(n) {
+			return nil, fmt.Errorf("%w: frame %d name lengths exceed payload", ErrTraceCorrupt, len(events))
+		}
+		events = append(events, Event{
+			Offset:     time.Duration(binary.LittleEndian.Uint64(payload[0:8])),
+			Federation: string(payload[10:qOff]),
+			Query:      string(payload[qOff+2 : qOff+2+qLen]),
+		})
+	}
+}

@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Offset: 0, Federation: "default", Query: "Q12"},
+		{Offset: 1500 * time.Microsecond, Federation: "default", Query: "Q13"},
+		{Offset: 2 * time.Second, Federation: "paper", Query: "Q17"},
+		{Offset: time.Hour, Federation: "wide", Query: "Q14"},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleEvents()) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, sampleEvents())
+	}
+}
+
+func TestTraceBytesDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteTrace(&a, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&b, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical events serialized to different bytes")
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty trace read back %d events", len(got))
+	}
+}
+
+func TestTraceWriterCounts(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range sampleEvents() {
+		if err := tw.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tw.Events() != len(sampleEvents()) {
+		t.Fatalf("writer counted %d events, want %d", tw.Events(), len(sampleEvents()))
+	}
+	if err := tw.Append(Event{Offset: -time.Second, Federation: "x", Query: "Q12"}); err == nil {
+		t.Fatal("negative offset must be rejected")
+	}
+}
+
+func TestTraceCorruptionDetected(t *testing.T) {
+	var pristine bytes.Buffer
+	if err := WriteTrace(&pristine, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	full := pristine.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), full...)
+		b[0] ^= 0xFF
+		if _, err := ReadTrace(bytes.NewReader(b)); !errors.Is(err, ErrTraceCorrupt) {
+			t.Fatalf("want ErrTraceCorrupt, got %v", err)
+		}
+	})
+	t.Run("flipped payload byte", func(t *testing.T) {
+		b := append([]byte(nil), full...)
+		b[len(b)-1] ^= 0xFF
+		if _, err := ReadTrace(bytes.NewReader(b)); !errors.Is(err, ErrTraceCorrupt) {
+			t.Fatalf("want ErrTraceCorrupt, got %v", err)
+		}
+	})
+	t.Run("truncated tail", func(t *testing.T) {
+		b := full[:len(full)-3]
+		if _, err := ReadTrace(bytes.NewReader(b)); !errors.Is(err, ErrTraceCorrupt) {
+			t.Fatalf("want ErrTraceCorrupt, got %v", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		if _, err := ReadTrace(bytes.NewReader(full[:4])); !errors.Is(err, ErrTraceCorrupt) {
+			t.Fatalf("want ErrTraceCorrupt, got %v", err)
+		}
+	})
+}

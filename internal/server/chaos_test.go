@@ -1,0 +1,443 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/scenario"
+)
+
+// This file is the cluster half of the chaos harness: each test injects
+// one failure mode the field actually produces — a target dying
+// mid-handoff, a gossip partition, an owner SIGKILLed under replay load
+// — and asserts the two invariants the cluster promises: zero
+// acked-write loss, and decisions that stay byte-identical to an
+// unchaosed control (PR 8's determinism invariant).
+
+// chaosPaperSpec is the shared real-stack federation: small enough to
+// calibrate quickly, real enough that decisions come from the live
+// DREAM model rather than a stub.
+func chaosPaperSpec() FederationSpec {
+	return FederationSpec{
+		Name:        "paper",
+		SF:          0.05,
+		NodeChoices: []int{1, 2},
+		Bootstrap:   12,
+		Queries:     []string{"Q12"},
+	}
+}
+
+// newReplicatedPair builds two real nodes with synchronous WAL
+// replication armed for Q12 and returns them with the current owner
+// index. Callers kill nodes by closing the httptest listener.
+func newReplicatedPair(t *testing.T) (servers []*Server, https []*httptest.Server, members []cluster.Member, owner int) {
+	t.Helper()
+	spec := chaosPaperSpec()
+	late := []*lateHandler{{}, {}}
+	for i := 0; i < 2; i++ {
+		ts := httptest.NewServer(late[i])
+		t.Cleanup(ts.Close)
+		https = append(https, ts)
+		members = append(members, cluster.Member{ID: fmt.Sprintf("n%d", i), Addr: ts.URL})
+	}
+	for i := 0; i < 2; i++ {
+		srv, err := New(Config{
+			Federations: []FederationSpec{spec},
+			Store:       StoreConfig{Dir: t.TempDir()},
+			Cluster: &ClusterConfig{
+				NodeID: members[i].ID, Peers: members,
+				Replicate:    true,
+				SyncInterval: 50 * time.Millisecond,
+				PeerTimeout:  30 * time.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := srv.Handler()
+		late[i].h.Store(&h)
+		servers = append(servers, srv)
+	}
+	owner = -1
+	for i, srv := range servers {
+		if srv.tenants["paper"].state.Load() == tenantActive {
+			owner = i
+		}
+	}
+	if owner < 0 {
+		t.Fatal("no owner")
+	}
+	rep := servers[owner].cluster.repl["paper"]
+	deadline := time.Now().Add(15 * time.Second)
+	for !rep.Streaming("Q12") {
+		if time.Now().After(deadline) {
+			t.Fatal("replication never armed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return servers, https, members, owner
+}
+
+// chaosSubmit posts one Q12 request without following redirects and
+// requires a 200.
+func chaosSubmit(t *testing.T, url string) QueryResponse {
+	t.Helper()
+	resp, body := postQueryNoRedirect(t, url, QueryRequest{Federation: "paper", Query: "Q12", Weights: []float64{1, 1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	return qr
+}
+
+// chaosHistLen reads the observation count for paper/Q12 at a node.
+func chaosHistLen(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/history/Q12?federation=paper&limit=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr HistoryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	return hr.Len
+}
+
+// TestChaosKillTargetMidHandoff kills the handoff target at the worst
+// moment — the prepare round-trip, before any state has crossed. The
+// handoff is all-or-nothing: the source must report failure, stay the
+// one active owner at the old epoch, and keep serving.
+func TestChaosKillTargetMidHandoff(t *testing.T) {
+	tc := newTestCluster(t, 2, []string{"alpha"})
+	owner := tc.ownerIdx(t, "alpha")
+	target := 1 - owner
+
+	// "Kill" the target for admin traffic: every handoff endpoint
+	// answers like a dead TCP peer would (refused), while the data
+	// plane keeps routing so we can observe the aftermath.
+	real := tc.servers[target].Handler()
+	var dead atomic.Bool
+	dead.Store(true)
+	wrapped := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if dead.Load() && strings.HasPrefix(r.URL.Path, "/v1/admin/handoff") {
+			http.Error(w, "injected: node down", http.StatusBadGateway)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	tc.late[target].h.Store(&wrapped)
+
+	resp, err := http.Post(tc.https[owner].URL+"/v1/admin/handoff?federation=alpha&target="+tc.members[target].ID, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("handoff to a dead target succeeded: %s", body)
+	}
+
+	// All-or-nothing: the source reverted to active, the target never
+	// materialized the tenant, the epoch never moved.
+	if st := tc.servers[owner].tenants["alpha"].state.Load(); st != tenantActive {
+		t.Fatalf("source tenant is %s after failed handoff, want active", tenantStateName(st))
+	}
+	if st := tc.servers[target].tenants["alpha"].state.Load(); st != tenantRemote {
+		t.Fatalf("target tenant is %s after failed handoff, want remote", tenantStateName(st))
+	}
+	for i := range tc.https {
+		if cr := getClusterTable(t, tc.https[i].URL); cr.Epoch != 1 {
+			t.Fatalf("node %d epoch %d after aborted handoff, want 1", i, cr.Epoch)
+		}
+	}
+
+	// The source still serves; the revived target still redirects to it.
+	req := QueryRequest{Federation: "alpha", Query: "Q12", Weights: []float64{1, 1}}
+	resp2, body2 := postQueryNoRedirect(t, tc.https[owner].URL, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("owner returned %d after aborted handoff: %s", resp2.StatusCode, body2)
+	}
+	dead.Store(false)
+	resp2, _ = postQueryNoRedirect(t, tc.https[target].URL, req)
+	if resp2.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("revived target returned %d, want redirect to the unmoved owner", resp2.StatusCode)
+	}
+
+	// And the aborted handoff left nothing sticky: the same move retried
+	// against the healthy target completes.
+	resp3, err := http.Post(tc.https[owner].URL+"/v1/admin/handoff?federation=alpha&target="+tc.members[target].ID, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("retried handoff = %d", resp3.StatusCode)
+	}
+	if st := tc.servers[target].tenants["alpha"].state.Load(); st != tenantActive {
+		t.Fatalf("target is %s after retried handoff, want active", tenantStateName(st))
+	}
+}
+
+// TestChaosGossipPartitionDuringHandoff partitions a bystander node
+// away from gossip while ownership moves between the other two. While
+// partitioned the bystander serves from a stale table — which must
+// still reach the data via a redirect chain, never lose a request —
+// and after the partition heals one gossip exchange converges it:
+// exactly one active owner, all tables agreeing.
+func TestChaosGossipPartitionDuringHandoff(t *testing.T) {
+	tc := newTestCluster(t, 3, []string{"alpha"})
+	owner := tc.ownerIdx(t, "alpha")
+	target := (owner + 1) % 3
+	third := 3 - owner - target
+
+	// Partition: the third node drops every gossip exchange (inbound
+	// route posts), as a switch dropping its control-plane traffic
+	// would. Data-plane requests still flow.
+	real := tc.servers[third].Handler()
+	var partitioned atomic.Bool
+	partitioned.Store(true)
+	wrapped := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if partitioned.Load() && r.URL.Path == "/v1/admin/route" {
+			http.Error(w, "injected: partitioned", http.StatusServiceUnavailable)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	tc.late[third].h.Store(&wrapped)
+
+	// Ownership moves while the third node cannot hear about it.
+	resp, err := http.Post(tc.https[owner].URL+"/v1/admin/handoff?federation=alpha&target="+tc.members[target].ID, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("handoff during partition = %d", resp.StatusCode)
+	}
+
+	// The third node's table is stale (epoch 1, old owner)…
+	if cr := getClusterTable(t, tc.https[third].URL); cr.Epoch != 1 {
+		t.Fatalf("partitioned node adopted epoch %d; partition leaked", cr.Epoch)
+	}
+	// …but a client hitting it still lands: stale redirect to the old
+	// owner, which forwards to the new one. Zero loss during the
+	// partition.
+	body, _ := json.Marshal(QueryRequest{Federation: "alpha", Query: "Q12", Weights: []float64{1, 1}})
+	full, err := http.Post(tc.https[third].URL+"/v1/queries", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(full.Body)
+	full.Body.Close()
+	if full.StatusCode != http.StatusOK {
+		t.Fatalf("request via partitioned node = %d: %s", full.StatusCode, b)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(b, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Node != tc.members[target].ID {
+		t.Fatalf("stale redirect chain ended at %q, want new owner %q", qr.Node, tc.members[target].ID)
+	}
+
+	// Heal, then let the stale node gossip once: the exchange is
+	// bidirectional, so pushing its stale table yields back the newer
+	// one, which it adopts and reconciles against.
+	partitioned.Store(false)
+	tc.servers[third].cluster.gossip()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if cr := getClusterTable(t, tc.https[third].URL); cr.Epoch >= 2 &&
+			cr.Placements["alpha"].Owner == tc.members[target].ID {
+			break
+		}
+		if time.Now().After(deadline) {
+			cr := getClusterTable(t, tc.https[third].URL)
+			t.Fatalf("healed node never converged: epoch=%d owner=%q",
+				cr.Epoch, cr.Placements["alpha"].Owner)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Exactly one active owner across the healed cluster, and every
+	// table names it.
+	active := 0
+	for i, srv := range tc.servers {
+		if srv.tenants["alpha"].state.Load() == tenantActive {
+			active++
+			if i != target {
+				t.Fatalf("node %d active, want only %d", i, target)
+			}
+		}
+	}
+	if active != 1 {
+		t.Fatalf("%d active owners after heal, want exactly 1", active)
+	}
+	for i := range tc.https {
+		cr := getClusterTable(t, tc.https[i].URL)
+		if cr.Placements["alpha"].Owner != tc.members[target].ID {
+			t.Fatalf("node %d table places alpha on %q after heal", i, cr.Placements["alpha"].Owner)
+		}
+	}
+}
+
+// TestChaosTakeoverDuringReplay SIGKILLs the owner (listener closed, no
+// drain, no checkpoint) halfway through an open-loop scenario replay
+// and promotes the standby. Every acked event must survive into the
+// promoted history: 12 bootstrap + one observation per 200 the client
+// saw, before and after the kill.
+func TestChaosTakeoverDuringReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serving stack")
+	}
+	servers, https, _, owner := newReplicatedPair(t)
+	standby := 1 - owner
+
+	// A deterministic replay schedule from the scenario engine; the
+	// test compresses time (no sleeping) — ordering is what matters.
+	events, err := scenario.Spec{
+		Arrival: "poisson", Rate: 200, Events: 8, Seed: 11,
+		Federation: "paper", Queries: []string{"Q12"},
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := len(events) / 2
+
+	// Replay aims at the standby throughout, like a load balancer with
+	// a stale backend list: before the kill each request rides a 307 to
+	// the owner, after the takeover the standby serves directly.
+	replay := func(evs []scenario.Event) int {
+		t.Helper()
+		acked := 0
+		for _, ev := range evs {
+			body, err := json.Marshal(QueryRequest{Federation: "paper", Query: ev.Query, Weights: []float64{1, 1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(https[standby].URL+"/v1/queries", "application/json", bytes.NewReader(body))
+			if err != nil {
+				continue // dead hop mid-redirect: not acked, not counted
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				acked++
+			}
+		}
+		return acked
+	}
+
+	ackedBefore := replay(events[:split])
+	if ackedBefore != split {
+		t.Fatalf("pre-kill replay acked %d/%d", ackedBefore, split)
+	}
+
+	// SIGKILL the owner mid-replay and promote the standby from its
+	// synchronously replicated WAL.
+	https[owner].Close()
+	resp, err := http.Post(https[standby].URL+"/v1/admin/takeover?federation=paper", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr HandoffResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("takeover: %d (%+v)", resp.StatusCode, hr)
+	}
+	if want := 12 + ackedBefore; hr.Observations["Q12"] != want {
+		t.Fatalf("takeover recovered %d observations, want %d (12 bootstrap + %d acked): acked write lost",
+			hr.Observations["Q12"], want, ackedBefore)
+	}
+
+	ackedAfter := replay(events[split:])
+	if ackedAfter != len(events)-split {
+		t.Fatalf("post-takeover replay acked %d/%d", ackedAfter, len(events)-split)
+	}
+	if got, want := chaosHistLen(t, https[standby].URL), 12+ackedBefore+ackedAfter; got != want {
+		t.Fatalf("final history %d, want %d: acked write lost across takeover", got, want)
+	}
+	if err := servers[standby].Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosKillTakeoverDeterminism is the chaos form of PR 8's
+// acceptance invariant: after an owner is killed without warning and
+// the standby promotes from the replicated WAL, the first post-recovery
+// decision must be byte-identical — plan, both estimates, Pareto front,
+// plan space — to a standalone control that never saw a failure.
+func TestChaosKillTakeoverDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serving stack")
+	}
+	servers, https, members, owner := newReplicatedPair(t)
+	standby := 1 - owner
+
+	// Control: same spec, same request sequence, no cluster, no chaos.
+	ctrl, err := New(Config{Federations: []FederationSpec{chaosPaperSpec()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsC := httptest.NewServer(ctrl.Handler())
+	defer tsC.Close()
+
+	for i := 0; i < 3; i++ {
+		chaosSubmit(t, https[owner].URL)
+		chaosSubmit(t, tsC.URL)
+	}
+	want := chaosSubmit(t, tsC.URL) // the control's fourth decision
+
+	https[owner].Close()
+	resp, err := http.Post(https[standby].URL+"/v1/admin/takeover?federation=paper", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("takeover: %d", resp.StatusCode)
+	}
+
+	got := chaosSubmit(t, https[standby].URL)
+	if got.Plan != want.Plan {
+		t.Fatalf("post-recovery plan %+v, unchaosed control chose %+v", got.Plan, want.Plan)
+	}
+	if got.EstimatedTimeS != want.EstimatedTimeS || got.EstimatedUSD != want.EstimatedUSD {
+		t.Fatalf("post-recovery estimates (%v, %v), control (%v, %v)",
+			got.EstimatedTimeS, got.EstimatedUSD, want.EstimatedTimeS, want.EstimatedUSD)
+	}
+	if got.ParetoSize != want.ParetoSize || got.PlanSpace != want.PlanSpace {
+		t.Fatalf("post-recovery front %d/%d, control %d/%d",
+			got.ParetoSize, got.PlanSpace, want.ParetoSize, want.PlanSpace)
+	}
+	if got.Node != members[standby].ID || got.Epoch != 2 {
+		t.Fatalf("post-recovery stamp node=%q epoch=%d", got.Node, got.Epoch)
+	}
+	if err := servers[standby].Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

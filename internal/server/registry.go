@@ -10,11 +10,13 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/federation"
 	"repro/internal/histstore"
 	"repro/internal/ires"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 	"repro/internal/tpch"
 )
 
@@ -72,6 +74,14 @@ type FederationSpec struct {
 	// Queries restricts which queries the tenant serves (default: all
 	// four studied queries).
 	Queries []string `json:"queries,omitempty"`
+	// Chaos names a fault-injection profile ("none", "outages",
+	// "stragglers", "price-spikes", "autoscale", "mixed") applied to the
+	// tenant's cloud after boot: bootstrap trains on the well-behaved
+	// cloud, serving weathers the faults. Empty means none.
+	Chaos string `json:"chaos,omitempty"`
+	// ChaosSeed seeds the fault schedule (default: Seed), so a chaosed
+	// deployment is as replayable as a clean one.
+	ChaosSeed int64 `json:"chaos_seed,omitempty"`
 }
 
 func (sp *FederationSpec) withDefaults() FederationSpec {
@@ -139,6 +149,10 @@ func buildTenant(spec FederationSpec, storeCfg StoreConfig, reg *metrics.Registr
 	// Parse the prune policy before the expensive topology/calibration
 	// work so a misconfigured spec fails the boot immediately.
 	pruner, err := ires.ParsePrunePolicy(sp.PrunePolicy, sp.PruneBudget)
+	if err != nil {
+		return nil, fmt.Errorf("server: federation %q: %w", sp.Name, err)
+	}
+	chaosProfile, err := cloud.ParseChaosProfile(sp.Chaos)
 	if err != nil {
 		return nil, fmt.Errorf("server: federation %q: %w", sp.Name, err)
 	}
@@ -220,6 +234,16 @@ func buildTenant(spec FederationSpec, storeCfg StoreConfig, reg *metrics.Registr
 				}
 			}
 		}
+	}
+	// Chaos attaches only after bootstrap so the model trains on the
+	// well-behaved cloud and the faults land on serving, where they are
+	// measured. The schedule is seeded, so a chaosed tenant replays.
+	if chaosProfile.Enabled() {
+		chaosSeed := sp.ChaosSeed
+		if chaosSeed == 0 {
+			chaosSeed = sp.Seed
+		}
+		scenario.AttachChaos(fed, chaosProfile, chaosSeed)
 	}
 	t := newTenant(sp.Name, sched, queries)
 	t.store = store

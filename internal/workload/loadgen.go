@@ -120,6 +120,9 @@ type LoadReport struct {
 	// error under its final status).
 	Redirects int
 	Exhausted int
+	// Skipped counts schedule events never dispatched because the run
+	// was cancelled first (open-loop runs only; always 0 closed-loop).
+	Skipped int
 	// PerNode breaks successful requests down by the serving cluster
 	// member (from QueryResponse.Node; key "server" in standalone mode).
 	PerNode map[string]NodeStats
@@ -147,6 +150,27 @@ type clientResult struct {
 	perNode   map[string][]float64
 	redirects int
 	exhausted int
+}
+
+// tally records one completed shot. Shared by the closed-loop clients
+// and the open-loop slots so both arms feed summarize identically.
+func (res *clientResult) tally(shot shotResult, latMS float64) {
+	res.statuses[shot.status]++
+	res.redirects += shot.redirects
+	if shot.exhausted {
+		res.exhausted++
+	}
+	if shot.status == http.StatusOK {
+		res.latencies = append(res.latencies, latMS)
+		node := shot.node
+		if node == "" {
+			node = "server"
+		}
+		res.perNode[node] = append(res.perNode[node], latMS)
+		if shot.coalesced {
+			res.coalesced++
+		}
+	}
 }
 
 // router directs each request at its federation's current owner. It
@@ -300,23 +324,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 				if shot.status == 0 && ctx.Err() != nil {
 					return
 				}
-				res.statuses[shot.status]++
-				res.redirects += shot.redirects
-				if shot.exhausted {
-					res.exhausted++
-				}
-				if shot.status == http.StatusOK {
-					lat := float64(time.Since(began)) / float64(time.Millisecond)
-					res.latencies = append(res.latencies, lat)
-					node := shot.node
-					if node == "" {
-						node = "server"
-					}
-					res.perNode[node] = append(res.perNode[node], lat)
-					if shot.coalesced {
-						res.coalesced++
-					}
-				}
+				res.tally(shot, float64(time.Since(began))/float64(time.Millisecond))
 			}
 		}(&results[c])
 	}

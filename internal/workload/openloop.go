@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/server"
+)
+
+// This file adds the open-loop arm of the load generator: instead of N
+// clients submitting back to back (closed loop, arrival rate coupled to
+// service rate), requests fire at the offsets of a scenario event
+// schedule regardless of how fast the server answers — the arrival
+// pattern "millions of users" actually present. The schedule comes
+// from scenario.Spec.Generate or a recorded trace, so a run is exactly
+// replayable. Results fold through the same clientResult tally and
+// summarize path as the closed loop: there is one percentile
+// implementation, not two.
+
+// OpenLoadConfig parameterizes one open-loop run. The embedded
+// LoadConfig supplies the target (BaseURL/Addrs), routing knobs,
+// weights and timeouts; its closed-loop fields (Clients, Requests,
+// Duration) are ignored. Event fields override Federation/Query per
+// event; empty event fields fall back to the LoadConfig values.
+type OpenLoadConfig struct {
+	LoadConfig
+	// Events is the arrival schedule, offsets relative to run start.
+	Events []scenario.Event
+	// MaxInFlight bounds concurrent requests; an arrival finding every
+	// slot busy waits for one, and the wait shows up as schedule lag
+	// (default 256).
+	MaxInFlight int
+	// Speed scales the schedule: 2 fires it twice as fast, 0.5 at half
+	// speed (default 1).
+	Speed float64
+}
+
+// RunOpenLoad fires the event schedule open-loop and blocks until every
+// dispatched request completes (or ctx cancels the run).
+func RunOpenLoad(ctx context.Context, cfg OpenLoadConfig) (*LoadReport, error) {
+	if len(cfg.Events) == 0 {
+		return nil, errors.New("workload: open-loop run needs a non-empty event schedule")
+	}
+	if err := cfg.LoadConfig.setDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.Speed <= 0 {
+		cfg.Speed = 1
+	}
+	client := &http.Client{
+		Timeout: cfg.HTTPTimeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.MaxInFlight,
+			MaxIdleConnsPerHost: cfg.MaxInFlight,
+		},
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	rts := newRouterSet(&cfg.LoadConfig)
+	if len(cfg.Addrs) > 0 {
+		// Warm the routing cache for every federation in the schedule.
+		seen := map[string]bool{}
+		for _, ev := range cfg.Events {
+			fed := cfg.federationFor(ev)
+			if !seen[fed] {
+				seen[fed] = true
+				rts.get(fed).refresh(ctx, client, fed)
+			}
+		}
+	}
+
+	// One clientResult per in-flight slot: a request tallies into the
+	// slot it ran in, and summarize is grouping-invariant (pinned by
+	// TestSummarizeGroupingInvariant), so this is just lock-free
+	// bookkeeping, not a semantic grouping.
+	results := make([]clientResult, cfg.MaxInFlight)
+	slots := make(chan int, cfg.MaxInFlight)
+	for i := range results {
+		results[i].statuses = make(map[int]int)
+		results[i].perNode = make(map[string][]float64)
+		slots <- i
+	}
+
+	bodies := newBodyCache(&cfg)
+	var wg sync.WaitGroup
+	skipped := 0
+	start := time.Now()
+dispatch:
+	for _, ev := range cfg.Events {
+		due := start.Add(time.Duration(float64(ev.Offset) / cfg.Speed))
+		if wait := time.Until(due); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				skipped++
+				continue
+			}
+		}
+		fed := cfg.federationFor(ev)
+		body, err := bodies.get(fed, cfg.queryFor(ev))
+		if err != nil {
+			return nil, err
+		}
+		var slot int
+		select {
+		case slot = <-slots:
+		case <-ctx.Done():
+			skipped++
+			continue dispatch
+		}
+		wg.Add(1)
+		go func(slot int, fed string, body []byte) {
+			defer wg.Done()
+			defer func() { slots <- slot }()
+			res := &results[slot]
+			began := time.Now()
+			shot := submitShot(ctx, client, rts.get(fed), &cfg.LoadConfig, body)
+			if shot.status == 0 && ctx.Err() != nil {
+				return
+			}
+			res.tally(shot, float64(time.Since(began))/float64(time.Millisecond))
+		}(slot, fed, body)
+	}
+	wg.Wait()
+	report := summarize(results, cfg.MaxInFlight, time.Since(start))
+	report.Skipped = skipped
+	return report, nil
+}
+
+func (cfg *OpenLoadConfig) federationFor(ev scenario.Event) string {
+	if ev.Federation != "" && ev.Federation != "default" {
+		return ev.Federation
+	}
+	if cfg.Federation != "" {
+		return cfg.Federation
+	}
+	if ev.Federation == "default" {
+		return ""
+	}
+	return ev.Federation
+}
+
+func (cfg *OpenLoadConfig) queryFor(ev scenario.Event) string {
+	if ev.Query != "" {
+		return ev.Query
+	}
+	return cfg.Query
+}
+
+// bodyCache memoizes the marshalled request body per (federation,
+// query) pair so the dispatcher does not re-marshal at every arrival.
+type bodyCache struct {
+	cfg *OpenLoadConfig
+	mu  sync.Mutex
+	m   map[string][]byte
+}
+
+func newBodyCache(cfg *OpenLoadConfig) *bodyCache {
+	return &bodyCache{cfg: cfg, m: make(map[string][]byte)}
+}
+
+func (bc *bodyCache) get(fed, query string) ([]byte, error) {
+	key := fed + "\x00" + query
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if b, ok := bc.m[key]; ok {
+		return b, nil
+	}
+	b, err := json.Marshal(server.QueryRequest{
+		Federation: fed,
+		Query:      query,
+		Weights:    bc.cfg.Weights,
+		TimeoutMS:  bc.cfg.TimeoutMS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bc.m[key] = b
+	return b, nil
+}
+
+// routerSet keeps one owner-tracking router per federation, so a
+// multi-tenant trace replayed against a cluster routes each event to
+// its federation's owner.
+type routerSet struct {
+	cfg *LoadConfig
+	mu  sync.Mutex
+	m   map[string]*router
+}
+
+func newRouterSet(cfg *LoadConfig) *routerSet {
+	return &routerSet{cfg: cfg, m: make(map[string]*router)}
+}
+
+func (rs *routerSet) get(fed string) *router {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rt, ok := rs.m[fed]
+	if !ok {
+		rt = newRouter(rs.cfg)
+		rs.m[fed] = rt
+	}
+	return rt
+}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/moo"
 	"repro/internal/regression"
+	"repro/internal/scenario"
 	"repro/internal/server"
 	"repro/internal/tpch"
 	"repro/internal/workload"
@@ -554,6 +555,18 @@ type (
 	// LoadReport summarizes a load run: QPS, latency percentiles,
 	// per-status counts.
 	LoadReport = workload.LoadReport
+	// OpenLoadConfig parameterizes an open-loop (schedule-driven)
+	// load run.
+	OpenLoadConfig = workload.OpenLoadConfig
+	// ScenarioSpec names one scenario: an arrival process, a rate, an
+	// event budget, and a chaos profile, all under one seed.
+	ScenarioSpec = scenario.Spec
+	// ScenarioEvent is one (offset, federation, query) arrival of a
+	// generated or recorded trace.
+	ScenarioEvent = scenario.Event
+	// ChaosProfile names a fault-injection preset for the simulated
+	// cloud.
+	ChaosProfile = cloud.ChaosProfile
 )
 
 // NewQueryServer builds the configured federations (calibration +
@@ -566,6 +579,32 @@ var LoadFederationSpecs = server.LoadSpecsFile
 // RunLoad drives N concurrent closed-loop clients against a serving
 // instance and reports sustained QPS and latency percentiles.
 var RunLoad = workload.RunLoad
+
+// RunOpenLoad fires a pre-generated event schedule at a serving
+// instance open-loop (arrivals decoupled from service rate) and
+// reports through the same summarization path as RunLoad.
+var RunOpenLoad = workload.RunOpenLoad
+
+// Scenario engine: seeded arrival schedules, byte-exact trace
+// record/replay, and chaos attachment over the simulated cloud.
+var (
+	// ScenarioMatrix returns the standard (arrival × chaos) scenario
+	// grid under one base seed.
+	ScenarioMatrix = scenario.Matrix
+	// WriteTrace / ReadTrace serialize an event schedule to the
+	// CRC-framed trace format midasload records and replays.
+	WriteTrace = scenario.WriteTrace
+	ReadTrace  = scenario.ReadTrace
+	// AttachChaos wires a fault-injection profile onto every site of a
+	// federation; DetachChaos restores the well-behaved cloud.
+	AttachChaos = scenario.AttachChaos
+	DetachChaos = scenario.DetachChaos
+	// ParseChaosProfile resolves a named chaos profile (see
+	// ChaosProfileNames).
+	ParseChaosProfile = cloud.ParseChaosProfile
+	// ChaosProfileNames lists the named chaos profiles.
+	ChaosProfileNames = cloud.ChaosProfileNames
+)
 
 // ---------------------------------------------------------------------------
 // Evaluation harness

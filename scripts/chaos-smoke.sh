@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# chaos-smoke.sh — scenario replay + owner SIGKILL end-to-end smoke:
+#
+#   1. boot two replicating midasd nodes hosting one chaosed federation
+#      (the "outages" profile on a fixed -chaos-seed),
+#   2. record a seeded open-loop bursty schedule to a trace file and
+#      fire it against the cluster (midasload -record; the run exits
+#      non-zero on any failed request),
+#   3. SIGKILL the owner (no drain, no checkpoint),
+#   4. promote the standby from its shipped WAL, asserting every acked
+#      observation survived,
+#   5. replay the identical trace (midasload -replay) against the
+#      survivor and assert the final history holds bootstrap + both
+#      runs' acked events — zero acked-write loss end to end.
+#
+# Requirements: go, curl, jq. Usage: scripts/chaos-smoke.sh [workdir]
+set -euo pipefail
+
+WORK="${1:-$(mktemp -d /tmp/midas-chaos-smoke.XXXXXX)}"
+MIDASD="${MIDASD:-$WORK/midasd}"
+MIDASLOAD="${MIDASLOAD:-$WORK/midasload}"
+BASE_PORT="${BASE_PORT:-9111}"
+FED=paper
+BOOTSTRAP=12
+EVENTS=16
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill -KILL "$pid" 2> /dev/null || true; done
+}
+trap cleanup EXIT
+
+log() { echo "[chaos-smoke] $*"; }
+
+[ -x "$MIDASD" ] || go build -o "$MIDASD" ./cmd/midasd
+[ -x "$MIDASLOAD" ] || go build -o "$MIDASLOAD" ./cmd/midasload
+
+# --- membership -------------------------------------------------------
+peers=""
+addrs=""
+for i in 1 2; do
+  port=$((BASE_PORT + i - 1))
+  peers="${peers:+$peers,}n$i=http://127.0.0.1:$port"
+  addrs="${addrs:+$addrs,}http://127.0.0.1:$port"
+done
+
+cat > "$WORK/federations.json" <<EOF
+{"federations": [
+  {"name": "$FED", "sf": 0.05, "bootstrap": $BOOTSTRAP, "node_choices": [1, 2],
+   "queries": ["Q12"], "chaos": "outages", "chaos_seed": 7}
+]}
+EOF
+
+# --- boot -------------------------------------------------------------
+for i in 1 2; do
+  port=$((BASE_PORT + i - 1))
+  "$MIDASD" -addr "127.0.0.1:$port" -config "$WORK/federations.json" \
+    -data-dir "$WORK/n$i" -node-id "n$i" -cluster-peers "$peers" \
+    -cluster-replicate -cluster-sync-interval 200ms \
+    > "$WORK/n$i.log" 2>&1 &
+  PIDS+=($!)
+done
+for i in 1 2; do
+  port=$((BASE_PORT + i - 1))
+  for _ in $(seq 1 120); do
+    curl -sf "http://127.0.0.1:$port/readyz" > /dev/null && break
+    kill -0 "${PIDS[$((i - 1))]}" 2> /dev/null || { log "n$i died during startup"; cat "$WORK/n$i.log"; exit 1; }
+    sleep 1
+  done
+  curl -sf "http://127.0.0.1:$port/readyz" > /dev/null || { log "n$i never became ready"; exit 1; }
+done
+log "two nodes up: $peers"
+
+table() { curl -sf "http://127.0.0.1:$BASE_PORT/v1/cluster" 2> /dev/null \
+  || curl -sf "http://127.0.0.1:$((BASE_PORT + 1))/v1/cluster"; }
+owner_of() { table | jq -r ".placements[\"$1\"].owner"; }
+standby_of() { table | jq -r ".placements[\"$1\"].standby"; }
+addr_of() { table | jq -r ".members[] | select(.id == \"$1\") | .addr"; }
+hist_len() { # hist_len <addr> <federation>
+  curl -sf "$1/v1/history/Q12?federation=$2&limit=0" | jq .len
+}
+
+# --- record + replay a seeded schedule against the cluster ------------
+# -record writes the CRC-framed trace and fires it; the same trace file
+# replays again after the takeover, so both runs carry the identical
+# byte-exact schedule.
+"$MIDASLOAD" -addr "$addrs" -federation "$FED" \
+  -arrival bursty -rate 40 -events $EVENTS -seed 9 -speed 20 \
+  -record "$WORK/full.trace"
+log "recorded and replayed $EVENTS-event trace (all acked)"
+
+# Let the 200ms standby sync arm; afterwards every ack is synchronous.
+sleep 1
+owner="$(owner_of "$FED")"
+before="$(hist_len "$(addr_of "$owner")" "$FED")"
+want=$((BOOTSTRAP + EVENTS))
+if [ "$before" != "$want" ]; then
+  log "FAIL: owner history $before after full replay, want $want"
+  exit 1
+fi
+log "$FED: $before acked observations on $owner"
+
+# --- SIGKILL the owner mid-run ----------------------------------------
+vidx="${owner#n}"
+log "SIGKILL $owner (owner of $FED) under replay load"
+kill -KILL "${PIDS[$((vidx - 1))]}"
+wait "${PIDS[$((vidx - 1))]}" 2> /dev/null || true
+
+sb="$(standby_of "$FED")"
+[ "$sb" != "$owner" ] && [ -n "$sb" ] || { log "no surviving standby"; exit 1; }
+log "takeover: $FED -> $sb"
+curl -sf -X POST "$(addr_of "$sb")/v1/admin/takeover?federation=$FED" | jq -c .
+
+# --- zero acked-write loss, then the same trace replays on the survivor
+after="$(hist_len "$(addr_of "$sb")" "$FED")"
+if [ "$after" != "$before" ]; then
+  log "FAIL: $FED lost acked writes across the kill: $before -> $after"
+  exit 1
+fi
+log "$FED: $after observations intact on $sb"
+
+"$MIDASLOAD" -addr "$addrs" -federation "$FED" -replay "$WORK/full.trace" -speed 20
+final="$(hist_len "$(addr_of "$sb")" "$FED")"
+want=$((BOOTSTRAP + 2 * EVENTS))
+if [ "$final" != "$want" ]; then
+  log "FAIL: post-takeover replay acked $final observations, want $want"
+  exit 1
+fi
+
+log "PASS: owner SIGKILL under chaosed replay survived with zero acked-write loss"
