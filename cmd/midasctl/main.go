@@ -20,18 +20,26 @@
 //	run-query   run one full pipeline round (enumerate→estimate→
 //	            optimize→select→execute) and print the decision
 //	gen         print generator statistics for a scale factor
+//	cluster-status
+//	            print per-peer health and the routing table of the
+//	            midasd cluster at -addr
 //	all         everything above, in paper order
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/federation"
 	"repro/internal/ires"
+	"repro/internal/server"
 	"repro/internal/tpch"
 )
 
@@ -44,9 +52,10 @@ func main() {
 		sf     = flag.Float64("sf", 0.01, "scale factor for gen/run-query")
 		query  = flag.String("query", "Q12", "TPC-H query for run-query (Q12, Q13, Q14, Q17)")
 		events = flag.Int("events", 120, "events per scenario for the scenarios sweep")
+		addr   = flag.String("addr", "http://127.0.0.1:8080", "midasd base URL for cluster-status")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: midasctl [flags] <pricing|table2|table3|table4|fig3|example31|ablations|scenarios|run-query|gen|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: midasctl [flags] <pricing|table2|table3|table4|fig3|example31|ablations|scenarios|run-query|gen|cluster-status|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -92,6 +101,8 @@ func main() {
 		err = runQuery(*seed, *sf, q)
 	case "gen":
 		err = printGen(*sf, *seed)
+	case "cluster-status":
+		err = printClusterStatus(*addr)
 	case "all":
 		err = runAll(opts, *seed, *sf)
 	default:
@@ -245,6 +256,80 @@ func printGen(sf float64, seed int64) error {
 	}
 	fmt.Printf("  total     %21.1f MiB\n", db.TotalBytes()/1024/1024)
 	return nil
+}
+
+// printClusterStatus reads one node's routing table, then asks every
+// member for its own health. A member that cannot be reached is
+// reported as such rather than failing the whole status — that is
+// exactly the situation an operator runs this command in.
+func printClusterStatus(addr string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	var table server.ClusterResponse
+	if err := getJSON(client, addr+"/v1/cluster", &table); err != nil {
+		return fmt.Errorf("%s: %w (is midasd running in cluster mode?)", addr, err)
+	}
+	fmt.Printf("cluster as seen by %s (routing epoch %d, %d members)\n\n",
+		table.Node, table.Epoch, len(table.Members))
+
+	fmt.Println("members:")
+	for _, m := range table.Members {
+		var health server.ClusterHealthResponse
+		if err := getJSON(client, m.Addr+"/v1/cluster/health", &health); err != nil {
+			fmt.Printf("  %-12s %-28s UNREACHABLE (%v)\n", m.ID, m.Addr, err)
+			continue
+		}
+		fmt.Printf("  %-12s %-28s up      epoch=%d", m.ID, m.Addr, health.Epoch)
+		if health.Epoch != table.Epoch {
+			fmt.Printf(" (STALE, expected %d)", table.Epoch)
+		}
+		fmt.Println()
+		for _, fed := range sortedKeys(health.Replication) {
+			fmt.Printf("      serves %-12s replication=%s\n", fed, health.Replication[fed])
+		}
+		for _, peer := range sortedKeys(health.Peers) {
+			ph := health.Peers[peer]
+			fmt.Printf("      sees   %-12s %-8s", peer, ph.Status)
+			if ph.Misses > 0 {
+				fmt.Printf(" misses=%d", ph.Misses)
+			}
+			if ph.RTTMS > 0 {
+				fmt.Printf(" rtt=%.1fms", ph.RTTMS)
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Println("\nplacements:")
+	for _, fed := range sortedKeys(table.Placements) {
+		p := table.Placements[fed]
+		fmt.Printf("  %-16s owner=%-12s", fed, p.Owner)
+		if p.Standby != "" {
+			fmt.Printf(" standby=%-12s", p.Standby)
+		}
+		fmt.Printf(" state@%s=%s\n", table.Node, p.State)
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func runAll(opts experiments.MREOptions, seed int64, sf float64) error {

@@ -123,10 +123,16 @@ func run() error {
 		walCommitInterval  = flag.Duration("wal-commit-interval", 0, "group-commit max delay waiting for companion appends before the fsync is issued (0 = none: sync as soon as the committer is free; requires -wal-group-commit)")
 		walCommitBatch     = flag.Int("wal-commit-batch", 0, "group-commit max batch before a delayed fsync is issued early (0 = default 128; requires -wal-group-commit)")
 
-		nodeID       = flag.String("node-id", "", "this node's name in -cluster-peers (cluster mode)")
-		clusterPeers = flag.String("cluster-peers", "", `cluster membership as "id=url,id=url,..." including this node; empty = standalone`)
-		replicate    = flag.Bool("cluster-replicate", false, "ship each owned federation's WAL to its standby synchronously")
-		syncInterval = flag.Duration("cluster-sync-interval", 2*time.Second, "standby catch-up snapshot cadence (requires -cluster-replicate)")
+		nodeID        = flag.String("node-id", "", "this node's name in -cluster-peers (cluster mode)")
+		clusterPeers  = flag.String("cluster-peers", "", `cluster membership as "id=url,id=url,..." including this node; empty = standalone`)
+		replicate     = flag.Bool("cluster-replicate", false, "ship each owned federation's WAL to its standby synchronously")
+		syncInterval  = flag.Duration("cluster-sync-interval", 2*time.Second, "standby catch-up snapshot cadence (requires -cluster-replicate)")
+		autoFailover  = flag.Bool("cluster-auto-failover", false, "probe peers and auto-promote this node's standby federations when their owner is confirmed dead")
+		probeInterval = flag.Duration("cluster-probe-interval", time.Second, "failure-detector probe cadence (requires -cluster-auto-failover)")
+		probeTimeout  = flag.Duration("cluster-probe-timeout", 0, "per-probe deadline (0 = probe interval)")
+		suspectAfter  = flag.Int("cluster-suspect-after", 3, "consecutive probe misses before a peer is suspect (pauses rebalancing)")
+		downAfter     = flag.Int("cluster-down-after", 6, "consecutive probe misses before a peer is declared dead (triggers auto-failover)")
+		autoRebalance = flag.Bool("cluster-auto-rebalance", false, "drift federations back to their ring-computed owners after membership settles (requires -cluster-auto-failover)")
 
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug enables per-request lines)")
 		debugAddr = flag.String("debug-addr", "", "optional second listener with net/http/pprof and /metrics (keep it private)")
@@ -175,9 +181,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if clusterCfg == nil && (*autoFailover || *autoRebalance) {
+		return fmt.Errorf("-cluster-auto-failover/-cluster-auto-rebalance require -cluster-peers")
+	}
+	if *autoRebalance && !*autoFailover {
+		return fmt.Errorf("-cluster-auto-rebalance requires -cluster-auto-failover (the rebalancer rides the failure detector)")
+	}
 	if clusterCfg != nil {
+		clusterCfg.AutoFailover = *autoFailover
+		clusterCfg.AutoRebalance = *autoRebalance
+		clusterCfg.ProbeInterval = *probeInterval
+		clusterCfg.ProbeTimeout = *probeTimeout
+		clusterCfg.SuspectAfter = *suspectAfter
+		clusterCfg.DownAfter = *downAfter
 		logger.Info("cluster mode", "node", clusterCfg.NodeID,
-			"peers", len(clusterCfg.Peers), "replicate", clusterCfg.Replicate)
+			"peers", len(clusterCfg.Peers), "replicate", clusterCfg.Replicate,
+			"auto_failover", *autoFailover, "auto_rebalance", *autoRebalance)
 	}
 
 	logger.Info("building federations (calibration + recovery + bootstrap)", "count", len(specs))

@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRouteLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "routes.wal")
+	l, err := OpenRouteLog(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if epoch, _ := l.Last(); epoch != 0 {
+		t.Fatalf("fresh log epoch = %d, want 0", epoch)
+	}
+	if err := l.Append(3, map[string]string{"alpha": "b"}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Append(5, map[string]string{"alpha": "b", "beta": "c"}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l2, err := OpenRouteLog(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	epoch, overrides := l2.Last()
+	if epoch != 5 {
+		t.Fatalf("recovered epoch = %d, want 5", epoch)
+	}
+	if overrides["alpha"] != "b" || overrides["beta"] != "c" || len(overrides) != 2 {
+		t.Fatalf("recovered overrides = %v", overrides)
+	}
+}
+
+func TestRouteLogMonotonicEpochs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "routes.wal")
+	l, err := OpenRouteLog(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	if err := l.Append(7, map[string]string{"alpha": "b"}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	// Stale and equal epochs are silently skipped: the newest committed
+	// table must not be clobbered by a lagging concurrent persist.
+	if err := l.Append(6, map[string]string{"alpha": "z"}); err != nil {
+		t.Fatalf("stale append: %v", err)
+	}
+	if err := l.Append(7, map[string]string{"alpha": "z"}); err != nil {
+		t.Fatalf("equal append: %v", err)
+	}
+	epoch, overrides := l.Last()
+	if epoch != 7 || overrides["alpha"] != "b" {
+		t.Fatalf("got epoch %d overrides %v, want 7/{alpha:b}", epoch, overrides)
+	}
+}
+
+func TestRouteLogTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "routes.wal")
+	l, err := OpenRouteLog(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := l.Append(2, map[string]string{"alpha": "b"}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Append(4, map[string]string{"alpha": "c"}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Chop the tail mid-frame: the epoch-4 record becomes torn and must
+	// be discarded, surfacing the epoch-2 table.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	l2, err := OpenRouteLog(path)
+	if err != nil {
+		t.Fatalf("reopen torn: %v", err)
+	}
+	epoch, overrides := l2.Last()
+	if epoch != 2 || overrides["alpha"] != "b" {
+		t.Fatalf("after torn tail: epoch %d overrides %v, want 2/{alpha:b}", epoch, overrides)
+	}
+	// The log must keep working after truncation — append and recover.
+	if err := l2.Append(9, map[string]string{"alpha": "d"}); err != nil {
+		t.Fatalf("append after truncate: %v", err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	l3, err := OpenRouteLog(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l3.Close()
+	if epoch, overrides := l3.Last(); epoch != 9 || overrides["alpha"] != "d" {
+		t.Fatalf("final state: epoch %d overrides %v, want 9/{alpha:d}", epoch, overrides)
+	}
+}
+
+func TestRouteLogCorruptPayloadTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "routes.wal")
+	l, err := OpenRouteLog(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := l.Append(2, map[string]string{"alpha": "b"}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Append(4, map[string]string{"alpha": "c"}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Flip a byte inside the second frame's payload: CRC mismatch.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	raw[len(raw)-3] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	l2, err := OpenRouteLog(path)
+	if err != nil {
+		t.Fatalf("reopen corrupt: %v", err)
+	}
+	defer l2.Close()
+	if epoch, overrides := l2.Last(); epoch != 2 || overrides["alpha"] != "b" {
+		t.Fatalf("after corruption: epoch %d overrides %v, want 2/{alpha:b}", epoch, overrides)
+	}
+}
+
+func TestRouteLogCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "routes.wal")
+	l, err := OpenRouteLog(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// Enough appends to blow past the compaction threshold several times.
+	overrides := map[string]string{}
+	for i := 0; i < 26; i++ {
+		overrides[string(rune('a'+i))+"-federation-with-a-reasonably-long-name"] = "member-b"
+	}
+	var epoch uint64
+	for i := 0; i < 200; i++ {
+		epoch = uint64(i + 1)
+		if err := l.Append(epoch, overrides); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if fi.Size() > routeLogCompactBytes {
+		t.Fatalf("log size %d exceeds compaction bound %d", fi.Size(), routeLogCompactBytes)
+	}
+	l2, err := OpenRouteLog(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	gotEpoch, gotOverrides := l2.Last()
+	if gotEpoch != epoch {
+		t.Fatalf("recovered epoch %d, want %d", gotEpoch, epoch)
+	}
+	if len(gotOverrides) != len(overrides) {
+		t.Fatalf("recovered %d overrides, want %d", len(gotOverrides), len(overrides))
+	}
+}
+
+func TestRouteLogAppendAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "routes.wal")
+	l, err := OpenRouteLog(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := l.Append(1, nil); err == nil {
+		t.Fatal("append after close succeeded, want error")
+	}
+}

@@ -201,3 +201,24 @@ type HandoffResponse struct {
 	Observations map[string]int `json:"observations,omitempty"`
 	DurationMS   float64        `json:"duration_ms,omitempty"`
 }
+
+// ClusterHealthResponse is the body of GET /v1/cluster/health — the
+// failure detector's probe target. Replication maps each federation
+// *actively served by the answering node* to its outbound replication
+// health ("streaming", "arming", "degraded", "off"); a probing standby
+// caches it as the eligibility record for auto-promotion after this
+// node dies. Peers is the answering node's own detector view (absent
+// when auto-failover is off there).
+type ClusterHealthResponse struct {
+	Node        string                    `json:"node"`
+	Epoch       uint64                    `json:"epoch"`
+	Replication map[string]string         `json:"replication,omitempty"`
+	Peers       map[string]PeerHealthJSON `json:"peers,omitempty"`
+}
+
+// PeerHealthJSON is one peer's detector state as reported over HTTP.
+type PeerHealthJSON struct {
+	Status string  `json:"status"`
+	Misses int     `json:"misses,omitempty"`
+	RTTMS  float64 `json:"rtt_ms,omitempty"`
+}

@@ -41,9 +41,17 @@ func chaosPaperSpec() FederationSpec {
 // replication armed for Q12 and returns them with the current owner
 // index. Callers kill nodes by closing the httptest listener.
 func newReplicatedPair(t *testing.T) (servers []*Server, https []*httptest.Server, members []cluster.Member, owner int) {
+	servers, https, members, owner, _ = newReplicatedPairCfg(t, nil)
+	return servers, https, members, owner
+}
+
+// newReplicatedPairCfg is newReplicatedPair with a cluster-config hook
+// (the auto-failover chaos tests turn the detector on and speed up its
+// probes) and the swappable handlers returned for fault injection.
+func newReplicatedPairCfg(t *testing.T, mutate func(*ClusterConfig)) (servers []*Server, https []*httptest.Server, members []cluster.Member, owner int, late []*lateHandler) {
 	t.Helper()
 	spec := chaosPaperSpec()
-	late := []*lateHandler{{}, {}}
+	late = []*lateHandler{{}, {}}
 	for i := 0; i < 2; i++ {
 		ts := httptest.NewServer(late[i])
 		t.Cleanup(ts.Close)
@@ -51,15 +59,19 @@ func newReplicatedPair(t *testing.T) (servers []*Server, https []*httptest.Serve
 		members = append(members, cluster.Member{ID: fmt.Sprintf("n%d", i), Addr: ts.URL})
 	}
 	for i := 0; i < 2; i++ {
+		ccfg := &ClusterConfig{
+			NodeID: members[i].ID, Peers: members,
+			Replicate:    true,
+			SyncInterval: 50 * time.Millisecond,
+			PeerTimeout:  30 * time.Second,
+		}
+		if mutate != nil {
+			mutate(ccfg)
+		}
 		srv, err := New(Config{
 			Federations: []FederationSpec{spec},
 			Store:       StoreConfig{Dir: t.TempDir()},
-			Cluster: &ClusterConfig{
-				NodeID: members[i].ID, Peers: members,
-				Replicate:    true,
-				SyncInterval: 50 * time.Millisecond,
-				PeerTimeout:  30 * time.Second,
-			},
+			Cluster:     ccfg,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -85,7 +97,7 @@ func newReplicatedPair(t *testing.T) (servers []*Server, https []*httptest.Serve
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	return servers, https, members, owner
+	return servers, https, members, owner, late
 }
 
 // chaosSubmit posts one Q12 request without following redirects and
@@ -378,6 +390,251 @@ func TestChaosTakeoverDuringReplay(t *testing.T) {
 		t.Fatalf("final history %d, want %d: acked write lost across takeover", got, want)
 	}
 	if err := servers[standby].Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chaosDetectorKnobs arms auto-failover on a replicated pair with
+// probes fast enough to detect a kill in well under a second, but a
+// DownAfter that needs ~500ms of *consecutive* misses — construction
+// 503s (the second node's calibration runs while the first node's
+// detector is already probing) and scheduler hiccups don't reach a
+// false death verdict, and the eligibility gate (no cached "streaming"
+// report yet) blocks promotion even if one slips through.
+func chaosDetectorKnobs(cc *ClusterConfig) {
+	cc.AutoFailover = true
+	cc.ProbeInterval = 10 * time.Millisecond
+	cc.SuspectAfter = 5
+	cc.DownAfter = 50
+}
+
+// waitPeerReplStreaming blocks until srv's probe loop has cached peer's
+// replication report for fed as "streaming" — the eligibility record an
+// auto-promotion will consult after that peer dies.
+func waitPeerReplStreaming(t *testing.T, srv *Server, peer, fed string) {
+	t.Helper()
+	cs := srv.cluster
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		cs.peerMu.Lock()
+		health := cs.peerRepl[peer][fed]
+		cs.peerMu.Unlock()
+		if health == "streaming" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("probe cache never reported %s/%s streaming (last %q)", peer, fed, health)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosProbePartitionFalsePositive partitions the failure
+// detector's probes — and only the probes — between two live nodes: the
+// classic false positive, where the standby declares a perfectly
+// healthy owner dead. The standby promotes (its cached eligibility says
+// the replica is current), minting epoch 2 over both nodes' epoch-1
+// tables; gossip still flows, so the real owner adopts the higher epoch
+// and stands itself down. The invariants: the cluster settles on
+// exactly one active owner, and no client request errors at any point —
+// a false positive costs a spurious ownership move, never correctness.
+func TestChaosProbePartitionFalsePositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serving stack")
+	}
+	servers, https, members, owner, late := newReplicatedPairCfg(t, chaosDetectorKnobs)
+	standby := 1 - owner
+	waitPeerReplStreaming(t, servers[standby], members[owner].ID, "paper")
+
+	// Drop health probes in both directions; every other path — queries,
+	// replication, gossip — stays connected.
+	var partitioned atomic.Bool
+	partitioned.Store(true)
+	for i := 0; i < 2; i++ {
+		real := servers[i].Handler()
+		wrapped := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if partitioned.Load() && r.URL.Path == "/v1/cluster/health" {
+				http.Error(w, "injected: probe partition", http.StatusServiceUnavailable)
+				return
+			}
+			real.ServeHTTP(w, r)
+		}))
+		late[i].h.Store(&wrapped)
+	}
+
+	// Clients keep hitting BOTH nodes (following redirects) while the
+	// standby walks owner through suspect → down → auto-promotion and
+	// gossip demotes the real owner. Every request must land.
+	submitBoth := func() {
+		t.Helper()
+		for i := 0; i < 2; i++ {
+			body, _ := json.Marshal(QueryRequest{Federation: "paper", Query: "Q12", Weights: []float64{1, 1}})
+			resp, err := http.Post(https[i].URL+"/v1/queries", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatalf("client-visible error via node %d during false positive: %v", i, err)
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("client-visible error via node %d during false positive: %d %s", i, resp.StatusCode, b)
+			}
+		}
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		submitBoth()
+		// Settled: the false-positive promotion committed AND the demoted
+		// real owner is back to remote — exactly one active owner.
+		if servers[standby].tenants["paper"].state.Load() == tenantActive &&
+			servers[owner].tenants["paper"].state.Load() == tenantRemote {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never settled after probe partition: owner=%s standby=%s",
+				tenantStateName(servers[owner].tenants["paper"].state.Load()),
+				tenantStateName(servers[standby].tenants["paper"].state.Load()))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	submitBoth()
+
+	// Both tables agree on the new owner at the promoted epoch.
+	for i := range https {
+		cr := getClusterTable(t, https[i].URL)
+		if cr.Epoch != 2 || cr.Placements["paper"].Owner != members[standby].ID {
+			t.Fatalf("node %d table epoch=%d owner=%q after settle, want 2/%q",
+				i, cr.Epoch, cr.Placements["paper"].Owner, members[standby].ID)
+		}
+	}
+	if got := servers[standby].cluster.autoTakeovers.Value(); got != 1 {
+		t.Fatalf("auto-takeovers = %v, want exactly 1 (the fence must stop a second commit)", got)
+	}
+
+	partitioned.Store(false)
+	for i := range servers {
+		if err := servers[i].Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestChaosAutoPromotionDeterminism extends the determinism probe to
+// the detector-driven path: SIGKILL the owner and let the failure
+// detector promote the standby with NO operator takeover, then require
+// the first post-promotion decision byte-identical to an unchaosed
+// standalone control.
+func TestChaosAutoPromotionDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serving stack")
+	}
+	servers, https, members, owner, _ := newReplicatedPairCfg(t, chaosDetectorKnobs)
+	standby := 1 - owner
+
+	ctrl, err := New(Config{Federations: []FederationSpec{chaosPaperSpec()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsC := httptest.NewServer(ctrl.Handler())
+	defer tsC.Close()
+
+	for i := 0; i < 3; i++ {
+		chaosSubmit(t, https[owner].URL)
+		chaosSubmit(t, tsC.URL)
+	}
+	want := chaosSubmit(t, tsC.URL) // the control's fourth decision
+
+	// The standby must hold the owner's "streaming" report before the
+	// kill, or the eligibility gate (correctly) refuses to promote.
+	waitPeerReplStreaming(t, servers[standby], members[owner].ID, "paper")
+	https[owner].Close()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for servers[standby].tenants["paper"].state.Load() != tenantActive {
+		if time.Now().After(deadline) {
+			t.Fatalf("standby never auto-promoted (state %s, owner judged %v)",
+				tenantStateName(servers[standby].tenants["paper"].state.Load()),
+				servers[standby].cluster.detector.Status(members[owner].ID))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	got := chaosSubmit(t, https[standby].URL)
+	if got.Plan != want.Plan {
+		t.Fatalf("post-promotion plan %+v, unchaosed control chose %+v", got.Plan, want.Plan)
+	}
+	if got.EstimatedTimeS != want.EstimatedTimeS || got.EstimatedUSD != want.EstimatedUSD {
+		t.Fatalf("post-promotion estimates (%v, %v), control (%v, %v)",
+			got.EstimatedTimeS, got.EstimatedUSD, want.EstimatedTimeS, want.EstimatedUSD)
+	}
+	if got.ParetoSize != want.ParetoSize || got.PlanSpace != want.PlanSpace {
+		t.Fatalf("post-promotion front %d/%d, control %d/%d",
+			got.ParetoSize, got.PlanSpace, want.ParetoSize, want.PlanSpace)
+	}
+	if got.Node != members[standby].ID || got.Epoch != 2 {
+		t.Fatalf("post-promotion stamp node=%q epoch=%d, want %q/2", got.Node, got.Epoch, members[standby].ID)
+	}
+	if err := servers[standby].Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadyzDegradedReplication kills a standby and asserts the owner's
+// /readyz flips to 503 with the degraded federations named, once a
+// write forces the replicator to fall back to local-only durability.
+func TestReadyzDegradedReplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serving stack")
+	}
+	servers, https, _, owner := newReplicatedPair(t)
+	standby := 1 - owner
+
+	// Healthy pair: ready.
+	resp, err := http.Get(https[owner].URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz on healthy owner = %d", resp.StatusCode)
+	}
+
+	// Kill the standby; the next acked write's frame ship fails and the
+	// stream degrades to local-only durability.
+	https[standby].Close()
+	chaosSubmit(t, https[owner].URL)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(https[owner].URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rz struct {
+			Status   string   `json:"status"`
+			Degraded []string `json:"degraded"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&rz)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rz.Status != "degraded" || len(rz.Degraded) != 1 || rz.Degraded[0] != "paper" {
+				t.Fatalf("degraded readyz body %+v", rz)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz never reported degraded replication (last %d)", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := servers[owner].Drain(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }

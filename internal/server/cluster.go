@@ -33,10 +33,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -68,6 +72,24 @@ type ClusterConfig struct {
 	SyncInterval time.Duration
 	// PeerTimeout bounds one peer HTTP call (default 10s).
 	PeerTimeout time.Duration
+	// AutoFailover runs the failure detector and promotes this node's
+	// standby federations automatically when their owner is confirmed
+	// down — no operator takeover POST required. Off by default: the
+	// detector can only be as good as its thresholds, and an operator
+	// who prefers paging to automation keeps the manual path.
+	AutoFailover bool
+	// ProbeInterval is the failure detector's probe cadence (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (default ProbeInterval).
+	ProbeTimeout time.Duration
+	// SuspectAfter / DownAfter are the consecutive-miss thresholds for
+	// the suspect and down verdicts (defaults 3 and 2×SuspectAfter).
+	SuspectAfter int
+	DownAfter    int
+	// AutoRebalance moves federations back onto their ring-computed
+	// owner after membership settles (a dead node comes back, a new
+	// node joins). Requires AutoFailover (it rides the same detector).
+	AutoRebalance bool
 }
 
 func (c *ClusterConfig) setDefaults() {
@@ -76,6 +98,18 @@ func (c *ClusterConfig) setDefaults() {
 	}
 	if c.PeerTimeout <= 0 {
 		c.PeerTimeout = 10 * time.Second
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
+	}
+	if c.DownAfter <= c.SuspectAfter {
+		c.DownAfter = 2 * c.SuspectAfter
 	}
 }
 
@@ -136,21 +170,52 @@ type clusterState struct {
 	client *http.Client
 	srv    *Server // set by newServer before any request or loop runs
 
-	syncDone chan struct{} // closed when the standby sync loop exits
+	// routes persists every committed routing table so a restart recovers
+	// the last known placements from disk before any gossip arrives. Nil
+	// when the server has no durable store directory.
+	routes *cluster.RouteLog
+	// detector is the peer failure detector; nil unless AutoFailover.
+	detector *cluster.Detector
 
-	redirects      *metrics.Counter
-	handoffsOut    *metrics.Counter
-	handoffsIn     *metrics.Counter
-	takeovers      *metrics.Counter
-	syncs          *metrics.Counter
-	framesShipped  *metrics.Counter
-	replDegradedN  *metrics.Counter
-	handoffSeconds *metrics.Histogram
+	// peerMu guards peerRepl: the per-federation replication health each
+	// peer reported on its last answered probe ("streaming", "arming",
+	// "degraded", "off"). This is how a standby knows whether the dead
+	// owner's stream was healthy — the eligibility gate for promoting
+	// from the replica.
+	peerMu   sync.Mutex
+	peerRepl map[string]map[string]string
+
+	syncDone chan struct{} // closed when the standby sync loop exits
+	// rebalanceKick wakes the rebalance loop (buffered 1: a kick during
+	// a rebalance coalesces into one more pass); rebalanceDone is closed
+	// when the loop exits; rebalancing is 1 while a pass runs.
+	rebalanceKick chan struct{}
+	rebalanceDone chan struct{}
+	rebalancing   atomic.Bool
+
+	redirects        *metrics.Counter
+	handoffsOut      *metrics.Counter
+	handoffsIn       *metrics.Counter
+	takeovers        *metrics.Counter
+	autoTakeovers    *metrics.Counter
+	autoBlocked      *metrics.Counter
+	rebalances       *metrics.Counter
+	routePersistErrs *metrics.Counter
+	syncs            *metrics.Counter
+	framesShipped    *metrics.Counter
+	replDegradedN    *metrics.Counter
+	handoffSeconds   *metrics.Histogram
+	probeSeconds     *metrics.HistogramVec
 }
 
 // newClusterState validates cfg.Cluster and builds the ring and routing
 // table. Returns (nil, nil) when the config carries no cluster section.
-func newClusterState(cfg *ClusterConfig) (*clusterState, error) {
+// When storeDir is non-empty the epoch-versioned override table is
+// persisted there (under _cluster/routes.wal) and the last committed
+// table is recovered *now*, before the caller decides which tenants to
+// build warm — so a restarted former owner redirects from its first
+// request instead of serving placements a takeover moved away.
+func newClusterState(cfg *ClusterConfig, storeDir string) (*clusterState, error) {
 	if cfg == nil {
 		return nil, nil
 	}
@@ -166,13 +231,45 @@ func newClusterState(cfg *ClusterConfig) (*clusterState, error) {
 		return nil, fmt.Errorf("server: cluster: node id %q is not in the peer set", c.NodeID)
 	}
 	cs := &clusterState{
-		cfg:    c,
-		self:   self,
-		repl:   make(map[string]*cluster.Replicator),
-		client: &http.Client{Timeout: c.PeerTimeout},
+		cfg:      c,
+		self:     self,
+		repl:     make(map[string]*cluster.Replicator),
+		client:   &http.Client{Timeout: c.PeerTimeout},
+		peerRepl: make(map[string]map[string]string),
+	}
+	if storeDir != "" {
+		// "_cluster" cannot collide with a federation's directory: tenant
+		// roots are url.PathEscape(name), which never produces it for the
+		// federation names the registry accepts.
+		log, err := cluster.OpenRouteLog(filepath.Join(storeDir, "_cluster", "routes.wal"))
+		if err != nil {
+			return nil, fmt.Errorf("server: cluster: %w", err)
+		}
+		cs.routes = log
+		if epoch, overrides := log.Last(); epoch > table.Epoch() {
+			table = table.WithOverrides(epoch, overrides)
+		}
 	}
 	cs.table.Store(table)
 	return cs, nil
+}
+
+// persistTable durably records a just-committed routing table. Failures
+// are logged and counted, not propagated: the commit already happened
+// in memory and is being gossiped; losing the disk copy only weakens
+// the next restart, it cannot be allowed to wedge routing now.
+func (cs *clusterState) persistTable(epoch uint64, overrides map[string]string) {
+	if cs.routes == nil {
+		return
+	}
+	if err := cs.routes.Append(epoch, overrides); err != nil {
+		if cs.routePersistErrs != nil {
+			cs.routePersistErrs.Inc()
+		}
+		if cs.srv != nil {
+			cs.srv.log.Warn("persisting routing table failed", "epoch", epoch, "error", err.Error())
+		}
+	}
 }
 
 // owns reports whether this node is fed's owner under the current
@@ -258,6 +355,7 @@ func (cs *clusterState) applyOverride(fed, node string, minEpoch uint64) uint64 
 		}
 		next = next.WithEpochAtLeast(minEpoch)
 		if cs.table.CompareAndSwap(cur, next) {
+			cs.persistTable(next.Epoch(), next.Overrides())
 			return next.Epoch()
 		}
 	}
@@ -286,11 +384,13 @@ func (cs *clusterState) adoptTable(epoch uint64, overrides map[string]string) bo
 			}
 			next := cur.WithOverrides(epoch+1, mergeOverrides(curOv, overrides))
 			if cs.table.CompareAndSwap(cur, next) {
+				cs.persistTable(next.Epoch(), next.Overrides())
 				return true
 			}
 			continue
 		}
-		if cs.table.CompareAndSwap(cur, cur.WithOverrides(epoch, overrides)) {
+		if next := cur.WithOverrides(epoch, overrides); cs.table.CompareAndSwap(cur, next) {
+			cs.persistTable(next.Epoch(), next.Overrides())
 			return true
 		}
 	}
@@ -381,6 +481,52 @@ func (s *Server) registerClusterMetrics() {
 	cs.handoffsIn = hv.With("target")
 	cs.takeovers = reg.Counter("midas_cluster_takeovers_total",
 		"Federations this node promoted itself to own after an owner failure.")
+	cs.autoTakeovers = reg.Counter("midas_cluster_auto_takeovers_total",
+		"Takeovers initiated by the failure detector, no operator involved.")
+	cs.autoBlocked = reg.Counter("midas_cluster_auto_takeovers_blocked_total",
+		"Auto-promotions the eligibility gate refused (replication degraded or never reported healthy).")
+	cs.rebalances = reg.Counter("midas_cluster_rebalances_total",
+		"Federations handed back to their ring-computed owner by the rebalance loop.")
+	cs.routePersistErrs = reg.Counter("midas_cluster_route_persist_failures_total",
+		"Routing-table commits whose durable append failed (in-memory routing unaffected).")
+	if cs.detector != nil {
+		for _, m := range cs.cfg.Peers {
+			if m.ID == cs.self.ID {
+				continue
+			}
+			peer := m.ID
+			reg.GaugeFunc("midas_cluster_peer_up",
+				"1 while the failure detector's last probe of the peer succeeded, else 0.",
+				func() float64 {
+					if cs.detector.Status(peer) == cluster.PeerUp {
+						return 1
+					}
+					return 0
+				}, "peer", peer)
+		}
+		reg.GaugeFunc("midas_cluster_peers_suspect",
+			"Peers currently in the suspect state (rebalancing pauses while nonzero).",
+			func() float64 {
+				n := 0
+				for _, h := range cs.detector.Snapshot() {
+					if h.Status == cluster.PeerSuspect {
+						n++
+					}
+				}
+				return float64(n)
+			})
+		cs.probeSeconds = reg.HistogramVec("midas_cluster_probe_seconds",
+			"Failure-detector probe round trips, by peer (failures included, capped at the probe timeout).",
+			metrics.ExponentialBuckets(1e-4, 4, 10), "peer")
+		reg.GaugeFunc("midas_cluster_rebalance_active",
+			"1 while a rebalance pass is moving tenants, else 0.",
+			func() float64 {
+				if cs.rebalancing.Load() {
+					return 1
+				}
+				return 0
+			})
+	}
 	cs.syncs = reg.Counter("midas_cluster_standby_syncs_total",
 		"Full shard syncs shipped to standbys (initial arms and re-arms after degrade).")
 	cs.framesShipped = reg.Counter("midas_cluster_frames_shipped_total",
@@ -485,8 +631,33 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+		// Degraded replication means acked writes are on one disk instead
+		// of two: stay live (the node still serves correctly) but tell the
+		// load balancer so it can shed toward the fully durable node.
+		if degraded := s.degradedFederations(); len(degraded) > 0 {
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]any{"status": "degraded", "degraded": degraded})
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// degradedFederations lists the active federations whose replication
+// stream has degraded to local-only durability, sorted for stable
+// output. Empty when replication is off.
+func (s *Server) degradedFederations() []string {
+	if !s.cluster.replicating() {
+		return nil
+	}
+	var out []string
+	for name, t := range s.tenants {
+		if t.state.Load() == tenantActive && s.cluster.replHealth(t) == "degraded" {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // handleRoute (POST /v1/admin/route) is table gossip: adopt the body's
@@ -1128,18 +1299,26 @@ func (s *Server) demoteStaleOwner(t *tenant, owner cluster.Member) {
 }
 
 // bootstrapRoutes exchanges routing tables with peers at boot, so a
-// restarted node (whose table is back at epoch 1) learns about
-// ownership moves it slept through before serving stale state for
-// long, even if no further mutation ever gossips. Best-effort: retries
-// until at least one peer answers, then leaves freshness to
-// gossip-on-mutation and the reconcile pass.
+// restarted node (whose table starts from the persisted copy, or epoch
+// 1 without one) learns about ownership moves it slept through before
+// serving stale state for long, even if no further mutation ever
+// gossips. Best-effort: retries until at least one peer answers, then
+// leaves freshness to gossip-on-mutation and the reconcile pass. Peers
+// are tried in a per-node shuffled order with jittered retries, so a
+// whole cluster restarting at once fans its first exchanges out instead
+// of hammering whichever member sorts first.
 func (s *Server) bootstrapRoutes() {
 	cs := s.cluster
+	h := fnv.New64a()
+	h.Write([]byte(cs.self.ID))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
 	for {
 		tab := cs.table.Load()
 		body, _ := json.Marshal(RouteUpdate{Epoch: tab.Epoch(), Overrides: tab.Overrides()})
+		members := append([]cluster.Member(nil), tab.Ring().Members()...)
+		rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
 		reached := false
-		for _, m := range tab.Ring().Members() {
+		for _, m := range members {
 			if m.ID == cs.self.ID {
 				continue
 			}
@@ -1158,7 +1337,7 @@ func (s *Server) bootstrapRoutes() {
 		select {
 		case <-s.lifeCtx.Done():
 			return
-		case <-time.After(cs.cfg.SyncInterval):
+		case <-time.After(cs.cfg.SyncInterval/2 + time.Duration(rng.Int63n(int64(cs.cfg.SyncInterval)))):
 		}
 	}
 }

@@ -42,6 +42,12 @@ type testCluster struct {
 }
 
 func newTestCluster(t *testing.T, n int, feds []string) *testCluster {
+	return newTestClusterCfg(t, n, feds, nil)
+}
+
+// newTestClusterCfg is newTestCluster with a per-node config hook, for
+// tests that need extra knobs (auto-failover, durable store dirs).
+func newTestClusterCfg(t *testing.T, n int, feds []string, mutate func(i int, cfg *Config)) *testCluster {
 	t.Helper()
 	tc := &testCluster{}
 	late := make([]*lateHandler, n)
@@ -63,6 +69,9 @@ func newTestCluster(t *testing.T, n int, feds []string) *testCluster {
 			Peers:       tc.members,
 			PeerTimeout: 5 * time.Second,
 		}}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
 		srv, err := NewWithSchedulers(cfg, scheds, tpch.AllQueries)
 		if err != nil {
 			t.Fatal(err)
@@ -842,7 +851,7 @@ func TestAdoptTableMergesEqualEpochs(t *testing.T) {
 				{ID: "b", Addr: "http://b"},
 				{ID: "c", Addr: "http://c"},
 			},
-		})
+		}, "")
 		if err != nil {
 			t.Fatal(err)
 		}

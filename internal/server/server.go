@@ -252,7 +252,11 @@ func New(cfg Config) (*Server, error) {
 		}
 		seen[name] = true
 	}
-	cs, err := newClusterState(cfg.Cluster)
+	// The cluster state recovers the persisted routing table (if any)
+	// here, before tenants are built — the owned/cold decisions below
+	// must reflect the placements this node last committed, not the
+	// ring's defaults.
+	cs, err := newClusterState(cfg.Cluster, cfg.Store.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +303,7 @@ func NewWithSchedulers(cfg Config, scheds map[string]QueryScheduler, queries []t
 	if len(scheds) == 0 {
 		return nil, errors.New("server: no schedulers")
 	}
-	cs, err := newClusterState(cfg.Cluster)
+	cs, err := newClusterState(cfg.Cluster, cfg.Store.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -341,6 +345,11 @@ func newServer(cfg Config, tenants map[string]*tenant, cs *clusterState) *Server
 	s.registerMetrics()
 	if cs != nil {
 		cs.srv = s
+		if cs.cfg.AutoFailover && len(cs.cfg.Peers) > 1 {
+			// The detector must exist before registerClusterMetrics so
+			// the peer-health gauges can read it.
+			s.initDetector()
+		}
 		s.registerClusterMetrics()
 		if len(cs.cfg.Peers) > 1 {
 			// Catch up on routing moves this node slept through (a
@@ -351,6 +360,12 @@ func newServer(cfg Config, tenants map[string]*tenant, cs *clusterState) *Server
 		if cs.replicating() {
 			cs.syncDone = make(chan struct{})
 			go s.syncLoop()
+		}
+		if cs.detector != nil {
+			cs.rebalanceKick = make(chan struct{}, 1)
+			cs.rebalanceDone = make(chan struct{})
+			go s.rebalanceLoop()
+			cs.detector.Start()
 		}
 	}
 	if cfg.Store.CheckpointInterval > 0 {
@@ -466,6 +481,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
 	if s.cluster != nil {
 		mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+		mux.HandleFunc("GET /v1/cluster/health", s.handleClusterHealth)
 		mux.HandleFunc("POST /v1/admin/handoff", s.handleHandoff)
 		mux.HandleFunc("POST /v1/admin/handoff/prepare", s.handleHandoffPrepare)
 		mux.HandleFunc("POST /v1/admin/handoff/receive", s.handleHandoffReceive)
@@ -520,19 +536,33 @@ func (s *Server) Drain(ctx context.Context) error {
 			err = cerr
 		}
 	}
+	if cs := s.cluster; cs != nil && cs.routes != nil {
+		if cerr := cs.routes.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	s.log.Info("drain complete", "clean", err == nil)
 	return err
 }
 
 // stopCheckpointLoop cancels the server lifetime context and waits for
-// the periodic checkpoint and standby sync loops (if any) to exit.
+// the periodic checkpoint, standby sync, failure detector and rebalance
+// loops (those that were started) to exit.
 func (s *Server) stopCheckpointLoop() {
 	s.lifeStop()
 	if s.cpDone != nil {
 		<-s.cpDone
 	}
-	if s.cluster != nil && s.cluster.syncDone != nil {
-		<-s.cluster.syncDone
+	if cs := s.cluster; cs != nil {
+		if cs.detector != nil {
+			cs.detector.Stop()
+		}
+		if cs.rebalanceDone != nil {
+			<-cs.rebalanceDone
+		}
+		if cs.syncDone != nil {
+			<-cs.syncDone
+		}
 	}
 }
 

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # cluster-smoke.sh — three-node midasd cluster end-to-end smoke:
 #
-#   1. boot three replicating nodes hosting three federations,
+#   1. boot three replicating nodes hosting three federations, with the
+#      failure detector and auto-failover armed,
 #   2. drive routing-aware load at every federation (exits non-zero on
 #      any failed request, so the load run is itself an assertion),
 #   3. SIGKILL one node mid-cluster (no drain, no checkpoint),
-#   4. promote the standbys of its federations from their shipped WALs,
+#   4. wait for the survivors to detect the death and auto-promote the
+#      victim's federations from their shipped WALs — no operator
+#      takeover is issued anywhere in this script,
 #   5. assert zero acked-write loss (history lengths are unchanged) and
 #      that the survivors serve every federation.
 #
@@ -52,6 +55,9 @@ for i in 1 2 3; do
   "$MIDASD" -addr "127.0.0.1:$port" -config "$WORK/federations.json" \
     -data-dir "$WORK/n$i" -node-id "n$i" -cluster-peers "$peers" \
     -cluster-replicate -cluster-sync-interval 200ms \
+    -cluster-auto-failover -cluster-probe-interval 200ms \
+    -cluster-suspect-after 3 -cluster-down-after 10 \
+    -cluster-auto-rebalance \
     > "$WORK/n$i.log" 2>&1 &
   PIDS+=($!)
 done
@@ -99,13 +105,23 @@ log "SIGKILL $victim (owner of fedA)"
 kill -KILL "${PIDS[$((vidx - 1))]}"
 wait "${PIDS[$((vidx - 1))]}" 2> /dev/null || true
 
-# --- promote standbys for every federation the victim owned -----------
+# --- auto-failover: the detector must promote, not this script --------
+# Down verdict needs down-after(10) consecutive missed 200ms probes, so
+# ~2s of detection plus the promotion itself; 60s is a generous ceiling.
 for fed in "${FEDS[@]}"; do
   if [ "$(owner_of "$fed")" != "$victim" ]; then continue; fi
-  sb="$(standby_of "$fed")"
-  [ "$sb" != "$victim" ] && [ -n "$sb" ] || { log "$fed has no surviving standby"; exit 1; }
-  log "takeover: $fed -> $sb"
-  curl -sf -X POST "$(addr_of "$sb")/v1/admin/takeover?federation=$fed" | jq -c .
+  log "waiting for auto-promotion of $fed (owner $victim is dead)"
+  promoted=""
+  for _ in $(seq 1 120); do
+    now="$(owner_of "$fed")"
+    if [ "$now" != "$victim" ] && [ -n "$now" ] && [ "$now" != null ]; then
+      promoted="$now"
+      break
+    fi
+    sleep 0.5
+  done
+  [ -n "$promoted" ] || { log "FAIL: $fed never auto-promoted off $victim"; exit 1; }
+  log "auto-promoted: $fed -> $promoted"
 done
 
 # --- zero acked-write loss + survivors serve everything ---------------
@@ -126,4 +142,12 @@ for fed in "${FEDS[@]}"; do
   "$MIDASLOAD" -addr "$addrs" -federation "$fed" -clients 5 -requests 2
 done
 
-log "PASS: node kill survived with zero acked-write loss"
+# Operator view of the aftermath: one survivor's routing table plus
+# per-member health (the victim shows UNREACHABLE).
+survivor_port=$BASE_PORT
+[ "$victim" = "n1" ] && survivor_port=$((BASE_PORT + 1))
+MIDASCTL="${MIDASCTL:-$WORK/midasctl}"
+[ -x "$MIDASCTL" ] || go build -o "$MIDASCTL" ./cmd/midasctl
+"$MIDASCTL" -addr "http://127.0.0.1:$survivor_port" cluster-status
+
+log "PASS: node kill survived with auto-failover and zero acked-write loss"
